@@ -1,0 +1,323 @@
+// Package troxy is the public entry point of the library: it assembles
+// complete Troxy-backed (or baseline Hybster) clusters — enclaves,
+// attestation, provisioning, trusted counters, protocol cores, replicas —
+// ready to attach to either runtime (the real goroutine/TCP runtime in
+// internal/realnet or the deterministic simulator in internal/simnet).
+//
+// See the examples/ directory for end-to-end usage and internal/troxy for
+// the trusted proxy itself.
+package troxy
+
+import (
+	"crypto/ed25519"
+	"fmt"
+	"time"
+
+	"github.com/troxy-bft/troxy/internal/app"
+	"github.com/troxy-bft/troxy/internal/authn"
+	"github.com/troxy-bft/troxy/internal/enclave"
+	"github.com/troxy-bft/troxy/internal/hybster"
+	"github.com/troxy-bft/troxy/internal/msg"
+	"github.com/troxy-bft/troxy/internal/node"
+	"github.com/troxy-bft/troxy/internal/replica"
+	"github.com/troxy-bft/troxy/internal/tcounter"
+	itroxy "github.com/troxy-bft/troxy/internal/troxy"
+)
+
+// Mode selects the system configuration under evaluation.
+type Mode uint8
+
+// Modes. They mirror the paper's systems: the baseline is the original
+// (client-voting) Hybster, ctroxy runs the Troxy library outside SGX, and
+// etroxy runs it inside an enclave.
+const (
+	// Baseline is original Hybster: BFT clients vote themselves; replicas
+	// host only the trusted-counter enclave.
+	Baseline Mode = iota + 1
+
+	// CTroxy runs the Troxy natively outside SGX (measures the cost of
+	// relocating the client library without trusted execution).
+	CTroxy
+
+	// ETroxy runs the Troxy inside an enclave (the full system).
+	ETroxy
+)
+
+// String returns the evaluation name of the mode.
+func (m Mode) String() string {
+	switch m {
+	case Baseline:
+		return "BL"
+	case CTroxy:
+		return "ctroxy"
+	case ETroxy:
+		return "etroxy"
+	default:
+		return fmt.Sprintf("Mode(%d)", uint8(m))
+	}
+}
+
+// ClusterConfig describes a deployment.
+type ClusterConfig struct {
+	// N and F are the replication parameters; N must equal 2F+1. Zero
+	// values mean N=3, F=1 (the paper's setup).
+	N, F int
+
+	// Mode selects Baseline, CTroxy or ETroxy.
+	Mode Mode
+
+	// App creates each replica's application instance.
+	App app.Factory
+
+	// Classify reports whether an operation is read-only (service-specific;
+	// required for fast reads).
+	Classify func(op []byte) bool
+
+	// FastReads enables the Troxy's managed fast-read cache.
+	FastReads bool
+
+	// HTTP switches the client protocol to HTTP/1.1 byte streams.
+	HTTP bool
+
+	// MasterSecret provisions all deployment keys. Empty uses a fixed
+	// development secret.
+	MasterSecret []byte
+
+	// Seed makes Troxy-internal randomness deterministic (0 = crypto/rand
+	// for handshakes).
+	Seed int64
+
+	// CheckpointInterval, ViewChangeTimeout, TickInterval and QueryTimeout
+	// tune the protocol; zero values use package defaults.
+	CheckpointInterval uint64
+	ViewChangeTimeout  time.Duration
+	TickInterval       time.Duration
+	QueryTimeout       time.Duration
+
+	// MonitorWindow, MonitorThreshold and ProbeInterval tune the conflict
+	// monitor (zero values use package defaults).
+	MonitorWindow    int
+	MonitorThreshold float64
+	ProbeInterval    time.Duration
+
+	// CacheCapacity bounds the fast-read cache in bytes.
+	CacheCapacity int64
+
+	// FullCacheReplies selects the paper's base cache-exchange variant
+	// (full entries between Troxies) instead of the hash optimization.
+	FullCacheReplies bool
+}
+
+// Cluster is an assembled deployment.
+type Cluster struct {
+	Config    ClusterConfig
+	Replicas  []*replica.Replica
+	Enclaves  []*enclave.Enclave
+	Platforms []*enclave.Platform
+	Directory *authn.Directory
+
+	// ServerPub is the service identity legacy clients pin.
+	ServerPub ed25519.PublicKey
+
+	apps    []app.Application
+	proxies []itroxy.Proxy
+}
+
+// NewCluster builds a cluster: per replica it launches the enclave(s),
+// verifies a quote (remote attestation), provisions the secrets, and wires
+// the protocol core with the configured frontend.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.N == 0 {
+		cfg.N, cfg.F = 3, 1
+	}
+	if cfg.N != 2*cfg.F+1 {
+		return nil, fmt.Errorf("troxy: N=%d must equal 2F+1 (F=%d)", cfg.N, cfg.F)
+	}
+	if cfg.Mode == 0 {
+		cfg.Mode = ETroxy
+	}
+	if cfg.App == nil {
+		return nil, fmt.Errorf("troxy: missing application factory")
+	}
+	secret := cfg.MasterSecret
+	if len(secret) == 0 {
+		secret = []byte("troxy-development-master-secret")
+	}
+	dir, err := authn.NewDirectory(secret)
+	if err != nil {
+		return nil, err
+	}
+
+	cl := &Cluster{Config: cfg, Directory: dir}
+	identitySeed := dir.ServiceIdentitySeed()
+	cl.ServerPub = ed25519.NewKeyFromSeed(identitySeed).Public().(ed25519.PublicKey)
+
+	secrets := map[string][]byte{
+		tcounter.SecretName:   dir.CounterKey(),
+		itroxy.SecretIdentity: identitySeed,
+		itroxy.SecretGroup:    dir.TroxyGroupKey(),
+	}
+
+	for i := 0; i < cfg.N; i++ {
+		self := msg.NodeID(i)
+		platform := enclave.NewPlatform()
+		cl.Platforms = append(cl.Platforms, platform)
+		counters := tcounter.NewSubsystem(self)
+
+		var (
+			proxy     itroxy.Proxy
+			enc       *enclave.Enclave
+			authority tcounter.Authority
+		)
+
+		troxyCfg := itroxy.Config{
+			Self:             self,
+			N:                cfg.N,
+			F:                cfg.F,
+			Seed:             deriveSeed(cfg.Seed, i),
+			Classify:         cfg.Classify,
+			FastReads:        cfg.FastReads,
+			CacheCapacity:    cfg.CacheCapacity,
+			MonitorWindow:    cfg.MonitorWindow,
+			MonitorThreshold: cfg.MonitorThreshold,
+			ProbeInterval:    cfg.ProbeInterval,
+			QueryTimeout:     cfg.QueryTimeout,
+			FullCacheReplies: cfg.FullCacheReplies,
+			HTTP:             cfg.HTTP,
+		}
+
+		switch cfg.Mode {
+		case Baseline:
+			// Only the counter subsystem runs inside SGX.
+			enc, err = platform.Launch(enclave.Definition{
+				Name:         fmt.Sprintf("hybster-counters-%d", i),
+				CodeIdentity: "hybster-counters-v1",
+			}, tcounter.Hosted{S: counters}, nil)
+			if err != nil {
+				return nil, fmt.Errorf("troxy: launch counter enclave %d: %w", i, err)
+			}
+			if err := attestAndProvision(platform, enc, "hybster-counters-v1", secrets); err != nil {
+				return nil, err
+			}
+			authority = tcounter.EnclaveAuthority{E: enc}
+
+		case CTroxy:
+			// The Troxy library runs natively; the counters stay in SGX.
+			core := itroxy.NewCore(troxyCfg)
+			if err := core.ProvisionSecrets(secrets); err != nil {
+				return nil, fmt.Errorf("troxy: provision ctroxy %d: %w", i, err)
+			}
+			proxy = itroxy.NewDirectProxy(core)
+			enc, err = platform.Launch(enclave.Definition{
+				Name:         fmt.Sprintf("hybster-counters-%d", i),
+				CodeIdentity: "hybster-counters-v1",
+			}, tcounter.Hosted{S: counters}, nil)
+			if err != nil {
+				return nil, fmt.Errorf("troxy: launch counter enclave %d: %w", i, err)
+			}
+			if err := attestAndProvision(platform, enc, "hybster-counters-v1", secrets); err != nil {
+				return nil, err
+			}
+			authority = tcounter.EnclaveAuthority{E: enc}
+
+		case ETroxy:
+			// One enclave hosts the Troxy and the counter subsystem behind
+			// the 16-ecall interface.
+			trusted := itroxy.NewTrusted(itroxy.NewCore(troxyCfg), counters)
+			enc, err = platform.Launch(enclave.Definition{
+				Name:         fmt.Sprintf("troxy-%d", i),
+				CodeIdentity: itroxy.CodeIdentity,
+			}, trusted, nil)
+			if err != nil {
+				return nil, fmt.Errorf("troxy: launch enclave %d: %w", i, err)
+			}
+			if err := attestAndProvision(platform, enc, itroxy.CodeIdentity, secrets); err != nil {
+				return nil, err
+			}
+			proxy = itroxy.NewEnclaveProxy(enc)
+			authority = tcounter.EnclaveAuthority{E: enc}
+
+		default:
+			return nil, fmt.Errorf("troxy: unknown mode %d", cfg.Mode)
+		}
+
+		application := cfg.App()
+		cl.apps = append(cl.apps, application)
+		rep := replica.New(replica.Config{
+			Self: self,
+			N:    cfg.N,
+			F:    cfg.F,
+			Hybster: hybster.Config{
+				CheckpointInterval: cfg.CheckpointInterval,
+				ViewChangeTimeout:  cfg.ViewChangeTimeout,
+				Profile:            node.ProfileJava,
+				Authority:          authority,
+				App:                application,
+			},
+			Directory:    dir,
+			Proxy:        proxy,
+			TickInterval: cfg.TickInterval,
+		})
+		cl.Replicas = append(cl.Replicas, rep)
+		cl.Enclaves = append(cl.Enclaves, enc)
+		cl.proxies = append(cl.proxies, proxy)
+	}
+	return cl, nil
+}
+
+// attestAndProvision performs the remote-attestation + provisioning step:
+// the verifier (IAS role) checks the platform's quote over the expected
+// measurement before any secret is released to the enclave.
+func attestAndProvision(p *enclave.Platform, e *enclave.Enclave, codeIdentity string, secrets map[string][]byte) error {
+	verifier := enclave.NewVerifier(p)
+	quote := p.QuoteFor(e, nil)
+	if err := verifier.Verify(quote, enclave.MeasureCode(codeIdentity)); err != nil {
+		return fmt.Errorf("troxy: attestation failed for %s: %w", e.Name(), err)
+	}
+	if err := e.Provision(secrets); err != nil {
+		return fmt.Errorf("troxy: provision %s: %w", e.Name(), err)
+	}
+	return nil
+}
+
+// deriveSeed gives each replica's Troxy its own deterministic stream (seed 0
+// stays 0: production randomness).
+func deriveSeed(seed int64, i int) int64 {
+	if seed == 0 {
+		return 0
+	}
+	return seed*1000003 + int64(i) + 1
+}
+
+// Attach registers all replicas with a runtime (replica i gets node ID i).
+func (c *Cluster) Attach(rt node.Runtime) {
+	for i, r := range c.Replicas {
+		rt.Attach(msg.NodeID(i), r)
+	}
+}
+
+// App returns replica i's application instance (tests compare state
+// digests across replicas).
+func (c *Cluster) App(i int) app.Application { return c.apps[i] }
+
+// ReplicaIDs returns the node IDs of all replicas.
+func (c *Cluster) ReplicaIDs() []msg.NodeID {
+	ids := make([]msg.NodeID, c.Config.N)
+	for i := range ids {
+		ids[i] = msg.NodeID(i)
+	}
+	return ids
+}
+
+// TroxyStats returns replica i's Troxy counters (zero in Baseline mode).
+func (c *Cluster) TroxyStats(i int) itroxy.Stats {
+	p := c.proxies[i]
+	if p == nil {
+		return itroxy.Stats{}
+	}
+	s, err := p.Stats()
+	if err != nil {
+		return itroxy.Stats{}
+	}
+	return s
+}

@@ -1,0 +1,435 @@
+package troxy
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/troxy-bft/troxy/internal/app"
+	"github.com/troxy-bft/troxy/internal/authn"
+	"github.com/troxy-bft/troxy/internal/bftclient"
+	"github.com/troxy-bft/troxy/internal/legacyclient"
+	"github.com/troxy-bft/troxy/internal/msg"
+	"github.com/troxy-bft/troxy/internal/node"
+	"github.com/troxy-bft/troxy/internal/simnet"
+	"github.com/troxy-bft/troxy/internal/workload"
+)
+
+// scriptGen replays a fixed operation sequence.
+type scriptGen struct {
+	ops []workload.Op
+	idx int
+}
+
+func (g *scriptGen) Next(*rand.Rand) workload.Op {
+	if g.idx >= len(g.ops) {
+		return g.ops[len(g.ops)-1]
+	}
+	op := g.ops[g.idx]
+	g.idx++
+	return op
+}
+
+func kvOps(pairs ...string) []workload.Op {
+	ops := make([]workload.Op, 0, len(pairs))
+	for _, p := range pairs {
+		ops = append(ops, workload.Op{Op: []byte(p), Read: len(p) > 3 && p[:4] == "GET "})
+	}
+	return ops
+}
+
+func storeClassifier() func([]byte) bool {
+	probe := app.NewStore()
+	return probe.IsRead
+}
+
+func newTestCluster(t *testing.T, mode Mode, fastReads bool) (*Cluster, *simnet.Network) {
+	t.Helper()
+	cl, err := NewCluster(ClusterConfig{
+		Mode:               mode,
+		App:                app.NewStoreFactory(),
+		Classify:           storeClassifier(),
+		FastReads:          fastReads,
+		Seed:               11,
+		CheckpointInterval: 16,
+		ViewChangeTimeout:  time.Second,
+		TickInterval:       20 * time.Millisecond,
+		QueryTimeout:       200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := simnet.New(3, nil)
+	net.SetDefaultLink(simnet.FixedLatency(2 * time.Millisecond))
+	cl.Attach(net)
+	return cl, net
+}
+
+func TestETroxyEndToEnd(t *testing.T) {
+	cl, net := newTestCluster(t, ETroxy, true)
+	rec := workload.NewRecorder()
+	rec.Begin(0)
+	gen := &scriptGen{ops: kvOps(
+		"PUT a 1", "GET a", "PUT b 2", "GET b", "GET a", "DEL a", "GET a",
+	)}
+	lc := legacyclient.New(legacyclient.Config{
+		Machine:       10,
+		Clients:       1,
+		FirstClientID: 1000,
+		Replicas:      cl.ReplicaIDs(),
+		ServerPub:     cl.ServerPub,
+		Gen:           gen,
+		Rec:           rec,
+		MaxOps:        7,
+		Timeout:       time.Second,
+	})
+	net.Attach(10, lc)
+	net.Run(10 * time.Second)
+
+	if lc.Done() != 7 {
+		t.Fatalf("client completed %d/7 ops", lc.Done())
+	}
+	// Replica states converge and reflect the script.
+	for i := 1; i < 3; i++ {
+		if app.StateDigest(cl.App(i)) != app.StateDigest(cl.App(0)) {
+			t.Errorf("replica %d state diverged", i)
+		}
+	}
+	if got := cl.App(0).Execute([]byte("GET b")); string(got) != "VALUE 2" {
+		t.Errorf("final GET b = %q", got)
+	}
+	if got := cl.App(0).Execute([]byte("GET a")); string(got) != "NOTFOUND" {
+		t.Errorf("final GET a = %q", got)
+	}
+	res := rec.Snapshot(net.Now())
+	if res.Count != 7 {
+		t.Errorf("recorded %d ops", res.Count)
+	}
+}
+
+func TestCTroxyEndToEnd(t *testing.T) {
+	cl, net := newTestCluster(t, CTroxy, false)
+	gen := &scriptGen{ops: kvOps("PUT x 9", "GET x")}
+	lc := legacyclient.New(legacyclient.Config{
+		Machine: 10, Clients: 1, FirstClientID: 1000,
+		Replicas: cl.ReplicaIDs(), ServerPub: cl.ServerPub,
+		Gen: gen, MaxOps: 2, Timeout: time.Second,
+	})
+	net.Attach(10, lc)
+	net.Run(10 * time.Second)
+	if lc.Done() != 2 {
+		t.Fatalf("client completed %d/2 ops", lc.Done())
+	}
+	if got := cl.App(1).Execute([]byte("GET x")); string(got) != "VALUE 9" {
+		t.Errorf("GET x = %q", got)
+	}
+}
+
+func TestBaselineEndToEnd(t *testing.T) {
+	cl, net := newTestCluster(t, Baseline, false)
+	rec := workload.NewRecorder()
+	rec.Begin(0)
+	gen := &scriptGen{ops: kvOps("PUT k 7", "GET k", "GET k")}
+	bc := bftclient.New(bftclient.Config{
+		Machine: 10, Clients: 1, FirstClientID: 1000,
+		N: 3, F: 1, Directory: cl.Directory,
+		Gen: gen, Rec: rec, ReadOpt: true,
+		MaxOps: 3, Timeout: time.Second,
+	})
+	net.Attach(10, bc)
+	net.Run(10 * time.Second)
+	if bc.Done() != 3 {
+		t.Fatalf("client completed %d/3 ops", bc.Done())
+	}
+	if bc.Stats().DirectOK == 0 {
+		t.Error("read optimization never succeeded on a read-only workload")
+	}
+}
+
+func TestClientsOnFollowers(t *testing.T) {
+	// Troxy allows connections to any replica (Section VI-A); clients
+	// pinned to followers must work through the Forward path.
+	cl, net := newTestCluster(t, ETroxy, false)
+	var machines []*legacyclient.Machine
+	for i := 0; i < 3; i++ {
+		gen := &scriptGen{ops: kvOps("PUT shared 1", "GET shared")}
+		lc := legacyclient.New(legacyclient.Config{
+			Machine: msg.NodeID(10 + i), Clients: 1,
+			FirstClientID: uint64(1000 + i*10),
+			Replicas:      []msg.NodeID{msg.NodeID(i)}, // pinned
+			ServerPub:     cl.ServerPub,
+			Gen:           gen, MaxOps: 2, Timeout: time.Second,
+		})
+		machines = append(machines, lc)
+		net.Attach(msg.NodeID(10+i), lc)
+	}
+	net.Run(10 * time.Second)
+	for i, lc := range machines {
+		if lc.Done() != 2 {
+			t.Errorf("machine %d completed %d/2", i, lc.Done())
+		}
+	}
+}
+
+func TestFastReadCacheHits(t *testing.T) {
+	cl, net := newTestCluster(t, ETroxy, true)
+	// Same read repeated: first is ordered (miss), later ones come from the
+	// cache via the remote-confirmation round.
+	ops := []workload.Op{{Op: []byte("PUT hot v"), Read: false}}
+	for i := 0; i < 10; i++ {
+		ops = append(ops, workload.Op{Op: []byte("GET hot"), Read: true})
+	}
+	lc := legacyclient.New(legacyclient.Config{
+		Machine: 10, Clients: 1, FirstClientID: 1000,
+		Replicas: cl.ReplicaIDs(), ServerPub: cl.ServerPub,
+		Gen: &scriptGen{ops: ops}, MaxOps: len(ops), Timeout: time.Second,
+	})
+	net.Attach(10, lc)
+	net.Run(20 * time.Second)
+	if lc.Done() != len(ops) {
+		t.Fatalf("completed %d/%d", lc.Done(), len(ops))
+	}
+	fast := uint64(0)
+	for i := 0; i < 3; i++ {
+		fast += cl.TroxyStats(i).FastReadOK
+	}
+	if fast == 0 {
+		t.Error("no fast reads served despite repeated identical reads")
+	}
+}
+
+func TestWriteInvalidatesCachedRead(t *testing.T) {
+	// The linearizability core: a completed write must be visible to every
+	// subsequent read, cached or not (Section IV-B).
+	cl, net := newTestCluster(t, ETroxy, true)
+	ops := []workload.Op{
+		{Op: []byte("PUT k v1"), Read: false},
+		{Op: []byte("GET k"), Read: true}, // populates caches
+		{Op: []byte("GET k"), Read: true}, // fast read
+		{Op: []byte("PUT k v2"), Read: false},
+		{Op: []byte("GET k"), Read: true}, // MUST see v2
+	}
+	results := &resultCapture{}
+	lc := legacyclient.New(legacyclient.Config{
+		Machine: 10, Clients: 1, FirstClientID: 1000,
+		Replicas: cl.ReplicaIDs(), ServerPub: cl.ServerPub,
+		Gen: &scriptGen{ops: ops}, MaxOps: len(ops), Timeout: time.Second,
+	})
+	net.Attach(10, lc)
+	_ = results
+	net.Run(20 * time.Second)
+	if lc.Done() != len(ops) {
+		t.Fatalf("completed %d/%d", lc.Done(), len(ops))
+	}
+	// All replicas agree the final value is v2.
+	for i := 0; i < 3; i++ {
+		if got := cl.App(i).Execute([]byte("GET k")); string(got) != "VALUE v2" {
+			t.Errorf("replica %d GET k = %q", i, got)
+		}
+	}
+	inval := uint64(0)
+	for i := 0; i < 3; i++ {
+		inval += cl.TroxyStats(i).Cache.Invalidations
+	}
+	if inval == 0 {
+		t.Error("write did not invalidate any cache entry")
+	}
+}
+
+type resultCapture struct{ results [][]byte }
+
+func TestTroxyCrashFailover(t *testing.T) {
+	cl, net := newTestCluster(t, ETroxy, false)
+	ops := kvOps("PUT a 1", "GET a", "PUT a 2", "GET a", "PUT a 3", "GET a")
+	lc := legacyclient.New(legacyclient.Config{
+		Machine: 10, Clients: 1, FirstClientID: 1000,
+		Replicas:  []msg.NodeID{2, 1, 0}, // connected to replica 2 first
+		ServerPub: cl.ServerPub,
+		Gen:       &scriptGen{ops: ops}, MaxOps: len(ops),
+		Timeout: 300 * time.Millisecond,
+	})
+	net.Attach(10, lc)
+	net.Run(30 * time.Millisecond)
+	// Crash the replica the client is connected to; it must fail over and
+	// finish ("this case is equivalent to a failing service replica in
+	// commodity infrastructures", Section I).
+	net.Crash(2)
+	net.Run(30 * time.Second)
+	if lc.Done() != len(ops) {
+		t.Fatalf("completed %d/%d after Troxy crash", lc.Done(), len(ops))
+	}
+	if got := cl.App(0).Execute([]byte("GET a")); string(got) != "VALUE 3" {
+		t.Errorf("final value = %q", got)
+	}
+}
+
+func TestLeaderCrashWithTroxy(t *testing.T) {
+	cl, net := newTestCluster(t, ETroxy, false)
+	ops := kvOps("PUT a 1", "PUT a 2", "PUT a 3", "PUT a 4", "GET a")
+	lc := legacyclient.New(legacyclient.Config{
+		Machine: 10, Clients: 1, FirstClientID: 1000,
+		Replicas:  []msg.NodeID{1, 2}, // connected to followers only
+		ServerPub: cl.ServerPub,
+		Gen:       &scriptGen{ops: ops}, MaxOps: len(ops),
+		Timeout: 2 * time.Second,
+	})
+	net.Attach(10, lc)
+	net.Run(20 * time.Millisecond)
+	net.Crash(0) // leader
+	net.Run(60 * time.Second)
+	if lc.Done() != len(ops) {
+		t.Fatalf("completed %d/%d after leader crash", lc.Done(), len(ops))
+	}
+	if v := cl.Replicas[1].Core().View(); v == 0 {
+		t.Error("view change did not happen")
+	}
+	if got := cl.App(1).Execute([]byte("GET a")); string(got) != "VALUE 4" {
+		t.Errorf("final value = %q", got)
+	}
+}
+
+// corruptingEnv wraps node.Env and flips bytes in OrderedReply results: the
+// behaviour of a Byzantine untrusted replica part trying to deliver wrong
+// results. It re-seals the transport MAC after corrupting — the untrusted
+// part legitimately holds the pairwise transport keys, so only the Troxy's
+// group tag (computed inside the enclave, over the original content) can
+// expose the manipulation.
+type corruptingEnv struct {
+	node.Env
+	auth *authn.Authenticator
+}
+
+func (c corruptingEnv) Send(e *msg.Envelope) {
+	if e.Kind == msg.KindOrderedReply && len(e.Body) > 40 {
+		body := make([]byte, len(e.Body))
+		copy(body, e.Body)
+		body[30] ^= 0xff
+		e = &msg.Envelope{From: e.From, To: e.To, Kind: e.Kind, Body: body}
+		c.auth.SealMAC(e)
+	}
+	c.Env.Send(e)
+}
+
+// corruptingReplica wraps a replica handler with the corrupting env.
+type corruptingReplica struct {
+	inner node.Handler
+	auth  *authn.Authenticator
+}
+
+func (c *corruptingReplica) OnStart(env node.Env) {
+	c.inner.OnStart(corruptingEnv{env, c.auth})
+}
+func (c *corruptingReplica) OnEnvelope(env node.Env, e *msg.Envelope) {
+	c.inner.OnEnvelope(corruptingEnv{env, c.auth}, e)
+}
+func (c *corruptingReplica) OnTimer(env node.Env, key node.TimerKey) {
+	c.inner.OnTimer(corruptingEnv{env, c.auth}, key)
+}
+
+func TestByzantineReplyOutvoted(t *testing.T) {
+	// Replica 2's untrusted part corrupts the replies it sends. The voter
+	// must reject them (the Troxy tag no longer verifies) and clients still
+	// receive correct results from the other f+1 replicas.
+	cl, err := NewCluster(ClusterConfig{
+		Mode: ETroxy, App: app.NewStoreFactory(), Classify: storeClassifier(),
+		Seed: 11, ViewChangeTimeout: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := simnet.New(3, nil)
+	net.SetDefaultLink(simnet.FixedLatency(2 * time.Millisecond))
+	for i, r := range cl.Replicas {
+		if i == 2 {
+			net.Attach(msg.NodeID(i), &corruptingReplica{
+				inner: r,
+				auth:  authn.NewAuthenticator(2, cl.Directory),
+			})
+			continue
+		}
+		net.Attach(msg.NodeID(i), r)
+	}
+
+	ops := kvOps("PUT a correct-value", "GET a")
+	lc := legacyclient.New(legacyclient.Config{
+		Machine: 10, Clients: 1, FirstClientID: 1000,
+		Replicas:  []msg.NodeID{0},
+		ServerPub: cl.ServerPub,
+		Gen:       &scriptGen{ops: ops}, MaxOps: len(ops), Timeout: time.Second,
+	})
+	net.Attach(10, lc)
+	net.Run(20 * time.Second)
+
+	if lc.Done() != len(ops) {
+		t.Fatalf("completed %d/%d with a Byzantine replica", lc.Done(), len(ops))
+	}
+	if cl.TroxyStats(0).BadReplies == 0 {
+		t.Error("voter accepted corrupted replies (or never saw them)")
+	}
+	if got := cl.App(0).Execute([]byte("GET a")); !bytes.Contains(got, []byte("correct-value")) {
+		t.Errorf("state = %q", got)
+	}
+}
+
+func TestEnclaveRestartLosesCacheButStaysSafe(t *testing.T) {
+	cl, net := newTestCluster(t, ETroxy, true)
+	ops := []workload.Op{
+		{Op: []byte("PUT k v"), Read: false},
+		{Op: []byte("GET k"), Read: true},
+		{Op: []byte("GET k"), Read: true},
+	}
+	lc := legacyclient.New(legacyclient.Config{
+		Machine: 10, Clients: 1, FirstClientID: 1000,
+		Replicas: cl.ReplicaIDs(), ServerPub: cl.ServerPub,
+		Gen: &scriptGen{ops: ops}, MaxOps: len(ops), Timeout: 500 * time.Millisecond,
+	})
+	net.Attach(10, lc)
+	net.Run(10 * time.Second)
+	if lc.Done() != len(ops) {
+		t.Fatalf("completed %d/%d", lc.Done(), len(ops))
+	}
+
+	// Rollback attack: restart replica 1's enclave. The cache must be empty
+	// afterwards; the system keeps answering via ordering (the client's
+	// channel to replica 1 dies, but this client is connected to 0).
+	cl.Enclaves[1].Restart()
+	if err := cl.Enclaves[1].Provision(map[string][]byte{
+		"counter-key":    cl.Directory.CounterKey(),
+		"troxy-identity": cl.Directory.ServiceIdentitySeed(),
+		"troxy-group":    cl.Directory.TroxyGroupKey(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := cl.TroxyStats(1).Cache.Entries; got != 0 {
+		t.Errorf("cache entries after restart = %d, want 0", got)
+	}
+
+	// New reads still succeed (ordered or fast) after the restart.
+	gen2 := &scriptGen{ops: kvOps("GET k", "GET k")}
+	lc2 := legacyclient.New(legacyclient.Config{
+		Machine: 11, Clients: 1, FirstClientID: 2000,
+		Replicas: cl.ReplicaIDs(), ServerPub: cl.ServerPub,
+		Gen: gen2, MaxOps: 2, Timeout: 500 * time.Millisecond,
+	})
+	net.Attach(11, lc2)
+	net.Run(30 * time.Second)
+	if lc2.Done() != 2 {
+		t.Fatalf("post-restart client completed %d/2", lc2.Done())
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Baseline.String() != "BL" || CTroxy.String() != "ctroxy" || ETroxy.String() != "etroxy" {
+		t.Error("mode names wrong")
+	}
+}
+
+func TestNewClusterValidation(t *testing.T) {
+	if _, err := NewCluster(ClusterConfig{N: 4, F: 1, App: app.NewStoreFactory()}); err == nil {
+		t.Error("N != 2F+1 accepted")
+	}
+	if _, err := NewCluster(ClusterConfig{}); err == nil {
+		t.Error("missing app factory accepted")
+	}
+}

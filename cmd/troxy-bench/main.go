@@ -1,0 +1,72 @@
+// Command troxy-bench regenerates the paper's evaluation tables and figures
+// on the deterministic simulator.
+//
+// Usage:
+//
+//	troxy-bench [-quick] [-seed N] [-v] [experiment ...]
+//
+// With no arguments it lists the available experiments; "all" runs the full
+// evaluation. See EXPERIMENTS.md for paper-vs-measured notes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/troxy-bft/troxy/internal/experiments"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("troxy-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	quick := fs.Bool("quick", false, "shrink workloads for a fast smoke run")
+	seed := fs.Int64("seed", 42, "simulation seed")
+	verbose := fs.Bool("v", false, "print per-run progress")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	names := fs.Args()
+	if len(names) == 0 {
+		fmt.Fprintln(stdout, "available experiments (pass names or \"all\"):")
+		for _, e := range experiments.All() {
+			fmt.Fprintf(stdout, "  %-8s %s\n", e.Name, e.Brief)
+		}
+		return 0
+	}
+	if len(names) == 1 && names[0] == "all" {
+		names = nil
+		for _, e := range experiments.All() {
+			names = append(names, e.Name)
+		}
+	}
+
+	opt := experiments.Options{Seed: *seed, Quick: *quick}
+	if *verbose {
+		opt.Out = stderr
+	}
+
+	for _, name := range names {
+		exp, ok := experiments.ByName(strings.ToLower(name))
+		if !ok {
+			fmt.Fprintf(stderr, "unknown experiment %q (known: %s)\n",
+				name, strings.Join(experiments.Names(), ", "))
+			return 2
+		}
+		start := time.Now()
+		tables := exp.Run(opt)
+		for _, t := range tables {
+			t.Fprint(stdout)
+		}
+		fmt.Fprintf(stdout, "  [%s completed in %s]\n", exp.Name, time.Since(start).Round(time.Millisecond))
+	}
+	return 0
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestListsExperimentsByDefault(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run(nil, &out, &errBuf); code != 0 {
+		t.Fatalf("exit = %d, stderr = %s", code, errBuf.String())
+	}
+	for _, want := range []string{"table1", "fig6", "fig11", "ablation"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("listing missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestUnknownExperimentFails(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"fig99"}, &out, &errBuf); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errBuf.String(), "unknown experiment") {
+		t.Errorf("stderr = %q", errBuf.String())
+	}
+}
+
+func TestBadFlagFails(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-nope"}, &out, &errBuf); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+func TestRunsTable1(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-quick", "table1"}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(out.String(), "Troxy") || !strings.Contains(out.String(), "completed in") {
+		t.Errorf("output = %s", out.String())
+	}
+}

@@ -1,0 +1,61 @@
+// Command troxy-client issues operations against a Troxy-backed KV cluster
+// started with cmd/troxy-replica. It is deliberately boring: a plain client
+// that connects to ONE address, speaks the service protocol over a secure
+// channel, and knows nothing about BFT — which is the point of the system.
+//
+//	troxy-client -servers 127.0.0.1:8000,127.0.0.1:8001 PUT greeting hello
+//	troxy-client -servers 127.0.0.1:8000,127.0.0.1:8001 GET greeting
+package main
+
+import (
+	"crypto/ed25519"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/troxy-bft/troxy/internal/authn"
+	"github.com/troxy-bft/troxy/internal/legacyclient"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "troxy-client:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	servers := flag.String("servers", "127.0.0.1:8000", "comma-separated client gateway addresses (failover order)")
+	master := flag.String("master", "troxy-development-master-secret", "deployment master secret (derives the pinned service identity)")
+	identity := flag.Uint64("identity", uint64(os.Getpid()), "client identity for request deduplication")
+	timeout := flag.Duration("timeout", 5*time.Second, "per-request timeout before failover")
+	flag.Parse()
+
+	op := strings.Join(flag.Args(), " ")
+	if op == "" {
+		return fmt.Errorf("usage: troxy-client [flags] GET <key> | PUT <key> <value> | DEL <key>")
+	}
+
+	// The client pins the service's public identity; in a real offering it
+	// would arrive out of band (like a CA-pinned certificate).
+	dir, err := authn.NewDirectory([]byte(*master))
+	if err != nil {
+		return err
+	}
+	pub := ed25519.NewKeyFromSeed(dir.ServiceIdentitySeed()).Public().(ed25519.PublicKey)
+
+	client, err := legacyclient.Dial(strings.Split(*servers, ","), pub, *identity, *timeout)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	result, err := client.Request([]byte(op), strings.HasPrefix(op, "GET "))
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(result))
+	return nil
+}

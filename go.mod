@@ -1,0 +1,3 @@
+module github.com/troxy-bft/troxy
+
+go 1.24

@@ -1,0 +1,136 @@
+package app
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/troxy-bft/troxy/internal/wire"
+)
+
+// Store is a deterministic key-value store speaking a small text protocol:
+//
+//	GET <key>
+//	PUT <key> <value>
+//	DEL <key>
+//
+// GET is the only read. Keys must not contain spaces; values may.
+type Store struct {
+	data map[string]string
+}
+
+// NewStore creates an empty store.
+func NewStore() *Store { return &Store{data: make(map[string]string)} }
+
+// NewStoreFactory returns a Factory producing empty stores.
+func NewStoreFactory() Factory {
+	return func() Application { return NewStore() }
+}
+
+var _ Application = (*Store)(nil)
+
+func parseStoreOp(op []byte) (verb, key, value string, ok bool) {
+	s := string(op)
+	verb, rest, found := strings.Cut(s, " ")
+	if !found && verb != s {
+		return "", "", "", false
+	}
+	switch verb {
+	case "GET", "DEL":
+		if rest == "" || strings.Contains(rest, " ") {
+			return "", "", "", false
+		}
+		return verb, rest, "", true
+	case "PUT":
+		key, value, found = strings.Cut(rest, " ")
+		if !found || key == "" {
+			return "", "", "", false
+		}
+		return verb, key, value, true
+	default:
+		return "", "", "", false
+	}
+}
+
+// Execute implements Application.
+func (s *Store) Execute(op []byte) []byte {
+	verb, key, value, ok := parseStoreOp(op)
+	if !ok {
+		return badOp(op)
+	}
+	switch verb {
+	case "GET":
+		v, found := s.data[key]
+		if !found {
+			return []byte("NOTFOUND")
+		}
+		return []byte("VALUE " + v)
+	case "PUT":
+		s.data[key] = value
+		return []byte("OK")
+	case "DEL":
+		if _, found := s.data[key]; !found {
+			return []byte("NOTFOUND")
+		}
+		delete(s.data, key)
+		return []byte("OK")
+	}
+	return badOp(op)
+}
+
+// IsRead implements Application.
+func (s *Store) IsRead(op []byte) bool {
+	verb, _, _, ok := parseStoreOp(op)
+	return ok && verb == "GET"
+}
+
+// Keys implements Application.
+func (s *Store) Keys(op []byte) []string {
+	_, key, _, ok := parseStoreOp(op)
+	if !ok {
+		return nil
+	}
+	return []string{key}
+}
+
+// Snapshot implements Application. Entries are encoded in sorted key order
+// so all replicas produce identical snapshots.
+func (s *Store) Snapshot() []byte {
+	keys := make([]string, 0, len(s.data))
+	for k := range s.data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	w := wire.NewWriter(64)
+	w.U32(uint32(len(keys)))
+	for _, k := range keys {
+		w.String(k)
+		w.String(s.data[k])
+	}
+	out := make([]byte, w.Len())
+	copy(out, w.Bytes())
+	return out
+}
+
+// Restore implements Application.
+func (s *Store) Restore(snapshot []byte) error {
+	r := wire.NewReader(snapshot)
+	n := r.SliceLen()
+	data := make(map[string]string, n)
+	for i := 0; i < n; i++ {
+		k := r.String()
+		v := r.String()
+		if r.Err() != nil {
+			break
+		}
+		data[k] = v
+	}
+	if err := r.Finish(); err != nil {
+		return fmt.Errorf("app: restore store: %w", err)
+	}
+	s.data = data
+	return nil
+}
+
+// Len returns the number of stored keys (used by tests and examples).
+func (s *Store) Len() int { return len(s.data) }

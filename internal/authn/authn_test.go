@@ -1,0 +1,182 @@
+package authn
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"github.com/troxy-bft/troxy/internal/msg"
+)
+
+func newDir(t *testing.T) *Directory {
+	t.Helper()
+	d, err := NewDirectory([]byte("test-master-secret"))
+	if err != nil {
+		t.Fatalf("NewDirectory: %v", err)
+	}
+	return d
+}
+
+func TestNewDirectoryRejectsEmpty(t *testing.T) {
+	if _, err := NewDirectory(nil); err == nil {
+		t.Error("expected error for empty master secret")
+	}
+}
+
+func TestPairKeySymmetric(t *testing.T) {
+	d := newDir(t)
+	if !bytes.Equal(d.PairKey(1, 2), d.PairKey(2, 1)) {
+		t.Error("PairKey must be symmetric")
+	}
+	if bytes.Equal(d.PairKey(1, 2), d.PairKey(1, 3)) {
+		t.Error("distinct pairs must have distinct keys")
+	}
+	if len(d.PairKey(0, 1)) != KeySize {
+		t.Errorf("key size = %d, want %d", len(d.PairKey(0, 1)), KeySize)
+	}
+}
+
+func TestDistinctRoleKeys(t *testing.T) {
+	d := newDir(t)
+	if bytes.Equal(d.TroxyGroupKey(), d.CounterKey()) {
+		t.Error("group key and counter key must differ")
+	}
+	if bytes.Equal(d.TroxyGroupKey(), d.PairKey(0, 1)) {
+		t.Error("group key must differ from pair keys")
+	}
+}
+
+func TestDirectoryCopiesMaster(t *testing.T) {
+	master := []byte("secret")
+	d, err := NewDirectory(master)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := d.TroxyGroupKey()
+	master[0] = 'X'
+	if !bytes.Equal(before, d.TroxyGroupKey()) {
+		t.Error("directory must copy the master secret at the boundary")
+	}
+}
+
+func TestSealVerifyMAC(t *testing.T) {
+	d := newDir(t)
+	sender := NewAuthenticator(1, d)
+	receiver := NewAuthenticator(2, d)
+
+	e := msg.Seal(1, 2, &msg.Checkpoint{Seq: 5})
+	sender.SealMAC(e)
+	if !receiver.VerifyMAC(e) {
+		t.Fatal("valid MAC rejected")
+	}
+
+	// Any mutation must break verification.
+	tampered := *e
+	tampered.Body = append([]byte{}, e.Body...)
+	tampered.Body[0] ^= 1
+	if receiver.VerifyMAC(&tampered) {
+		t.Error("tampered body accepted")
+	}
+
+	wrongFrom := *e
+	wrongFrom.From = 0
+	if receiver.VerifyMAC(&wrongFrom) {
+		t.Error("spoofed sender accepted")
+	}
+
+	wrongKind := *e
+	wrongKind.Kind = msg.KindCommit
+	if receiver.VerifyMAC(&wrongKind) {
+		t.Error("kind substitution accepted")
+	}
+
+	// Replaying to a different destination must fail: node 3 shares a
+	// different key with node 1.
+	third := NewAuthenticator(3, d)
+	redirected := *e
+	redirected.To = 3
+	if third.VerifyMAC(&redirected) {
+		t.Error("redirected envelope accepted")
+	}
+}
+
+func TestVerifyMACRejectsShortTag(t *testing.T) {
+	d := newDir(t)
+	receiver := NewAuthenticator(2, d)
+	e := msg.Seal(1, 2, &msg.Checkpoint{Seq: 5})
+	e.MAC = []byte{1, 2, 3}
+	if receiver.VerifyMAC(e) {
+		t.Error("short MAC accepted")
+	}
+	e.MAC = nil
+	if receiver.VerifyMAC(e) {
+		t.Error("missing MAC accepted")
+	}
+}
+
+func TestGroupTagger(t *testing.T) {
+	d := newDir(t)
+	tagger := NewGroupTagger(d.TroxyGroupKey())
+	verifier := NewGroupTagger(d.TroxyGroupKey())
+
+	input := []byte("reply-content")
+	tag := tagger.Tag(0, input)
+	if !verifier.Verify(0, input, tag) {
+		t.Fatal("valid group tag rejected")
+	}
+	// A tag is bound to the producing instance.
+	if verifier.Verify(1, input, tag) {
+		t.Error("tag accepted for wrong instance")
+	}
+	if verifier.Verify(0, []byte("other"), tag) {
+		t.Error("tag accepted for wrong input")
+	}
+	if verifier.Verify(0, input, tag[:10]) {
+		t.Error("truncated tag accepted")
+	}
+}
+
+func TestGroupTaggerDifferentKeysDisagree(t *testing.T) {
+	a := NewGroupTagger([]byte("key-a"))
+	b := NewGroupTagger([]byte("key-b"))
+	input := []byte("x")
+	if b.Verify(0, input, a.Tag(0, input)) {
+		t.Error("tag from different key accepted")
+	}
+}
+
+func TestQuickMACRoundTrip(t *testing.T) {
+	d := newDir(t)
+	f := func(body []byte, fromRaw, toRaw uint8) bool {
+		from := msg.NodeID(fromRaw % 8)
+		to := msg.NodeID(toRaw % 8)
+		if from == to {
+			to = (to + 1) % 8
+		}
+		e := &msg.Envelope{From: from, To: to, Kind: msg.KindChannelData, Body: body}
+		NewAuthenticator(from, d).SealMAC(e)
+		return NewAuthenticator(to, d).VerifyMAC(e)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickTamperDetected(t *testing.T) {
+	d := newDir(t)
+	sender := NewAuthenticator(1, d)
+	receiver := NewAuthenticator(2, d)
+	f := func(body []byte, flip uint16) bool {
+		if len(body) == 0 {
+			return true
+		}
+		e := &msg.Envelope{From: 1, To: 2, Kind: msg.KindChannelData, Body: body}
+		sender.SealMAC(e)
+		idx := int(flip) % len(body)
+		e.Body[idx] ^= 0x80
+		return !receiver.VerifyMAC(e)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,160 @@
+package bftclient
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	troxy "github.com/troxy-bft/troxy"
+	"github.com/troxy-bft/troxy/internal/app"
+	"github.com/troxy-bft/troxy/internal/msg"
+	"github.com/troxy-bft/troxy/internal/node"
+	"github.com/troxy-bft/troxy/internal/simnet"
+	"github.com/troxy-bft/troxy/internal/workload"
+)
+
+type scriptGen struct {
+	ops []workload.Op
+	i   int
+}
+
+func (g *scriptGen) Next(*rand.Rand) workload.Op {
+	if g.i >= len(g.ops) {
+		return g.ops[len(g.ops)-1]
+	}
+	op := g.ops[g.i]
+	g.i++
+	return op
+}
+
+func deployment(t *testing.T, gen workload.Generator, maxOps int, readOpt, broadcast bool) (*troxy.Cluster, *Machine, *simnet.Network, *workload.Recorder) {
+	t.Helper()
+	cluster, err := troxy.NewCluster(troxy.ClusterConfig{
+		Mode:              troxy.Baseline,
+		App:               app.NewBenchFactory(64),
+		Classify:          app.BenchIsRead,
+		Seed:              5,
+		ViewChangeTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := simnet.New(5, nil)
+	net.SetDefaultLink(simnet.FixedLatency(time.Millisecond))
+	cluster.Attach(net)
+
+	rec := workload.NewRecorder()
+	rec.Begin(0)
+	bc := New(Config{
+		Machine:       100,
+		Clients:       1,
+		FirstClientID: 1000,
+		N:             3,
+		F:             1,
+		Directory:     cluster.Directory,
+		Gen:           gen,
+		Rec:           rec,
+		ReadOpt:       readOpt,
+		Broadcast:     broadcast,
+		Timeout:       2 * time.Second,
+		MaxOps:        maxOps,
+	})
+	net.Attach(100, bc)
+	return cluster, bc, net, rec
+}
+
+func TestOrderedWritesComplete(t *testing.T) {
+	ops := []workload.Op{
+		{Op: app.BenchWrite(1, 16)},
+		{Op: app.BenchWrite(2, 16)},
+		{Op: app.BenchRead(1, 16), Read: true},
+	}
+	_, bc, net, rec := deployment(t, &scriptGen{ops: ops}, 3, false, false)
+	net.Run(20 * time.Second)
+	if bc.Done() != 3 {
+		t.Fatalf("done = %d/3", bc.Done())
+	}
+	if rec.Snapshot(net.Now()).Count != 3 {
+		t.Error("recorder missed completions")
+	}
+}
+
+func TestBroadcastModeCompletes(t *testing.T) {
+	ops := []workload.Op{{Op: app.BenchWrite(1, 16)}, {Op: app.BenchWrite(2, 16)}}
+	cluster, bc, net, _ := deployment(t, &scriptGen{ops: ops}, 2, false, true)
+	net.Run(20 * time.Second)
+	if bc.Done() != 2 {
+		t.Fatalf("done = %d/2", bc.Done())
+	}
+	// Followers must not have amplified the broadcast into Forwards that
+	// double-execute; every replica executed each request exactly once.
+	for i := 0; i < 3; i++ {
+		if got := cluster.Replicas[i].Core().Metrics().Executed; got != 2 {
+			t.Errorf("replica %d executed %d, want 2", i, got)
+		}
+	}
+}
+
+func TestDirectReadsUsedOnReadOnlyWorkload(t *testing.T) {
+	ops := []workload.Op{
+		{Op: app.BenchRead(1, 16), Read: true},
+		{Op: app.BenchRead(2, 16), Read: true},
+	}
+	_, bc, net, _ := deployment(t, &scriptGen{ops: ops}, 2, true, false)
+	net.Run(20 * time.Second)
+	if bc.Done() != 2 {
+		t.Fatalf("done = %d/2", bc.Done())
+	}
+	if bc.Stats().DirectOK != 2 {
+		t.Errorf("DirectOK = %d, want 2", bc.Stats().DirectOK)
+	}
+	if bc.Stats().Conflicts != 0 {
+		t.Errorf("conflicts on read-only workload: %d", bc.Stats().Conflicts)
+	}
+}
+
+func TestLeaderCrashRetransmissionRecovers(t *testing.T) {
+	ops := []workload.Op{
+		{Op: app.BenchWrite(1, 16)},
+		{Op: app.BenchWrite(2, 16)},
+		{Op: app.BenchWrite(3, 16)},
+	}
+	_, bc, net, rec := deployment(t, &scriptGen{ops: ops}, 3, false, false)
+	net.Run(5 * time.Millisecond)
+	net.Crash(0) // leader; the client's pending request must survive
+	net.Run(60 * time.Second)
+	if bc.Done() != 3 {
+		t.Fatalf("done = %d/3 after leader crash", bc.Done())
+	}
+	if rec.Snapshot(net.Now()).Retries == 0 {
+		t.Error("no retries recorded despite a leader crash")
+	}
+}
+
+func TestRejectsUnauthenticatedReplies(t *testing.T) {
+	ops := []workload.Op{{Op: app.BenchWrite(1, 16)}}
+	_, bc, net, _ := deployment(t, &scriptGen{ops: ops}, 1, false, false)
+	net.Attach(200, &forger{to: 100})
+	net.Run(10 * time.Second)
+	if bc.Stats().BadReplies == 0 {
+		t.Error("forged reply not counted as bad")
+	}
+	if bc.Done() != 1 {
+		t.Fatalf("done = %d/1", bc.Done())
+	}
+}
+
+// forger spams unauthenticated replies at the client machine.
+type forger struct{ to msg.NodeID }
+
+func (f *forger) OnStart(env node.Env) {
+	for seq := uint64(1); seq <= 3; seq++ {
+		e := msg.Seal(env.Self(), f.to, &msg.BFTReply{
+			Executor: 0, Client: 1000, ClientSeq: seq, Result: []byte("evil"),
+		})
+		e.MAC = []byte("not-a-mac")
+		env.Send(e)
+	}
+}
+func (f *forger) OnEnvelope(node.Env, *msg.Envelope) {}
+func (f *forger) OnTimer(node.Env, node.TimerKey)    {}

@@ -1,0 +1,386 @@
+package enclave
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+)
+
+// echoTrusted is a minimal trusted module used by the tests.
+type echoTrusted struct {
+	mu        sync.Mutex
+	sv        *Services
+	starts    int
+	secrets   map[string][]byte
+	volatile  []byte // wiped on restart
+	failProv  bool
+	argSeen   []byte
+	mutateArg bool
+}
+
+func (e *echoTrusted) ECalls() map[string]func([]byte) ([]byte, error) {
+	return map[string]func([]byte) ([]byte, error){
+		"echo": func(arg []byte) ([]byte, error) {
+			e.mu.Lock()
+			defer e.mu.Unlock()
+			e.argSeen = arg
+			return arg, nil
+		},
+		"fail": func([]byte) ([]byte, error) {
+			return nil, errors.New("boom")
+		},
+		"set": func(arg []byte) ([]byte, error) {
+			e.mu.Lock()
+			defer e.mu.Unlock()
+			e.volatile = append([]byte(nil), arg...)
+			return nil, nil
+		},
+		"get": func([]byte) ([]byte, error) {
+			e.mu.Lock()
+			defer e.mu.Unlock()
+			return e.volatile, nil
+		},
+	}
+}
+
+func (e *echoTrusted) OnStart(sv *Services) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.sv = sv
+	e.starts++
+	e.volatile = nil
+	e.secrets = nil
+}
+
+func (e *echoTrusted) Provision(secrets map[string][]byte) error {
+	if e.failProv {
+		return errors.New("refused")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.secrets = secrets
+	return nil
+}
+
+func launch(t *testing.T, trusted Trusted, hook TransitionHook) (*Platform, *Enclave) {
+	t.Helper()
+	p := NewPlatformWithKey([]byte("hw-key"))
+	e, err := p.Launch(Definition{Name: "test", CodeIdentity: "test-v1"}, trusted, hook)
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	return p, e
+}
+
+func TestECallRoundTrip(t *testing.T) {
+	tr := &echoTrusted{}
+	_, e := launch(t, tr, nil)
+	out, err := e.ECall("echo", []byte("hello"))
+	if err != nil {
+		t.Fatalf("ECall: %v", err)
+	}
+	if string(out) != "hello" {
+		t.Errorf("echo = %q", out)
+	}
+}
+
+func TestECallDefensiveCopies(t *testing.T) {
+	tr := &echoTrusted{}
+	_, e := launch(t, tr, nil)
+
+	arg := []byte("sensitive")
+	out, err := e.ECall("echo", arg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutating the caller's buffer after the call must not affect what the
+	// enclave captured (copy-in).
+	arg[0] = 'X'
+	if string(tr.argSeen) != "sensitive" {
+		t.Errorf("enclave saw mutated argument: %q", tr.argSeen)
+	}
+	// Mutating the returned buffer must not affect trusted memory (copy-out).
+	out[0] = 'Y'
+	if string(tr.argSeen) != "sensitive" {
+		t.Errorf("caller aliases trusted memory: %q", tr.argSeen)
+	}
+}
+
+func TestECallUnknownAndError(t *testing.T) {
+	_, e := launch(t, &echoTrusted{}, nil)
+	if _, err := e.ECall("nope", nil); !errors.Is(err, ErrUnknownECall) {
+		t.Errorf("unknown ecall error = %v", err)
+	}
+	if _, err := e.ECall("fail", nil); err == nil || err.Error() != "boom" {
+		t.Errorf("handler error = %v", err)
+	}
+}
+
+func TestTransitionHookAndStats(t *testing.T) {
+	var calls []string
+	var copied []int
+	hook := func(name string, n int) {
+		calls = append(calls, name)
+		copied = append(copied, n)
+	}
+	_, e := launch(t, &echoTrusted{}, hook)
+	if _, err := e.ECall("echo", make([]byte, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.ECall("echo", make([]byte, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != 2 || calls[0] != "echo" {
+		t.Fatalf("hook calls = %v", calls)
+	}
+	if copied[0] != 20 || copied[1] != 10 { // arg + result
+		t.Errorf("copied = %v, want [20 10]", copied)
+	}
+	st := e.Stats()
+	if st.Transitions != 2 || st.ECalls["echo"] != 2 || st.CopiedBytes != 30 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestStopAndRestart(t *testing.T) {
+	tr := &echoTrusted{}
+	_, e := launch(t, tr, nil)
+	if _, err := e.ECall("set", []byte("cached")); err != nil {
+		t.Fatal(err)
+	}
+	e.Stop()
+	if _, err := e.ECall("get", nil); !errors.Is(err, ErrStopped) {
+		t.Errorf("ecall into stopped enclave: %v", err)
+	}
+
+	e.Restart()
+	if tr.starts != 2 {
+		t.Errorf("starts = %d, want 2", tr.starts)
+	}
+	// Rollback semantics: volatile state (the fast-read cache) is gone.
+	out, err := e.ECall("get", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Errorf("volatile state survived restart: %q", out)
+	}
+	if e.Provisioned() {
+		t.Error("restart must drop provisioning")
+	}
+	if e.Stats().Restarts != 1 {
+		t.Errorf("restarts = %d", e.Stats().Restarts)
+	}
+}
+
+func TestProvision(t *testing.T) {
+	tr := &echoTrusted{}
+	_, e := launch(t, tr, nil)
+	secret := []byte("group-key")
+	if err := e.Provision(map[string][]byte{"k": secret}); err != nil {
+		t.Fatal(err)
+	}
+	if !e.Provisioned() {
+		t.Error("Provisioned() = false after Provision")
+	}
+	// The enclave must hold a copy, not the caller's buffer.
+	secret[0] = 'X'
+	if string(tr.secrets["k"]) != "group-key" {
+		t.Error("provisioned secret aliases caller buffer")
+	}
+}
+
+func TestProvisionFailure(t *testing.T) {
+	tr := &echoTrusted{failProv: true}
+	_, e := launch(t, tr, nil)
+	if err := e.Provision(map[string][]byte{}); err == nil {
+		t.Error("expected provision error")
+	}
+	if e.Provisioned() {
+		t.Error("failed provision must not mark enclave provisioned")
+	}
+}
+
+func TestEPCAccounting(t *testing.T) {
+	tr := &echoTrusted{}
+	p := NewPlatformWithKey([]byte("hw"))
+	e, err := p.Launch(Definition{Name: "epc", CodeIdentity: "epc-v1", EPCLimit: 1000}, tr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv := tr.sv
+	if err := sv.Alloc(600); err != nil {
+		t.Fatal(err)
+	}
+	if err := sv.Alloc(600); err != nil { // 1200 > limit: allowed, counts paging
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.EPCUsed != 1200 || st.EPCPeak != 1200 {
+		t.Errorf("EPC used/peak = %d/%d", st.EPCUsed, st.EPCPeak)
+	}
+	if st.PagingBytes != 200 {
+		t.Errorf("paging bytes = %d, want 200", st.PagingBytes)
+	}
+	sv.Free(1200)
+	if got := e.Stats().EPCUsed; got != 0 {
+		t.Errorf("EPC used after free = %d", got)
+	}
+	// Hard budget is 4x the limit.
+	if err := sv.Alloc(4001); !errors.Is(err, ErrEPCExhausted) {
+		t.Errorf("hard budget error = %v", err)
+	}
+	if err := sv.Alloc(-1); err == nil {
+		t.Error("negative alloc must fail")
+	}
+}
+
+func TestSealUnseal(t *testing.T) {
+	tr := &echoTrusted{}
+	launch(t, tr, nil)
+	sv := tr.sv
+
+	blob, err := sv.Seal([]byte("state"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := sv.Unseal(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(pt) != "state" {
+		t.Errorf("unsealed = %q", pt)
+	}
+
+	// Tampering must be detected.
+	blob[len(blob)-1] ^= 1
+	if _, err := sv.Unseal(blob); !errors.Is(err, ErrSealCorrupt) {
+		t.Errorf("tampered unseal error = %v", err)
+	}
+	if _, err := sv.Unseal([]byte("short")); !errors.Is(err, ErrSealCorrupt) {
+		t.Errorf("short unseal error = %v", err)
+	}
+}
+
+func TestSealBoundToMeasurementAndPlatform(t *testing.T) {
+	p := NewPlatformWithKey([]byte("hw-1"))
+	trA, trB := &echoTrusted{}, &echoTrusted{}
+	if _, err := p.Launch(Definition{Name: "a", CodeIdentity: "code-A"}, trA, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Launch(Definition{Name: "b", CodeIdentity: "code-B"}, trB, nil); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := trA.sv.Seal([]byte("secret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := trB.sv.Unseal(blob); err == nil {
+		t.Error("enclave with different measurement unsealed the blob")
+	}
+
+	// Same code on another platform must not unseal either.
+	p2 := NewPlatformWithKey([]byte("hw-2"))
+	trA2 := &echoTrusted{}
+	if _, err := p2.Launch(Definition{Name: "a2", CodeIdentity: "code-A"}, trA2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := trA2.sv.Unseal(blob); err == nil {
+		t.Error("different platform unsealed the blob")
+	}
+
+	// Same code, same platform: unseal succeeds (e.g. after re-launch).
+	trA3 := &echoTrusted{}
+	if _, err := p.Launch(Definition{Name: "a3", CodeIdentity: "code-A"}, trA3, nil); err != nil {
+		t.Fatal(err)
+	}
+	pt, err := trA3.sv.Unseal(blob)
+	if err != nil || !bytes.Equal(pt, []byte("secret")) {
+		t.Errorf("re-launched enclave unseal = %q, %v", pt, err)
+	}
+}
+
+func TestAttestation(t *testing.T) {
+	p := NewPlatformWithKey([]byte("hw-1"))
+	tr := &echoTrusted{}
+	e, err := p.Launch(Definition{Name: "att", CodeIdentity: "att-v1"}, tr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := NewVerifier(p)
+	q := p.QuoteFor(e, []byte("pubkey"))
+	if err := v.Verify(q, MeasureCode("att-v1")); err != nil {
+		t.Fatalf("valid quote rejected: %v", err)
+	}
+	if err := v.Verify(q, MeasureCode("other")); !errors.Is(err, ErrBadQuote) {
+		t.Errorf("wrong measurement error = %v", err)
+	}
+
+	// A quote from an untrusted platform is rejected.
+	rogue := NewPlatformWithKey([]byte("rogue"))
+	e2, err := rogue.Launch(Definition{Name: "att", CodeIdentity: "att-v1"}, &echoTrusted{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2 := rogue.QuoteFor(e2, nil)
+	if err := v.Verify(q2, MeasureCode("att-v1")); !errors.Is(err, ErrBadQuote) {
+		t.Errorf("rogue platform quote error = %v", err)
+	}
+
+	// Tampered report data invalidates the quote.
+	q.ReportData = []byte("evil")
+	if err := v.Verify(q, MeasureCode("att-v1")); !errors.Is(err, ErrBadQuote) {
+		t.Errorf("tampered report data error = %v", err)
+	}
+}
+
+func TestThreadBudget(t *testing.T) {
+	block := make(chan struct{})
+	entered := make(chan struct{})
+	tr := &blockingTrusted{block: block, entered: entered}
+	p := NewPlatformWithKey([]byte("hw"))
+	e, err := p.Launch(Definition{Name: "t", CodeIdentity: "t-v1", MaxThreads: 1}, tr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := e.ECall("block", nil)
+		done <- err
+	}()
+	<-entered
+	if _, err := e.ECall("block", nil); !errors.Is(err, ErrTooManyThreads) {
+		t.Errorf("second concurrent ecall error = %v", err)
+	}
+	close(block)
+	if err := <-done; err != nil {
+		t.Errorf("first ecall failed: %v", err)
+	}
+}
+
+type blockingTrusted struct {
+	block   chan struct{}
+	entered chan struct{}
+}
+
+func (b *blockingTrusted) ECalls() map[string]func([]byte) ([]byte, error) {
+	return map[string]func([]byte) ([]byte, error){
+		"block": func([]byte) ([]byte, error) {
+			b.entered <- struct{}{}
+			<-b.block
+			return nil, nil
+		},
+	}
+}
+
+func (b *blockingTrusted) OnStart(*Services)                 {}
+func (b *blockingTrusted) Provision(map[string][]byte) error { return nil }
+
+func TestLaunchValidation(t *testing.T) {
+	p := NewPlatformWithKey([]byte("hw"))
+	if _, err := p.Launch(Definition{Name: "x", CodeIdentity: "x"}, nil, nil); err == nil {
+		t.Error("nil trusted code accepted")
+	}
+}

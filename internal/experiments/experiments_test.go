@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	root "github.com/troxy-bft/troxy"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	// Every table and figure of the paper's evaluation must have a target.
+	required := []string{"table1", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11"}
+	for _, name := range required {
+		if _, ok := ByName(name); !ok {
+			t.Errorf("missing experiment %q", name)
+		}
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("unknown name resolved")
+	}
+	if len(Names()) < len(required) {
+		t.Errorf("Names() = %v", Names())
+	}
+}
+
+func TestTable1Content(t *testing.T) {
+	tables := Table1(Options{})
+	if len(tables) != 1 {
+		t.Fatalf("tables = %d", len(tables))
+	}
+	tab := tables[0]
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	var sb strings.Builder
+	tab.Fprint(&sb)
+	out := sb.String()
+	for _, want := range []string{"BL", "Prophecy", "Troxy", "strong", "weak", "2f+1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q", want)
+		}
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tab := &Table{
+		ID:      "x",
+		Title:   "t",
+		Columns: []string{"a", "long-column"},
+		Notes:   []string{"note"},
+	}
+	tab.AddRow("1", "2")
+	var sb strings.Builder
+	tab.Fprint(&sb)
+	if !strings.Contains(sb.String(), "long-column") || !strings.Contains(sb.String(), "note") {
+		t.Errorf("formatted table: %q", sb.String())
+	}
+}
+
+func TestRunMicroSmoke(t *testing.T) {
+	// A tiny end-to-end run of the harness machinery itself.
+	res := runMicro(microConfig{
+		mode:           root.ETroxy,
+		readRatio:      0.5,
+		reqSize:        64,
+		replySize:      64,
+		fastReads:      true,
+		clientsPerMach: 4,
+		warmup:         50 * time.Millisecond,
+		measure:        200 * time.Millisecond,
+		seed:           1,
+	})
+	if res.Count == 0 {
+		t.Fatal("harness measured zero operations")
+	}
+	if res.OpsPerSec <= 0 {
+		t.Fatal("no throughput computed")
+	}
+}
+
+func TestRunMicroDeterministic(t *testing.T) {
+	run := func() microResult {
+		return runMicro(microConfig{
+			mode:           root.Baseline,
+			readRatio:      0,
+			reqSize:        64,
+			replySize:      10,
+			clientsPerMach: 4,
+			warmup:         50 * time.Millisecond,
+			measure:        200 * time.Millisecond,
+			seed:           7,
+		})
+	}
+	a, b := run(), run()
+	if a.Count != b.Count || a.Mean != b.Mean || a.P99 != b.P99 {
+		t.Errorf("same seed diverged: %+v vs %+v", a.Result, b.Result)
+	}
+}
+
+func TestFormattersStable(t *testing.T) {
+	if kops(12345) != "12.3" {
+		t.Errorf("kops = %q", kops(12345))
+	}
+	if ms(1500*time.Microsecond) != "1.50" {
+		t.Errorf("ms = %q", ms(1500*time.Microsecond))
+	}
+	if pct(0.5) != "50%" {
+		t.Errorf("pct = %q", pct(0.5))
+	}
+	if ratio(150, 100) != "+50%" || ratio(1, 0) != "n/a" {
+		t.Errorf("ratio = %q / %q", ratio(150, 100), ratio(1, 0))
+	}
+	if sizeLabel(8192) != "8 KiB" || sizeLabel(256) != "256 B" {
+		t.Errorf("sizeLabel = %q / %q", sizeLabel(8192), sizeLabel(256))
+	}
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"strconv"
+
+	root "github.com/troxy-bft/troxy"
+)
+
+// Fig10 reproduces Figure 10 (concurrency handling, Section VI-C3): a
+// read-heavy workload with 1% writes over a small key space, so concurrent
+// state transitions conflict with optimized reads. Five bars:
+//
+//   - BL reference: baseline with all reads ordered,
+//   - BL read-opt: PBFT-like optimization (the paper observes ≈50% of reads
+//     conflicting and re-processed, halving throughput vs its reference),
+//   - Troxy reference: etroxy with the fast-read cache disabled,
+//   - Troxy fast-read: cache enabled, conflict monitor off (the paper
+//     observes ≈14% conflicts, slightly below its reference), and
+//   - Troxy optimized: the monitor switches to total-order mode under
+//     contention, guaranteeing the reference as a lower bound.
+func Fig10(opt Options) []*Table {
+	warmup, measure := opt.measureDurations(false)
+	clients := 64
+	if opt.Quick {
+		clients = 24
+	}
+
+	type variant struct {
+		label      string
+		mode       root.Mode
+		readOpt    bool
+		fastReads  bool
+		monitorOff bool
+	}
+	variants := []variant{
+		{"BL reference (all ordered)", root.Baseline, false, false, false},
+		{"BL read-opt", root.Baseline, true, false, false},
+		{"Troxy reference (no cache)", root.ETroxy, false, false, false},
+		{"Troxy fast-read (no monitor)", root.ETroxy, false, true, true},
+		{"Troxy optimized (monitor)", root.ETroxy, false, true, false},
+	}
+
+	t := &Table{
+		ID:      "fig10",
+		Title:   "99% reads / 1% writes over a small key space, local network",
+		Columns: []string{"system", "kops/s", "conflict-rate", "mode-switches", "vs own ref"},
+		Notes: []string{
+			"conflict rate = optimized reads that fell back to ordering",
+			"1 KiB replies, 10 B read requests, 16-key state",
+		},
+	}
+
+	refs := map[root.Mode]float64{}
+	for _, v := range variants {
+		opt.progress("fig10: %s ...", v.label)
+		res := runMicro(microConfig{
+			mode:           v.mode,
+			readRatio:      0.99,
+			reqSize:        10,
+			replySize:      1024,
+			keys:           16,
+			fastReads:      v.fastReads,
+			monitorOff:     v.monitorOff,
+			readOpt:        v.readOpt,
+			clientsPerMach: clients,
+			warmup:         warmup,
+			measure:        measure,
+			seed:           opt.seed(),
+		})
+		if !v.readOpt && !v.fastReads {
+			refs[v.mode] = res.OpsPerSec
+		}
+		conflict := "-"
+		if v.readOpt || v.fastReads {
+			conflict = pct(res.conflictRate(v.mode))
+		}
+		switches := "-"
+		if v.fastReads {
+			switches = strconv.FormatUint(res.modeSwitches, 10)
+		}
+		t.AddRow(v.label, kops(res.OpsPerSec), conflict, switches,
+			ratio(res.OpsPerSec, refs[v.mode]))
+	}
+	return []*Table{t}
+}

@@ -1,0 +1,812 @@
+// Package hybster implements a Hybster-style hybrid Byzantine fault-tolerant
+// state-machine replication protocol: a leader-based ordering protocol that
+// tolerates f Byzantine faults with only 2f+1 replicas by certifying every
+// ordering statement with a trusted monotonic counter (internal/tcounter).
+//
+// Protocol outline (following Hybster/MinBFT):
+//
+//   - The leader of view v assigns sequence numbers by certifying
+//     (v, seq, request digest) with its ordering counter and broadcasting a
+//     PREPARE. Counter monotonicity plus the followers' continuity check
+//     (values must be consecutive) make equivocation and sequence-number
+//     holes impossible.
+//   - Followers acknowledge with COMMITs certified by their own counters.
+//     A request is committed once f+1 distinct replicas have certified it
+//     (the PREPARE counts as the leader's COMMIT); committed requests are
+//     executed in sequence order.
+//   - Every checkpoint-interval requests, replicas exchange CHECKPOINTs;
+//     f+1 matching digests make a checkpoint stable and allow log
+//     truncation. Replicas that fell behind fetch the stable snapshot from
+//     a peer and verify it against the agreed digest.
+//   - If a replica suspects the leader (a locally submitted request misses
+//     its deadline), it certifies and broadcasts a VIEW-CHANGE carrying its
+//     prepared-but-unstable entries; the new leader installs the view with
+//     a NEW-VIEW justified by f+1 VIEW-CHANGEs and re-proposes the union of
+//     their prepared entries (filling gaps with no-ops).
+//
+// The package contains only the protocol state machine; replica composition
+// (message authentication, the Troxy, connection handling) lives in
+// internal/replica.
+package hybster
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"time"
+
+	"github.com/troxy-bft/troxy/internal/app"
+	"github.com/troxy-bft/troxy/internal/msg"
+	"github.com/troxy-bft/troxy/internal/node"
+	"github.com/troxy-bft/troxy/internal/tcounter"
+	"github.com/troxy-bft/troxy/internal/wire"
+)
+
+// Config parameterizes a replica's protocol core.
+type Config struct {
+	// Self is this replica's ID; replicas are numbered 0..N-1.
+	Self msg.NodeID
+
+	// N is the number of replicas (N = 2F+1).
+	N int
+
+	// F is the number of tolerated faults.
+	F int
+
+	// CheckpointInterval is the number of sequence numbers between
+	// checkpoints. Zero means 128.
+	CheckpointInterval uint64
+
+	// ViewChangeTimeout is how long a locally submitted request may stay
+	// unexecuted before the replica suspects the leader. Zero means 2s.
+	ViewChangeTimeout time.Duration
+
+	// Profile attributes the protocol host's CPU costs (Java for the
+	// original Hybster implementation).
+	Profile node.Profile
+
+	// Authority is the trusted-counter subsystem.
+	Authority tcounter.Authority
+
+	// App is the replicated application.
+	App app.Application
+}
+
+// Outbound receives the core's outputs. Implementations route messages
+// through the replica's authenticated transport and deliver execution
+// results to the reply path (Troxy voter or BFT client).
+type Outbound interface {
+	// Send transmits a protocol message to a peer replica.
+	Send(env node.Env, to msg.NodeID, m msg.Message)
+
+	// Committed reports the execution of a request. keys lists the state
+	// parts the operation touched: for writes the Troxy invalidates cache
+	// entries under them, for reads the voting Troxy indexes the cache
+	// entry it installs.
+	Committed(env node.Env, seq uint64, req *msg.OrderRequest, result []byte, keys []string, read bool)
+}
+
+// Metrics counts protocol events for tests and experiments.
+type Metrics struct {
+	Proposed       uint64
+	Committed      uint64
+	Executed       uint64
+	ViewChanges    uint64
+	StableSeq      uint64
+	StateTransfers uint64
+	RejectedCerts  uint64
+}
+
+type entry struct {
+	view     uint64
+	seq      uint64
+	req      *msg.OrderRequest
+	digest   msg.Digest
+	hasPrep  bool
+	prepCert msg.CounterCert
+	vouchers map[msg.NodeID]struct{}
+	executed bool
+}
+
+type clientRecord struct {
+	lastSeq   uint64
+	result    []byte
+	keys      []string
+	read      bool
+	reqDigest msg.Digest
+	seq       uint64
+}
+
+type deferredMsg struct {
+	from msg.NodeID
+	view uint64
+	m    msg.Message
+}
+
+// maxDeferred bounds the future-view holdback buffer.
+const maxDeferred = 4096
+
+// Core is the protocol state machine of one replica. It is not safe for
+// concurrent use; the hosting node.Handler serializes access.
+type Core struct {
+	cfg Config
+	out Outbound
+
+	view    uint64
+	inVC    bool
+	seqNext uint64 // next sequence number to propose (leader only)
+
+	lastExec  uint64
+	stableSeq uint64
+	// stableDigest/stableSnapshot describe the last stable checkpoint.
+	stableDigest   msg.Digest
+	stableSnapshot []byte
+
+	log map[uint64]*entry
+
+	// Continuity tracking for the current view.
+	nextPrepareValue uint64
+	pendingPrepares  map[uint64]*msg.Prepare
+	nextCommitValue  map[msg.NodeID]uint64
+	pendingCommits   map[msg.NodeID]map[uint64]*msg.Commit
+
+	// Checkpoint votes: seq -> replica -> digest.
+	checkpoints map[uint64]map[msg.NodeID]msg.Digest
+	// ownCheckpoints retains this replica's snapshots per unstable
+	// checkpoint seq so a stable one can be served to lagging peers.
+	ownCheckpoints map[uint64][]byte
+
+	// Client dedup and reply retransmission.
+	clients map[uint64]*clientRecord
+
+	// Requests queued while a view change is in progress.
+	queued []*msg.OrderRequest
+
+	// Locally submitted requests not yet executed (leader-progress watch,
+	// and re-submission after a view change).
+	pendingLocal map[msg.Digest]*msg.OrderRequest
+
+	// In-flight proposals by request digest (leader-side retransmission
+	// dedup); cleared on execution and view change.
+	proposed map[msg.Digest]struct{}
+
+	// View change state. vcVoted is the highest view this replica has
+	// certified a VIEW-CHANGE for.
+	vcs     map[uint64]map[msg.NodeID]*msg.ViewChange
+	vcVoted uint64
+
+	// deferred holds messages for future views until the view is installed
+	// (the network may reorder a NEW-VIEW behind the new leader's first
+	// PREPAREs).
+	deferred []deferredMsg
+
+	// State transfer.
+	fetchingSeq    uint64
+	fetchingDigest msg.Digest
+	fetching       bool
+
+	metrics Metrics
+}
+
+const (
+	defaultCheckpointInterval = 128
+	defaultViewChangeTimeout  = 2 * time.Second
+)
+
+// timer kinds
+const (
+	timerProgress = "hybster/progress"
+)
+
+// New creates a protocol core.
+func New(cfg Config, out Outbound) *Core {
+	if cfg.N != 2*cfg.F+1 {
+		panic(fmt.Sprintf("hybster: N=%d must equal 2F+1 (F=%d)", cfg.N, cfg.F))
+	}
+	if cfg.CheckpointInterval == 0 {
+		cfg.CheckpointInterval = defaultCheckpointInterval
+	}
+	if cfg.ViewChangeTimeout == 0 {
+		cfg.ViewChangeTimeout = defaultViewChangeTimeout
+	}
+	c := &Core{
+		cfg:             cfg,
+		out:             out,
+		seqNext:         1,
+		log:             make(map[uint64]*entry),
+		pendingPrepares: make(map[uint64]*msg.Prepare),
+		nextCommitValue: make(map[msg.NodeID]uint64),
+		pendingCommits:  make(map[msg.NodeID]map[uint64]*msg.Commit),
+		checkpoints:     make(map[uint64]map[msg.NodeID]msg.Digest),
+		ownCheckpoints:  make(map[uint64][]byte),
+		clients:         make(map[uint64]*clientRecord),
+		pendingLocal:    make(map[msg.Digest]*msg.OrderRequest),
+		vcs:             make(map[uint64]map[msg.NodeID]*msg.ViewChange),
+		proposed:        make(map[msg.Digest]struct{}),
+	}
+	c.nextPrepareValue = 1
+	for i := 0; i < cfg.N; i++ {
+		c.nextCommitValue[msg.NodeID(i)] = 1
+	}
+	return c
+}
+
+// View returns the current view number.
+func (c *Core) View() uint64 { return c.view }
+
+// Leader returns the leader of the given view.
+func (c *Core) Leader(view uint64) msg.NodeID { return msg.NodeID(view % uint64(c.cfg.N)) }
+
+// IsLeader reports whether this replica leads the current view.
+func (c *Core) IsLeader() bool { return c.Leader(c.view) == c.cfg.Self }
+
+// InViewChange reports whether a view change is in progress.
+func (c *Core) InViewChange() bool { return c.inVC }
+
+// LastExecuted returns the highest executed sequence number.
+func (c *Core) LastExecuted() uint64 { return c.lastExec }
+
+// Metrics returns a copy of the protocol counters.
+func (c *Core) Metrics() Metrics { return c.metrics }
+
+// quorum is the certificate size: f+1 distinct replicas.
+func (c *Core) quorum() int { return c.cfg.F + 1 }
+
+func prepareDigest(view, seq uint64, reqDigest msg.Digest) msg.Digest {
+	w := wire.NewWriter(64)
+	w.String("hybster-prepare")
+	w.U64(view)
+	w.U64(seq)
+	w.Raw(reqDigest[:])
+	return sha256.Sum256(w.Bytes())
+}
+
+func commitDigest(view, seq uint64, reqDigest msg.Digest) msg.Digest {
+	w := wire.NewWriter(64)
+	w.String("hybster-commit")
+	w.U64(view)
+	w.U64(seq)
+	w.Raw(reqDigest[:])
+	return sha256.Sum256(w.Bytes())
+}
+
+// chargeCounterOp accounts the cost of one trusted-counter operation: a JNI
+// crossing from the Java host, an enclave transition, and a short HMAC.
+func (c *Core) chargeCounterOp(env node.Env) {
+	env.Charge(c.cfg.Profile, node.ChargeJNI, 48)
+	env.Charge(c.cfg.Profile, node.ChargeTransition, 48)
+	env.Charge(c.cfg.Profile, node.ChargeMAC, 48)
+}
+
+// Submit hands a client request to the ordering protocol. Origin must be set
+// to the node that votes over the replies. Duplicate requests (same client,
+// same or older sequence number) are answered from the reply cache.
+func (c *Core) Submit(env node.Env, req *msg.OrderRequest) {
+	if rec, ok := c.clients[req.Client]; ok && req.ClientSeq <= rec.lastSeq {
+		if req.ClientSeq == rec.lastSeq {
+			// Retransmission: replay the cached reply locally, and let the
+			// peers replay theirs too — the origin's voter needs f+1 fresh
+			// replies, not just ours.
+			c.out.Committed(env, rec.seq, req, rec.result, rec.keys, rec.read)
+			fwd := &msg.Forward{Req: *req}
+			for i := 0; i < c.cfg.N; i++ {
+				if to := msg.NodeID(i); to != c.cfg.Self {
+					c.out.Send(env, to, fwd)
+				}
+			}
+		}
+		return
+	}
+	if c.inVC {
+		c.queued = append(c.queued, req)
+		return
+	}
+	digest := req.Digest()
+	env.Charge(c.cfg.Profile, node.ChargeHash, len(req.Op))
+	c.watchProgress(env, digest, req)
+	if c.IsLeader() {
+		c.propose(env, req, digest)
+		return
+	}
+	c.out.Send(env, c.Leader(c.view), &msg.Forward{Req: *req})
+}
+
+// watchProgress arms the leader-suspicion timer for a locally submitted
+// request.
+func (c *Core) watchProgress(env node.Env, digest msg.Digest, req *msg.OrderRequest) {
+	if _, exists := c.pendingLocal[digest]; exists {
+		// A retransmission must not reset the suspicion deadline, or a dead
+		// leader would never be suspected while the client keeps retrying.
+		return
+	}
+	c.pendingLocal[digest] = req
+	if len(c.pendingLocal) == 1 {
+		env.SetTimer(c.cfg.ViewChangeTimeout, node.TimerKey{Kind: timerProgress})
+	}
+}
+
+func (c *Core) clearProgress(env node.Env, digest msg.Digest) {
+	if _, ok := c.pendingLocal[digest]; !ok {
+		return
+	}
+	delete(c.pendingLocal, digest)
+	if len(c.pendingLocal) == 0 {
+		env.CancelTimer(node.TimerKey{Kind: timerProgress})
+	} else {
+		env.SetTimer(c.cfg.ViewChangeTimeout, node.TimerKey{Kind: timerProgress})
+	}
+}
+
+// OnTimer must be called by the host for timers with the "hybster/" prefix.
+func (c *Core) OnTimer(env node.Env, key node.TimerKey) {
+	switch key.Kind {
+	case timerProgress:
+		if len(c.pendingLocal) > 0 && !c.inVC {
+			env.Logf("hybster: leader %d suspected, moving to view %d", c.Leader(c.view), c.view+1)
+			c.startViewChange(env, c.view+1)
+		}
+	case timerViewChange:
+		c.onViewChangeTimer(env, key.ID)
+	}
+}
+
+// OwnsTimer reports whether a timer key belongs to the protocol core.
+func OwnsTimer(key node.TimerKey) bool {
+	return len(key.Kind) >= 8 && key.Kind[:8] == "hybster/"
+}
+
+// propose assigns the next sequence number to a request (leader only).
+// Re-proposals of an in-flight digest are suppressed (retransmissions may
+// reach the leader through several forwarders).
+func (c *Core) propose(env node.Env, req *msg.OrderRequest, digest msg.Digest) {
+	if req.Origin != msg.NoNode {
+		if _, inFlight := c.proposed[digest]; inFlight {
+			return
+		}
+		c.proposed[digest] = struct{}{}
+	}
+	seq := c.seqNext
+	c.seqNext++
+	cert, err := c.cfg.Authority.Certify(tcounter.OrderCounter(c.view), seq, prepareDigest(c.view, seq, digest))
+	c.chargeCounterOp(env)
+	if err != nil {
+		env.Logf("hybster: certify prepare seq %d: %v", seq, err)
+		return
+	}
+	prep := &msg.Prepare{View: c.view, Seq: seq, Req: *req, Cert: cert}
+	e := c.getEntry(seq)
+	e.view = c.view
+	e.req = req
+	e.digest = digest
+	e.hasPrep = true
+	e.prepCert = cert
+	e.vouchers[c.cfg.Self] = struct{}{}
+	c.metrics.Proposed++
+	for i := 0; i < c.cfg.N; i++ {
+		if to := msg.NodeID(i); to != c.cfg.Self {
+			c.out.Send(env, to, prep)
+		}
+	}
+	c.tryCommit(env, e)
+}
+
+func (c *Core) getEntry(seq uint64) *entry {
+	e, ok := c.log[seq]
+	if !ok {
+		e = &entry{seq: seq, vouchers: make(map[msg.NodeID]struct{})}
+		c.log[seq] = e
+	}
+	return e
+}
+
+// OnForward handles a request forwarded by a follower.
+func (c *Core) OnForward(env node.Env, from msg.NodeID, fwd *msg.Forward) {
+	req := fwd.Req
+	if rec, ok := c.clients[req.Client]; ok && req.ClientSeq <= rec.lastSeq {
+		if req.ClientSeq == rec.lastSeq {
+			c.out.Committed(env, rec.seq, &req, rec.result, rec.keys, rec.read)
+		}
+		return
+	}
+	if c.inVC {
+		c.queued = append(c.queued, &req)
+		return
+	}
+	if !c.IsLeader() {
+		// Misrouted (e.g. the sender has a stale view): pass it on.
+		c.out.Send(env, c.Leader(c.view), fwd)
+		return
+	}
+	env.Charge(c.cfg.Profile, node.ChargeHash, len(req.Op))
+	c.propose(env, &req, req.Digest())
+}
+
+// deferToView parks a message for a view that has not been installed yet.
+func (c *Core) deferToView(from msg.NodeID, view uint64, m msg.Message) {
+	if len(c.deferred) < maxDeferred {
+		c.deferred = append(c.deferred, deferredMsg{from: from, view: view, m: m})
+	}
+}
+
+// replayDeferred re-dispatches messages parked for the now-current view.
+func (c *Core) replayDeferred(env node.Env) {
+	pending := c.deferred
+	c.deferred = nil
+	for _, d := range pending {
+		if d.view > c.view {
+			c.deferred = append(c.deferred, d)
+			continue
+		}
+		if d.view < c.view {
+			continue
+		}
+		switch m := d.m.(type) {
+		case *msg.Prepare:
+			c.OnPrepare(env, d.from, m)
+		case *msg.Commit:
+			c.OnCommit(env, d.from, m)
+		}
+	}
+}
+
+// OnPrepare handles the leader's ordering proposal.
+func (c *Core) OnPrepare(env node.Env, from msg.NodeID, prep *msg.Prepare) {
+	if prep.View > c.view {
+		c.deferToView(from, prep.View, prep)
+		return
+	}
+	if prep.View != c.view || c.inVC {
+		return
+	}
+	if from != c.Leader(c.view) || prep.Cert.Replica != from {
+		c.metrics.RejectedCerts++
+		return
+	}
+	reqDigest := prep.Req.Digest()
+	env.Charge(c.cfg.Profile, node.ChargeHash, len(prep.Req.Op))
+	// Verify the client's authenticator share over the request payload.
+	env.Charge(c.cfg.Profile, node.ChargeMAC, len(prep.Req.Op))
+	if !c.cfg.Authority.Verify(prep.Cert, prepareDigest(prep.View, prep.Seq, reqDigest)) {
+		c.metrics.RejectedCerts++
+		return
+	}
+	c.chargeCounterOp(env)
+	if prep.Cert.Counter != tcounter.OrderCounter(c.view) || prep.Cert.Value != prep.Seq {
+		c.metrics.RejectedCerts++
+		return
+	}
+	// Continuity: process prepares in counter order so the leader cannot
+	// leave holes. Out-of-order prepares wait.
+	if prep.Cert.Value > c.nextPrepareValue {
+		c.pendingPrepares[prep.Cert.Value] = prep
+		return
+	}
+	if prep.Cert.Value < c.nextPrepareValue {
+		return // stale duplicate
+	}
+	c.acceptPrepare(env, prep, reqDigest)
+	c.drainPrepares(env)
+}
+
+// drainPrepares accepts buffered prepares that have become next-in-order.
+func (c *Core) drainPrepares(env node.Env) {
+	for {
+		next, ok := c.pendingPrepares[c.nextPrepareValue]
+		if !ok {
+			return
+		}
+		delete(c.pendingPrepares, c.nextPrepareValue)
+		c.acceptPrepare(env, next, next.Req.Digest())
+	}
+}
+
+func (c *Core) acceptPrepare(env node.Env, prep *msg.Prepare, reqDigest msg.Digest) {
+	c.nextPrepareValue = prep.Cert.Value + 1
+
+	e := c.getEntry(prep.Seq)
+	req := prep.Req
+	e.view = prep.View
+	e.req = &req
+	e.digest = reqDigest
+	e.hasPrep = true
+	e.prepCert = prep.Cert
+	e.vouchers[prep.Cert.Replica] = struct{}{}
+
+	// Certify and broadcast our commit.
+	cert, err := c.cfg.Authority.Certify(tcounter.OrderCounter(c.view), prep.Seq,
+		commitDigest(prep.View, prep.Seq, reqDigest))
+	c.chargeCounterOp(env)
+	if err != nil {
+		env.Logf("hybster: certify commit seq %d: %v", prep.Seq, err)
+		return
+	}
+	com := &msg.Commit{View: prep.View, Seq: prep.Seq, ReqDigest: reqDigest, Cert: cert}
+	for i := 0; i < c.cfg.N; i++ {
+		if to := msg.NodeID(i); to != c.cfg.Self {
+			c.out.Send(env, to, com)
+		}
+	}
+	e.vouchers[c.cfg.Self] = struct{}{}
+	c.tryCommit(env, e)
+}
+
+// OnCommit handles a commit acknowledgment.
+func (c *Core) OnCommit(env node.Env, from msg.NodeID, com *msg.Commit) {
+	if com.View > c.view {
+		c.deferToView(from, com.View, com)
+		return
+	}
+	if com.View != c.view || c.inVC {
+		return
+	}
+	if com.Cert.Replica != from || from == c.cfg.Self {
+		c.metrics.RejectedCerts++
+		return
+	}
+	if !c.cfg.Authority.Verify(com.Cert, commitDigest(com.View, com.Seq, com.ReqDigest)) {
+		c.metrics.RejectedCerts++
+		return
+	}
+	c.chargeCounterOp(env)
+	if com.Cert.Counter != tcounter.OrderCounter(c.view) || com.Cert.Value != com.Seq {
+		c.metrics.RejectedCerts++
+		return
+	}
+	next := c.nextCommitValue[from]
+	if com.Cert.Value > next {
+		byVal, ok := c.pendingCommits[from]
+		if !ok {
+			byVal = make(map[uint64]*msg.Commit)
+			c.pendingCommits[from] = byVal
+		}
+		byVal[com.Cert.Value] = com
+		return
+	}
+	if com.Cert.Value < next {
+		return
+	}
+	c.acceptCommit(env, from, com)
+	c.drainCommits(env, from)
+}
+
+// drainCommits accepts buffered commits from one replica that have become
+// next-in-order.
+func (c *Core) drainCommits(env node.Env, from msg.NodeID) {
+	for {
+		byVal := c.pendingCommits[from]
+		nextCom, ok := byVal[c.nextCommitValue[from]]
+		if !ok {
+			return
+		}
+		delete(byVal, c.nextCommitValue[from])
+		c.acceptCommit(env, from, nextCom)
+	}
+}
+
+func (c *Core) acceptCommit(env node.Env, from msg.NodeID, com *msg.Commit) {
+	c.nextCommitValue[from] = com.Cert.Value + 1
+	e := c.getEntry(com.Seq)
+	if e.hasPrep && e.digest != com.ReqDigest {
+		// A conflicting commit for a certified prepare can only come from a
+		// faulty replica; the certificate pins it to its counter, so just
+		// ignore it.
+		c.metrics.RejectedCerts++
+		return
+	}
+	e.vouchers[from] = struct{}{}
+	c.tryCommit(env, e)
+}
+
+// tryCommit executes the log prefix that has become committed.
+func (c *Core) tryCommit(env node.Env, e *entry) {
+	if !e.hasPrep || len(e.vouchers) < c.quorum() {
+		return
+	}
+	c.metrics.Committed++
+	c.executeReady(env)
+}
+
+func (c *Core) executeReady(env node.Env) {
+	for {
+		e, ok := c.log[c.lastExec+1]
+		if !ok || !e.hasPrep || e.executed || len(e.vouchers) < c.quorum() {
+			return
+		}
+		c.execute(env, e)
+	}
+}
+
+func (c *Core) execute(env node.Env, e *entry) {
+	e.executed = true
+	c.lastExec = e.seq
+	c.metrics.Executed++
+	c.clearProgress(env, e.digest)
+	delete(c.proposed, e.digest)
+
+	req := e.req
+	if req.Origin == msg.NoNode && len(req.Op) == 0 {
+		// Gap-filling no-op from a view change.
+		c.maybeCheckpoint(env)
+		return
+	}
+	if rec, ok := c.clients[req.Client]; ok && req.ClientSeq <= rec.lastSeq {
+		// The request was already executed at an earlier sequence number
+		// (it can be proposed twice across a view change). Skipping is
+		// deterministic: every replica's client table is identical at this
+		// point in the log.
+		c.maybeCheckpoint(env)
+		return
+	}
+
+	result := c.cfg.App.Execute(req.Op)
+	env.Charge(c.cfg.Profile, node.ChargeExec, len(req.Op)+len(result))
+	keys := c.cfg.App.Keys(req.Op)
+	read := c.cfg.App.IsRead(req.Op)
+
+	rec, ok := c.clients[req.Client]
+	if !ok {
+		rec = &clientRecord{}
+		c.clients[req.Client] = rec
+	}
+	rec.lastSeq = req.ClientSeq
+	rec.result = result
+	rec.keys = keys
+	rec.read = read
+	rec.reqDigest = e.digest
+	rec.seq = e.seq
+
+	c.out.Committed(env, e.seq, req, result, keys, read)
+	c.maybeCheckpoint(env)
+}
+
+// ExecuteReadOnly speculatively executes a read without ordering (the
+// PBFT-like read optimization of the baseline and Prophecy; Section VI-C2).
+// The caller is responsible for the client-side matching rule.
+func (c *Core) ExecuteReadOnly(env node.Env, op []byte) ([]byte, bool) {
+	if !c.cfg.App.IsRead(op) {
+		return nil, false
+	}
+	result := c.cfg.App.Execute(op)
+	env.Charge(c.cfg.Profile, node.ChargeExec, len(op)+len(result))
+	return result, true
+}
+
+// maybeCheckpoint emits a checkpoint when the interval boundary is crossed.
+func (c *Core) maybeCheckpoint(env node.Env) {
+	if c.lastExec == 0 || c.lastExec%c.cfg.CheckpointInterval != 0 {
+		return
+	}
+	seq := c.lastExec
+	if _, done := c.ownCheckpoints[seq]; done {
+		return
+	}
+	snap := c.cfg.App.Snapshot()
+	digest := msg.DigestOf(snap)
+	env.Charge(c.cfg.Profile, node.ChargeHash, len(snap))
+	c.ownCheckpoints[seq] = snap
+	cp := &msg.Checkpoint{Seq: seq, StateDigest: digest}
+	for i := 0; i < c.cfg.N; i++ {
+		if to := msg.NodeID(i); to != c.cfg.Self {
+			c.out.Send(env, to, cp)
+		}
+	}
+	c.recordCheckpoint(env, c.cfg.Self, seq, digest)
+}
+
+// OnCheckpoint handles a peer's checkpoint announcement.
+func (c *Core) OnCheckpoint(env node.Env, from msg.NodeID, cp *msg.Checkpoint) {
+	if cp.Seq <= c.stableSeq {
+		return
+	}
+	c.recordCheckpoint(env, from, cp.Seq, cp.StateDigest)
+}
+
+func (c *Core) recordCheckpoint(env node.Env, from msg.NodeID, seq uint64, digest msg.Digest) {
+	votes, ok := c.checkpoints[seq]
+	if !ok {
+		votes = make(map[msg.NodeID]msg.Digest)
+		c.checkpoints[seq] = votes
+	}
+	votes[from] = digest
+	matching := 0
+	for _, d := range votes {
+		if d == digest {
+			matching++
+		}
+	}
+	if matching < c.quorum() {
+		return
+	}
+	// Checkpoint seq is stable at this digest.
+	if seq <= c.stableSeq {
+		return
+	}
+	c.stableSeq = seq
+	c.stableDigest = digest
+	c.metrics.StableSeq = seq
+	if snap, ok := c.ownCheckpoints[seq]; ok {
+		c.stableSnapshot = snap
+	} else if c.lastExec < seq {
+		// We agreed on a checkpoint we cannot reach by execution: fetch the
+		// snapshot from a peer (state transfer).
+		c.requestState(env, from, seq, digest)
+	}
+	c.gc(seq)
+}
+
+func (c *Core) gc(stable uint64) {
+	for seq := range c.log {
+		if seq <= stable {
+			delete(c.log, seq)
+		}
+	}
+	for seq := range c.checkpoints {
+		if seq < stable {
+			delete(c.checkpoints, seq)
+		}
+	}
+	for seq := range c.ownCheckpoints {
+		if seq < stable {
+			delete(c.ownCheckpoints, seq)
+		}
+	}
+}
+
+// requestState starts a state transfer for the stable checkpoint at seq.
+func (c *Core) requestState(env node.Env, from msg.NodeID, seq uint64, digest msg.Digest) {
+	if c.fetching && c.fetchingSeq >= seq {
+		return
+	}
+	c.fetching = true
+	c.fetchingSeq = seq
+	c.fetchingDigest = digest
+	c.metrics.StateTransfers++
+	c.out.Send(env, from, &msg.StateRequest{Seq: seq})
+}
+
+// OnStateRequest serves a stable snapshot to a lagging peer.
+func (c *Core) OnStateRequest(env node.Env, from msg.NodeID, req *msg.StateRequest) {
+	if req.Seq != c.stableSeq || c.stableSnapshot == nil {
+		return
+	}
+	c.out.Send(env, from, &msg.StateReply{Seq: req.Seq, Snapshot: c.stableSnapshot})
+}
+
+// OnStateReply installs a fetched snapshot after verifying it against the
+// agreed checkpoint digest.
+func (c *Core) OnStateReply(env node.Env, from msg.NodeID, rep *msg.StateReply) {
+	if !c.fetching || rep.Seq != c.fetchingSeq {
+		return
+	}
+	env.Charge(c.cfg.Profile, node.ChargeHash, len(rep.Snapshot))
+	if msg.DigestOf(rep.Snapshot) != c.fetchingDigest {
+		return // wrong or corrupted snapshot; keep waiting
+	}
+	if err := c.cfg.App.Restore(rep.Snapshot); err != nil {
+		env.Logf("hybster: restore snapshot at %d: %v", rep.Seq, err)
+		return
+	}
+	c.fetching = false
+	c.lastExec = rep.Seq
+	c.stableSnapshot = rep.Snapshot
+	c.stableSeq = rep.Seq
+	c.stableDigest = c.fetchingDigest
+	if c.seqNext <= rep.Seq {
+		c.seqNext = rep.Seq + 1
+	}
+	// Continuity restarts after the snapshot point.
+	if c.nextPrepareValue <= rep.Seq {
+		c.nextPrepareValue = rep.Seq + 1
+	}
+	for id, v := range c.nextCommitValue {
+		if v <= rep.Seq {
+			c.nextCommitValue[id] = rep.Seq + 1
+		}
+	}
+	c.gc(rep.Seq)
+	c.executeReady(env)
+	// Ordered messages buffered while we lagged may now be in-order.
+	c.drainPrepares(env)
+	for i := 0; i < c.cfg.N; i++ {
+		c.drainCommits(env, msg.NodeID(i))
+	}
+}

@@ -1,0 +1,303 @@
+package hybster
+
+import (
+	"crypto/sha256"
+	"sort"
+
+	"github.com/troxy-bft/troxy/internal/msg"
+	"github.com/troxy-bft/troxy/internal/node"
+	"github.com/troxy-bft/troxy/internal/tcounter"
+)
+
+// timerViewChange escalates to the next view if an initiated view change
+// does not complete in time. The key's ID is the pending view number.
+const timerViewChange = "hybster/viewchange"
+
+// startViewChange certifies and broadcasts this replica's VIEW-CHANGE for
+// newView. The certificate value equals the view number, so the trusted
+// counter enforces at most one view-change statement per view and replica.
+func (c *Core) startViewChange(env node.Env, newView uint64) {
+	if newView <= c.view || newView <= c.vcVoted {
+		return
+	}
+	c.inVC = true
+	c.metrics.ViewChanges++
+
+	vc := &msg.ViewChange{
+		Replica:      c.cfg.Self,
+		NewView:      newView,
+		StableSeq:    c.stableSeq,
+		StableDigest: c.stableDigest,
+		Prepared:     c.preparedAbove(c.stableSeq),
+	}
+	digest := sha256.Sum256(vc.CertInput())
+	cert, err := c.cfg.Authority.Certify(tcounter.ViewChangeCounter, newView, digest)
+	c.chargeCounterOp(env)
+	if err != nil {
+		env.Logf("hybster: certify view change %d: %v", newView, err)
+		return
+	}
+	vc.Cert = cert
+	c.vcVoted = newView
+
+	for i := 0; i < c.cfg.N; i++ {
+		if to := msg.NodeID(i); to != c.cfg.Self {
+			c.out.Send(env, to, vc)
+		}
+	}
+	c.recordViewChange(env, vc)
+	env.SetTimer(c.cfg.ViewChangeTimeout, node.TimerKey{Kind: timerViewChange, ID: newView})
+}
+
+// preparedAbove collects this replica's prepared entries above seq, in
+// sequence order.
+func (c *Core) preparedAbove(seq uint64) []msg.PreparedEntry {
+	var seqs []uint64
+	for s, e := range c.log {
+		if s > seq && e.hasPrep {
+			seqs = append(seqs, s)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	out := make([]msg.PreparedEntry, 0, len(seqs))
+	for _, s := range seqs {
+		e := c.log[s]
+		out = append(out, msg.PreparedEntry{
+			View:        e.view,
+			Seq:         s,
+			Req:         *e.req,
+			PrepareCert: e.prepCert,
+		})
+	}
+	return out
+}
+
+// verifyViewChange checks a VIEW-CHANGE message's certificate and the
+// prepare certificates of every entry it carries.
+func (c *Core) verifyViewChange(env node.Env, vc *msg.ViewChange) bool {
+	digest := sha256.Sum256(vc.CertInput())
+	if vc.Cert.Replica != vc.Replica ||
+		vc.Cert.Counter != tcounter.ViewChangeCounter ||
+		vc.Cert.Value != vc.NewView ||
+		!c.cfg.Authority.Verify(vc.Cert, digest) {
+		return false
+	}
+	c.chargeCounterOp(env)
+	for i := range vc.Prepared {
+		pe := &vc.Prepared[i]
+		leader := c.Leader(pe.View)
+		if pe.PrepareCert.Replica != leader ||
+			pe.PrepareCert.Counter != tcounter.OrderCounter(pe.View) ||
+			pe.PrepareCert.Value != pe.Seq ||
+			!c.cfg.Authority.Verify(pe.PrepareCert, prepareDigest(pe.View, pe.Seq, pe.Req.Digest())) {
+			return false
+		}
+		c.chargeCounterOp(env)
+	}
+	return true
+}
+
+// OnViewChange handles a peer's VIEW-CHANGE.
+func (c *Core) OnViewChange(env node.Env, from msg.NodeID, vc *msg.ViewChange) {
+	if vc.Replica != from || vc.NewView <= c.view {
+		return
+	}
+	if !c.verifyViewChange(env, vc) {
+		c.metrics.RejectedCerts++
+		return
+	}
+	c.recordViewChange(env, vc)
+	// A certified view-change from any replica is evidence enough to join:
+	// with 2f+1 replicas, waiting for f+1 independent suspicions could
+	// stall forever because only the replica that owns the pending request
+	// watches its progress.
+	if vc.NewView > c.vcVoted {
+		c.startViewChange(env, vc.NewView)
+	}
+}
+
+func (c *Core) recordViewChange(env node.Env, vc *msg.ViewChange) {
+	votes, ok := c.vcs[vc.NewView]
+	if !ok {
+		votes = make(map[msg.NodeID]*msg.ViewChange)
+		c.vcs[vc.NewView] = votes
+	}
+	votes[vc.Replica] = vc
+	c.maybeInstall(env, vc.NewView)
+}
+
+// maybeInstall creates and broadcasts the NEW-VIEW once this replica is the
+// designated leader of newView and holds f+1 view-change messages.
+func (c *Core) maybeInstall(env node.Env, newView uint64) {
+	if c.Leader(newView) != c.cfg.Self || newView <= c.view {
+		return
+	}
+	votes := c.vcs[newView]
+	if len(votes) < c.quorum() {
+		return
+	}
+	ids := make([]msg.NodeID, 0, len(votes))
+	for id := range votes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	nv := &msg.NewView{Leader: c.cfg.Self, View: newView}
+	for _, id := range ids[:c.quorum()] {
+		nv.ViewChanges = append(nv.ViewChanges, *votes[id])
+	}
+	digest := sha256.Sum256(nv.CertInput())
+	cert, err := c.cfg.Authority.Certify(tcounter.NewViewCounter, newView, digest)
+	c.chargeCounterOp(env)
+	if err != nil {
+		env.Logf("hybster: certify new view %d: %v", newView, err)
+		return
+	}
+	nv.Cert = cert
+	for i := 0; i < c.cfg.N; i++ {
+		if to := msg.NodeID(i); to != c.cfg.Self {
+			c.out.Send(env, to, nv)
+		}
+	}
+	c.installView(env, nv)
+}
+
+// OnNewView handles the new leader's NEW-VIEW.
+func (c *Core) OnNewView(env node.Env, from msg.NodeID, nv *msg.NewView) {
+	if nv.View <= c.view {
+		return
+	}
+	if nv.Leader != from || c.Leader(nv.View) != from {
+		c.metrics.RejectedCerts++
+		return
+	}
+	digest := sha256.Sum256(nv.CertInput())
+	if nv.Cert.Replica != from ||
+		nv.Cert.Counter != tcounter.NewViewCounter ||
+		nv.Cert.Value != nv.View ||
+		!c.cfg.Authority.Verify(nv.Cert, digest) {
+		c.metrics.RejectedCerts++
+		return
+	}
+	c.chargeCounterOp(env)
+	seen := make(map[msg.NodeID]struct{})
+	for i := range nv.ViewChanges {
+		vc := &nv.ViewChanges[i]
+		if vc.NewView != nv.View || !c.verifyViewChange(env, vc) {
+			c.metrics.RejectedCerts++
+			return
+		}
+		seen[vc.Replica] = struct{}{}
+	}
+	if len(seen) < c.quorum() {
+		c.metrics.RejectedCerts++
+		return
+	}
+	c.installView(env, nv)
+}
+
+// installView switches to the view described by a verified NEW-VIEW,
+// re-proposing (as leader) or expecting re-proposals for (as follower) every
+// prepared entry above the maximum stable checkpoint among the view changes.
+func (c *Core) installView(env node.Env, nv *msg.NewView) {
+	var maxStable uint64
+	reproposals := make(map[uint64]msg.PreparedEntry)
+	var maxPrepared uint64
+	for i := range nv.ViewChanges {
+		vc := &nv.ViewChanges[i]
+		if vc.StableSeq > maxStable {
+			maxStable = vc.StableSeq
+		}
+		for _, pe := range vc.Prepared {
+			cur, ok := reproposals[pe.Seq]
+			if !ok || pe.View > cur.View {
+				reproposals[pe.Seq] = pe
+			}
+			if pe.Seq > maxPrepared {
+				maxPrepared = pe.Seq
+			}
+		}
+	}
+
+	c.view = nv.View
+	c.inVC = false
+	env.CancelTimer(node.TimerKey{Kind: timerViewChange, ID: nv.View})
+
+	// Reset per-view ordering state. Entries that were not executed are
+	// dropped; the new leader's re-proposals will recreate them.
+	startSeq := maxStable + 1
+	for seq, e := range c.log {
+		if !e.executed {
+			delete(c.log, seq)
+		}
+	}
+	c.pendingPrepares = make(map[uint64]*msg.Prepare)
+	c.pendingCommits = make(map[msg.NodeID]map[uint64]*msg.Commit)
+	c.proposed = make(map[msg.Digest]struct{})
+	c.nextPrepareValue = startSeq
+	for i := 0; i < c.cfg.N; i++ {
+		c.nextCommitValue[msg.NodeID(i)] = startSeq
+	}
+	for v := range c.vcs {
+		if v <= nv.View {
+			delete(c.vcs, v)
+		}
+	}
+
+	env.Logf("hybster: installed view %d (stable %d, re-proposals %d)",
+		nv.View, maxStable, len(reproposals))
+
+	reproposed := make(map[msg.Digest]struct{}, len(reproposals))
+	if c.IsLeader() {
+		c.seqNext = startSeq
+		for seq := startSeq; seq <= maxPrepared; seq++ {
+			if pe, ok := reproposals[seq]; ok {
+				req := pe.Req
+				digest := req.Digest()
+				reproposed[digest] = struct{}{}
+				c.propose(env, &req, digest)
+				continue
+			}
+			// Fill the hole so counter continuity holds.
+			noop := &msg.OrderRequest{Origin: msg.NoNode}
+			c.propose(env, noop, noop.Digest())
+		}
+	} else {
+		for _, pe := range reproposals {
+			reproposed[pe.Req.Digest()] = struct{}{}
+		}
+	}
+
+	// Re-drive requests this replica is responsible for: queued ones and
+	// locally submitted ones that are not covered by a re-proposal (their
+	// Forward may have died with the old leader). Duplicates are filtered
+	// by the execution-time client table.
+	pending := c.queued
+	c.queued = nil
+	for digest, req := range c.pendingLocal {
+		if _, ok := reproposed[digest]; ok {
+			continue
+		}
+		pending = append(pending, req)
+	}
+	for _, req := range pending {
+		if c.IsLeader() {
+			c.propose(env, req, req.Digest())
+		} else {
+			c.out.Send(env, c.Leader(c.view), &msg.Forward{Req: *req})
+		}
+	}
+	if len(c.pendingLocal) > 0 {
+		env.SetTimer(c.cfg.ViewChangeTimeout, node.TimerKey{Kind: timerProgress})
+	}
+
+	c.replayDeferred(env)
+}
+
+// onViewChangeTimer escalates a stalled view change.
+func (c *Core) onViewChangeTimer(env node.Env, pendingView uint64) {
+	if c.view >= pendingView || !c.inVC {
+		return
+	}
+	env.Logf("hybster: view change to %d stalled, escalating", pendingView)
+	c.startViewChange(env, pendingView+1)
+}

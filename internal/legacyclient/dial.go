@@ -1,0 +1,178 @@
+package legacyclient
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"github.com/troxy-bft/troxy/internal/msg"
+	"github.com/troxy-bft/troxy/internal/securechannel"
+	"github.com/troxy-bft/troxy/internal/wire"
+)
+
+// TCPClient is a blocking legacy client for real deployments: it dials a
+// replica's client gateway over TCP, establishes the secure channel to the
+// Troxy behind it, and issues generic request/reply operations. On timeouts
+// or channel errors it fails over to the next address and retransmits with
+// the same sequence number, so the cluster's deduplication applies.
+type TCPClient struct {
+	addrs     []string
+	serverPub ed25519.PublicKey
+	identity  uint64
+	timeout   time.Duration
+
+	next int
+	conn net.Conn
+	sess *securechannel.Session
+	seq  uint64
+}
+
+// ErrExhausted reports that all replica addresses failed.
+var ErrExhausted = errors.New("legacyclient: all replicas failed")
+
+// Dial creates a client that will connect to the first reachable address.
+// identity must be unique among clients of the deployment.
+func Dial(addrs []string, serverPub ed25519.PublicKey, identity uint64, timeout time.Duration) (*TCPClient, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("legacyclient: no addresses")
+	}
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	c := &TCPClient{
+		addrs:     addrs,
+		serverPub: serverPub,
+		identity:  identity,
+		timeout:   timeout,
+	}
+	if err := c.reconnect(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *TCPClient) reconnect() error {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+		c.sess = nil
+	}
+	var lastErr error
+	for range c.addrs {
+		addr := c.addrs[c.next%len(c.addrs)]
+		c.next++
+		conn, err := net.DialTimeout("tcp", addr, c.timeout)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		conn.SetDeadline(time.Now().Add(c.timeout))
+		sess, err := c.handshake(conn)
+		if err != nil {
+			conn.Close()
+			lastErr = err
+			continue
+		}
+		conn.SetDeadline(time.Time{})
+		c.conn = conn
+		c.sess = sess
+		return nil
+	}
+	return fmt.Errorf("%w: %v", ErrExhausted, lastErr)
+}
+
+func (c *TCPClient) handshake(conn net.Conn) (*securechannel.Session, error) {
+	hs, hello, err := securechannel.NewClientHandshake(c.serverPub, rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	if err := wire.WriteFrame(conn, hello); err != nil {
+		return nil, err
+	}
+	serverHello, err := wire.ReadFrame(conn)
+	if err != nil {
+		return nil, err
+	}
+	return hs.Finish(serverHello)
+}
+
+// Request executes one operation against the replicated service, retrying
+// across replicas until a reply arrives or every address failed twice.
+func (c *TCPClient) Request(op []byte, readOnly bool) ([]byte, error) {
+	c.seq++
+	flags := uint8(0)
+	if readOnly {
+		flags = msg.FlagReadOnly
+	}
+	plaintext := msg.EncodeChannelRequest(&msg.ChannelRequest{
+		Client: c.identity,
+		Seq:    c.seq,
+		Flags:  flags,
+		Op:     op,
+	})
+
+	attempts := 2 * len(c.addrs)
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if c.sess == nil {
+			if err := c.reconnect(); err != nil {
+				return nil, err
+			}
+		}
+		result, err := c.tryOnce(plaintext)
+		if err == nil {
+			return result, nil
+		}
+		lastErr = err
+		if err := c.reconnect(); err != nil {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("%w: %v", ErrExhausted, lastErr)
+}
+
+func (c *TCPClient) tryOnce(plaintext []byte) ([]byte, error) {
+	record, err := c.sess.Seal(plaintext)
+	if err != nil {
+		return nil, err
+	}
+	c.conn.SetDeadline(time.Now().Add(c.timeout))
+	defer c.conn.SetDeadline(time.Time{})
+	if err := wire.WriteFrame(c.conn, record); err != nil {
+		return nil, err
+	}
+	for {
+		frame, err := wire.ReadFrame(c.conn)
+		if err != nil {
+			return nil, err
+		}
+		replyPlain, err := c.sess.Open(frame)
+		if err != nil {
+			// Tampered or out-of-order channel data: treat the channel as
+			// corrupted and fail over (Section III-D).
+			return nil, err
+		}
+		reply, err := msg.DecodeChannelReply(replyPlain)
+		if err != nil {
+			return nil, err
+		}
+		if reply.Seq != c.seq {
+			continue // stale reply from a previous attempt
+		}
+		if reply.Status != msg.StatusOK {
+			return reply.Result, fmt.Errorf("legacyclient: service error (%d)", reply.Status)
+		}
+		return reply.Result, nil
+	}
+}
+
+// Close tears the connection down.
+func (c *TCPClient) Close() error {
+	if c.conn != nil {
+		return c.conn.Close()
+	}
+	return nil
+}

@@ -1,0 +1,342 @@
+// Package legacyclient implements the unmodified-client side of a
+// Troxy-backed deployment as a node.Handler: a "client machine" hosting a
+// configurable number of logical clients, each holding one secure channel to
+// a single replica's Troxy — exactly what a legacy client does (Figure 2).
+// Clients never see BFT messages, never vote, and never learn replica
+// identities beyond an address list for failover.
+//
+// Fault handling follows Section III-D: a request that times out (Troxy
+// crash, corrupted channel, lost reply) makes the client reconnect to the
+// next replica in its list and retransmit — the behaviour user-facing
+// clients already have.
+package legacyclient
+
+import (
+	"crypto/ed25519"
+	"time"
+
+	"github.com/troxy-bft/troxy/internal/httpfront"
+	"github.com/troxy-bft/troxy/internal/msg"
+	"github.com/troxy-bft/troxy/internal/node"
+	"github.com/troxy-bft/troxy/internal/securechannel"
+	"github.com/troxy-bft/troxy/internal/workload"
+)
+
+// Config parameterizes a client machine.
+type Config struct {
+	// Machine is this node's ID.
+	Machine msg.NodeID
+
+	// Clients is the number of logical clients hosted (≥1).
+	Clients int
+
+	// FirstClientID is the identity of the first logical client; identities
+	// must be globally unique across machines.
+	FirstClientID uint64
+
+	// Replicas lists the service addresses in failover order. Client i
+	// initially connects to Replicas[i % len].
+	Replicas []msg.NodeID
+
+	// ServerPub pins the service identity (the key inside the Troxies).
+	ServerPub ed25519.PublicKey
+
+	// Gen produces operations; Rec receives measurements (both may be
+	// shared across machines).
+	Gen workload.Generator
+	Rec *workload.Recorder
+
+	// Rate, when positive, paces each logical client at this many
+	// operations per second (open loop); zero means closed loop.
+	Rate float64
+
+	// Timeout is the per-request deadline before failover (zero: 2s).
+	Timeout time.Duration
+
+	// MaxOps stops each client after this many operations (zero: run
+	// forever).
+	MaxOps int
+
+	// HTTP switches the channel payload from the generic framing to raw
+	// HTTP/1.1 (responses are delimited by Content-Length).
+	HTTP bool
+}
+
+const (
+	timerOp      = "lclient/op"      // per-client request timeout
+	timerPace    = "lclient/pace"    // per-client open-loop pacing
+	timerConnect = "lclient/connect" // staggered start
+)
+
+type clientState struct {
+	idx      int
+	identity uint64
+	connID   uint64
+
+	replicaIdx int
+	hs         *securechannel.ClientHandshake
+	sess       *securechannel.Session
+
+	seq      uint64
+	op       workload.Op
+	inflight bool
+	started  time.Duration
+	done     int
+	respBuf  []byte
+}
+
+// Machine is the client-machine handler.
+type Machine struct {
+	cfg     Config
+	clients []*clientState
+	byConn  map[uint64]*clientState
+	stopped bool
+}
+
+var _ node.Handler = (*Machine)(nil)
+
+// New creates a client machine.
+func New(cfg Config) *Machine {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 1
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 2 * time.Second
+	}
+	m := &Machine{cfg: cfg, byConn: make(map[uint64]*clientState)}
+	for i := 0; i < cfg.Clients; i++ {
+		cs := &clientState{
+			idx:        i,
+			identity:   cfg.FirstClientID + uint64(i),
+			connID:     cfg.FirstClientID + uint64(i),
+			replicaIdx: i % len(cfg.Replicas),
+		}
+		m.clients = append(m.clients, cs)
+		m.byConn[cs.connID] = cs
+	}
+	return m
+}
+
+// Stop makes the machine cease issuing new operations.
+func (m *Machine) Stop() { m.stopped = true }
+
+// Done reports how many operations completed across all clients.
+func (m *Machine) Done() int {
+	total := 0
+	for _, cs := range m.clients {
+		total += cs.done
+	}
+	return total
+}
+
+// OnStart implements node.Handler: clients connect with a small stagger to
+// avoid a synchronized handshake burst.
+func (m *Machine) OnStart(env node.Env) {
+	for _, cs := range m.clients {
+		env.SetTimer(time.Duration(cs.idx)*50*time.Microsecond,
+			node.TimerKey{Kind: timerConnect, ID: uint64(cs.idx)})
+	}
+}
+
+func (m *Machine) replica(cs *clientState) msg.NodeID {
+	return m.cfg.Replicas[cs.replicaIdx%len(m.cfg.Replicas)]
+}
+
+// connect starts (or restarts) a client's secure channel.
+func (m *Machine) connect(env node.Env, cs *clientState) {
+	hs, hello, err := securechannel.NewClientHandshake(m.cfg.ServerPub, env.Rand())
+	if err != nil {
+		env.Logf("legacyclient %d: handshake: %v", cs.identity, err)
+		return
+	}
+	cs.hs = hs
+	cs.sess = nil
+	cs.respBuf = nil
+	m.sendFrame(env, cs, hello)
+	env.SetTimer(m.cfg.Timeout, node.TimerKey{Kind: timerOp, ID: uint64(cs.idx)})
+}
+
+func (m *Machine) sendFrame(env node.Env, cs *clientState, frame []byte) {
+	env.Send(msg.Seal(m.cfg.Machine, m.replica(cs), &msg.ChannelData{
+		ConnID:  cs.connID,
+		Payload: frame,
+	}))
+}
+
+// nextOp issues the next operation (or schedules it under pacing).
+func (m *Machine) nextOp(env node.Env, cs *clientState) {
+	if m.stopped || (m.cfg.MaxOps > 0 && cs.done >= m.cfg.MaxOps) {
+		cs.inflight = false
+		return
+	}
+	if m.cfg.Rate > 0 {
+		interval := time.Duration(float64(time.Second) / m.cfg.Rate)
+		// Jitter spreads the fixed-rate clients over the interval.
+		jitter := time.Duration(env.Rand().Int63n(int64(interval)/4 + 1))
+		cs.inflight = false
+		env.SetTimer(interval-interval/8+jitter, node.TimerKey{Kind: timerPace, ID: uint64(cs.idx)})
+		return
+	}
+	m.issue(env, cs)
+}
+
+// issue draws an operation and transmits it.
+func (m *Machine) issue(env node.Env, cs *clientState) {
+	cs.op = m.cfg.Gen.Next(env.Rand())
+	cs.seq++
+	cs.started = env.Now()
+	cs.inflight = true
+	m.transmit(env, cs)
+	env.SetTimer(m.cfg.Timeout, node.TimerKey{Kind: timerOp, ID: uint64(cs.idx)})
+}
+
+// transmit (re)sends the current operation over the established channel.
+func (m *Machine) transmit(env node.Env, cs *clientState) {
+	if !cs.sess.Established() {
+		return // will be retransmitted once the channel is up
+	}
+	var plaintext []byte
+	if m.cfg.HTTP {
+		plaintext = cs.op.Op
+	} else {
+		flags := uint8(0)
+		if cs.op.Read {
+			flags = msg.FlagReadOnly
+		}
+		plaintext = msg.EncodeChannelRequest(&msg.ChannelRequest{
+			Client: cs.identity,
+			Seq:    cs.seq,
+			Flags:  flags,
+			Op:     cs.op.Op,
+		})
+	}
+	record, err := cs.sess.Seal(plaintext)
+	if err != nil {
+		env.Logf("legacyclient %d: seal: %v", cs.identity, err)
+		return
+	}
+	env.Charge(node.ProfileJava, node.ChargeAEAD, len(plaintext))
+	m.sendFrame(env, cs, record)
+}
+
+// OnEnvelope implements node.Handler.
+func (m *Machine) OnEnvelope(env node.Env, e *msg.Envelope) {
+	if e.Kind != msg.KindChannelData {
+		return
+	}
+	raw, err := e.Open()
+	if err != nil {
+		return
+	}
+	cd, ok := raw.(*msg.ChannelData)
+	if !ok {
+		return
+	}
+	cs, ok := m.byConn[cd.ConnID]
+	if !ok {
+		return
+	}
+	if e.From != m.replica(cs) {
+		// Bytes for this connection can only arrive over the transport to
+		// the replica we are connected to; anything else is a bypass
+		// attempt by a third party and is dropped on the floor.
+		return
+	}
+
+	// Handshake completion.
+	if cs.sess == nil {
+		if cs.hs == nil {
+			return
+		}
+		sess, err := cs.hs.Finish(cd.Payload)
+		if err != nil {
+			env.Logf("legacyclient %d: bad server hello: %v", cs.identity, err)
+			return
+		}
+		cs.sess = sess
+		cs.hs = nil
+		if cs.inflight {
+			// Failover: retransmit the pending operation on the new channel.
+			m.transmit(env, cs)
+			env.SetTimer(m.cfg.Timeout, node.TimerKey{Kind: timerOp, ID: uint64(cs.idx)})
+		} else {
+			m.nextOp(env, cs)
+		}
+		return
+	}
+
+	plaintext, err := cs.sess.Open(cd.Payload)
+	if err != nil {
+		// Tampered or replayed data on the channel: reconnect (Section
+		// III-D fault handling).
+		env.Logf("legacyclient %d: corrupted channel: %v", cs.identity, err)
+		m.failover(env, cs)
+		return
+	}
+	env.Charge(node.ProfileJava, node.ChargeAEAD, len(plaintext))
+
+	if m.cfg.HTTP {
+		cs.respBuf = append(cs.respBuf, plaintext...)
+		resp, consumed, err := httpfront.ExtractResponse(cs.respBuf)
+		if err != nil || resp == nil {
+			return
+		}
+		cs.respBuf = cs.respBuf[consumed:]
+		m.complete(env, cs)
+		return
+	}
+
+	reply, err := msg.DecodeChannelReply(plaintext)
+	if err != nil || reply.Seq != cs.seq || !cs.inflight {
+		return
+	}
+	m.complete(env, cs)
+}
+
+func (m *Machine) complete(env node.Env, cs *clientState) {
+	if !cs.inflight {
+		return
+	}
+	cs.inflight = false
+	cs.done++
+	env.CancelTimer(node.TimerKey{Kind: timerOp, ID: uint64(cs.idx)})
+	if m.cfg.Rec != nil {
+		m.cfg.Rec.Record(env.Now(), env.Now()-cs.started, cs.op.Read)
+	}
+	m.nextOp(env, cs)
+}
+
+// failover reconnects to the next replica; the pending operation (if any)
+// is retransmitted after the new handshake.
+func (m *Machine) failover(env node.Env, cs *clientState) {
+	cs.replicaIdx++
+	if m.cfg.Rec != nil && cs.inflight {
+		m.cfg.Rec.RecordRetry()
+	}
+	m.connect(env, cs)
+}
+
+// OnTimer implements node.Handler.
+func (m *Machine) OnTimer(env node.Env, key node.TimerKey) {
+	idx := int(key.ID)
+	if idx < 0 || idx >= len(m.clients) {
+		return
+	}
+	cs := m.clients[idx]
+	switch key.Kind {
+	case timerConnect:
+		m.connect(env, cs)
+	case timerPace:
+		if !cs.inflight {
+			m.issue(env, cs)
+		}
+	case timerOp:
+		if m.stopped {
+			return
+		}
+		if cs.sess == nil || cs.inflight {
+			// Handshake or request timed out: switch replicas.
+			m.failover(env, cs)
+		}
+	}
+}

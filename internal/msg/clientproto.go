@@ -1,0 +1,93 @@
+package msg
+
+import (
+	"errors"
+
+	"github.com/troxy-bft/troxy/internal/wire"
+)
+
+// This file defines the plaintext frames exchanged *inside* a legacy
+// client's secure channel for the generic request/reply service protocol
+// (used by the microbenchmark service and the KV store). HTTP clients use
+// raw HTTP/1.1 bytes instead; see internal/httpfront.
+
+// ChannelRequest is one client operation sent over a secure channel. Client
+// is the caller's self-chosen identity; it survives reconnects so that the
+// ordering protocol can deduplicate retransmitted writes after a failover.
+type ChannelRequest struct {
+	Client uint64
+	Seq    uint64
+	Flags  uint8
+	Op     []byte
+}
+
+// ChannelReply answers a ChannelRequest over the same channel.
+type ChannelReply struct {
+	Seq    uint64
+	Status uint8
+	Result []byte
+}
+
+// Channel reply status codes.
+const (
+	// StatusOK reports successful execution.
+	StatusOK uint8 = iota + 1
+
+	// StatusError reports that the service rejected the operation.
+	StatusError
+)
+
+// ErrBadChannelFrame reports a malformed plaintext frame.
+var ErrBadChannelFrame = errors.New("msg: malformed channel frame")
+
+// EncodeChannelRequest marshals the request frame.
+func EncodeChannelRequest(m *ChannelRequest) []byte {
+	w := wire.NewWriter(24 + len(m.Op))
+	w.U64(m.Client)
+	w.U64(m.Seq)
+	w.U8(m.Flags)
+	w.Bytes32(m.Op)
+	out := make([]byte, w.Len())
+	copy(out, w.Bytes())
+	return out
+}
+
+// DecodeChannelRequest parses a request frame.
+func DecodeChannelRequest(b []byte) (*ChannelRequest, error) {
+	r := wire.NewReader(b)
+	m := &ChannelRequest{
+		Client: r.U64(),
+		Seq:    r.U64(),
+		Flags:  r.U8(),
+		Op:     r.Bytes32(),
+	}
+	if err := r.Finish(); err != nil {
+		return nil, errors.Join(ErrBadChannelFrame, err)
+	}
+	return m, nil
+}
+
+// EncodeChannelReply marshals the reply frame.
+func EncodeChannelReply(m *ChannelReply) []byte {
+	w := wire.NewWriter(16 + len(m.Result))
+	w.U64(m.Seq)
+	w.U8(m.Status)
+	w.Bytes32(m.Result)
+	out := make([]byte, w.Len())
+	copy(out, w.Bytes())
+	return out
+}
+
+// DecodeChannelReply parses a reply frame.
+func DecodeChannelReply(b []byte) (*ChannelReply, error) {
+	r := wire.NewReader(b)
+	m := &ChannelReply{
+		Seq:    r.U64(),
+		Status: r.U8(),
+		Result: r.Bytes32(),
+	}
+	if err := r.Finish(); err != nil {
+		return nil, errors.Join(ErrBadChannelFrame, err)
+	}
+	return m, nil
+}

@@ -1,0 +1,286 @@
+// Package msg defines every wire message exchanged in a Troxy-backed system:
+// client secure-channel records, Hybster agreement messages (PREPARE/COMMIT
+// with trusted-counter certificates), checkpoint and view-change messages,
+// Troxy-to-Troxy fast-read cache messages, and the baseline BFT client
+// messages. All messages marshal to a canonical binary form; digests and MACs
+// are always computed over that canonical form, never over in-memory
+// representations.
+//
+// Messages travel inside an Envelope carrying source, destination, and an
+// optional point-to-point HMAC appended by the untrusted replica part.
+// Troxy-to-Troxy authentication tags (computed inside the trusted subsystem)
+// are fields of the respective message types instead, because the untrusted
+// part must not be able to produce them.
+package msg
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+
+	"github.com/troxy-bft/troxy/internal/wire"
+)
+
+// NodeID identifies a node (replica, client, or middlebox) in a deployment.
+// Replicas are numbered 0..n-1; other nodes use higher IDs.
+type NodeID int32
+
+// NoNode is the zero NodeID used when a field is unset.
+const NoNode NodeID = -1
+
+// Kind discriminates message types on the wire.
+type Kind uint8
+
+// Message kinds. Start at one so an accidental zero is invalid.
+const (
+	// KindChannelData carries opaque secure-channel bytes between a legacy
+	// client and the Troxy of the replica it is connected to.
+	KindChannelData Kind = iota + 1
+
+	// KindBFTRequest is a request from a baseline BFT client (or the
+	// Prophecy middlebox) to a replica.
+	KindBFTRequest
+
+	// KindBFTReply is a reply from a replica to a baseline BFT client.
+	KindBFTReply
+
+	// KindForward carries a client request from a follower's Troxy to the
+	// current leader for ordering.
+	KindForward
+
+	// KindPrepare is the leader's ordering proposal, certified by the
+	// leader's trusted counter.
+	KindPrepare
+
+	// KindCommit acknowledges a Prepare, certified by the sender's trusted
+	// counter.
+	KindCommit
+
+	// KindOrderedReply carries an execution result from the executing
+	// replica to the replica whose Troxy votes for the client.
+	KindOrderedReply
+
+	// KindCheckpoint announces a state digest at a checkpoint interval.
+	KindCheckpoint
+
+	// KindViewChange asks to install a new view.
+	KindViewChange
+
+	// KindNewView installs a new view.
+	KindNewView
+
+	// KindCacheQuery asks a remote Troxy for its fast-read cache entry.
+	KindCacheQuery
+
+	// KindCacheReply answers a CacheQuery with a (possibly absent) entry.
+	KindCacheReply
+
+	// KindStateRequest asks a peer for the application snapshot at a stable
+	// checkpoint (state transfer for replicas that fell behind).
+	KindStateRequest
+
+	// KindStateReply answers a StateRequest.
+	KindStateReply
+)
+
+var kindNames = map[Kind]string{
+	KindChannelData:  "ChannelData",
+	KindBFTRequest:   "BFTRequest",
+	KindBFTReply:     "BFTReply",
+	KindForward:      "Forward",
+	KindPrepare:      "Prepare",
+	KindCommit:       "Commit",
+	KindOrderedReply: "OrderedReply",
+	KindCheckpoint:   "Checkpoint",
+	KindViewChange:   "ViewChange",
+	KindNewView:      "NewView",
+	KindCacheQuery:   "CacheQuery",
+	KindCacheReply:   "CacheReply",
+	KindStateRequest: "StateRequest",
+	KindStateReply:   "StateReply",
+}
+
+// String returns the kind's protocol name.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Message is implemented by every wire message.
+type Message interface {
+	// Kind returns the message's wire discriminator.
+	Kind() Kind
+
+	// MarshalWire appends the canonical encoding of the message body.
+	MarshalWire(w *wire.Writer)
+
+	// UnmarshalWire decodes the message body. Implementations must tolerate
+	// arbitrary untrusted input without panicking.
+	UnmarshalWire(r *wire.Reader) error
+}
+
+// ErrUnknownKind reports an envelope with an unregistered kind.
+var ErrUnknownKind = errors.New("msg: unknown message kind")
+
+// Digest is a SHA-256 digest of a canonical message encoding.
+type Digest [sha256.Size]byte
+
+// DigestOf hashes b.
+func DigestOf(b []byte) Digest { return sha256.Sum256(b) }
+
+// Short returns a short hex prefix for logs.
+func (d Digest) Short() string { return fmt.Sprintf("%x", d[:6]) }
+
+func writeDigest(w *wire.Writer, d Digest) { w.Raw(d[:]) }
+
+func readDigest(r *wire.Reader, d *Digest) {
+	b := r.FixedBytes(len(d))
+	if b != nil {
+		copy(d[:], b)
+	}
+}
+
+// Encode marshals m with its kind prefix.
+func Encode(m Message) []byte {
+	w := wire.NewWriter(128)
+	w.U8(uint8(m.Kind()))
+	m.MarshalWire(w)
+	out := make([]byte, w.Len())
+	copy(out, w.Bytes())
+	return out
+}
+
+// EncodeBody marshals m without the kind prefix. MACs and digests are
+// computed over this form together with the kind passed separately.
+func EncodeBody(m Message) []byte {
+	w := wire.NewWriter(128)
+	m.MarshalWire(w)
+	out := make([]byte, w.Len())
+	copy(out, w.Bytes())
+	return out
+}
+
+// Decode parses a message encoded by Encode.
+func Decode(b []byte) (Message, error) {
+	if len(b) == 0 {
+		return nil, wire.ErrTruncated
+	}
+	m, err := New(Kind(b[0]))
+	if err != nil {
+		return nil, err
+	}
+	r := wire.NewReader(b[1:])
+	if err := m.UnmarshalWire(r); err != nil {
+		return nil, err
+	}
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// New returns a fresh zero message of the given kind.
+func New(k Kind) (Message, error) {
+	switch k {
+	case KindChannelData:
+		return &ChannelData{}, nil
+	case KindBFTRequest:
+		return &BFTRequest{}, nil
+	case KindBFTReply:
+		return &BFTReply{}, nil
+	case KindForward:
+		return &Forward{}, nil
+	case KindPrepare:
+		return &Prepare{}, nil
+	case KindCommit:
+		return &Commit{}, nil
+	case KindOrderedReply:
+		return &OrderedReply{}, nil
+	case KindCheckpoint:
+		return &Checkpoint{}, nil
+	case KindViewChange:
+		return &ViewChange{}, nil
+	case KindNewView:
+		return &NewView{}, nil
+	case KindCacheQuery:
+		return &CacheQuery{}, nil
+	case KindCacheReply:
+		return &CacheReply{}, nil
+	case KindStateRequest:
+		return &StateRequest{}, nil
+	case KindStateReply:
+		return &StateReply{}, nil
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownKind, uint8(k))
+	}
+}
+
+// Envelope is the transport unit exchanged between nodes. MAC, when present,
+// is a point-to-point HMAC over (From, To, Kind, Body) computed by the
+// untrusted replica part (or the BFT client library).
+type Envelope struct {
+	From NodeID
+	To   NodeID
+	Kind Kind
+	Body []byte
+	MAC  []byte
+}
+
+// EncodeEnvelope marshals e for the transport.
+func EncodeEnvelope(e *Envelope) []byte {
+	w := wire.NewWriter(16 + len(e.Body) + len(e.MAC))
+	w.U32(uint32(e.From))
+	w.U32(uint32(e.To))
+	w.U8(uint8(e.Kind))
+	w.Bytes32(e.Body)
+	w.Bytes32(e.MAC)
+	out := make([]byte, w.Len())
+	copy(out, w.Bytes())
+	return out
+}
+
+// DecodeEnvelope parses a transport frame into an Envelope.
+func DecodeEnvelope(b []byte) (*Envelope, error) {
+	r := wire.NewReader(b)
+	e := &Envelope{
+		From: NodeID(int32(r.U32())),
+		To:   NodeID(int32(r.U32())),
+		Kind: Kind(r.U8()),
+		Body: r.Bytes32(),
+		MAC:  r.Bytes32(),
+	}
+	if err := r.Finish(); err != nil {
+		return nil, fmt.Errorf("decode envelope: %w", err)
+	}
+	return e, nil
+}
+
+// WireSize returns the number of bytes e occupies on the wire (including the
+// transport frame header). The simulator charges NIC bandwidth per this size.
+func (e *Envelope) WireSize() int {
+	return 4 /*frame hdr*/ + 4 + 4 + 1 + wire.SizeBytes32(e.Body) + wire.SizeBytes32(e.MAC)
+}
+
+// Open decodes the envelope's body into a typed message.
+func (e *Envelope) Open() (Message, error) {
+	m, err := New(e.Kind)
+	if err != nil {
+		return nil, err
+	}
+	r := wire.NewReader(e.Body)
+	if err := m.UnmarshalWire(r); err != nil {
+		return nil, fmt.Errorf("open %s envelope: %w", e.Kind, err)
+	}
+	if err := r.Finish(); err != nil {
+		return nil, fmt.Errorf("open %s envelope: %w", e.Kind, err)
+	}
+	return m, nil
+}
+
+// Seal encodes m into an envelope from→to with no MAC. Callers that need
+// point-to-point authentication pass the envelope through authn.SealMAC.
+func Seal(from, to NodeID, m Message) *Envelope {
+	return &Envelope{From: from, To: to, Kind: m.Kind(), Body: EncodeBody(m)}
+}

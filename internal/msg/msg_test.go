@@ -1,0 +1,207 @@
+package msg
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func sampleRequest() OrderRequest {
+	return OrderRequest{
+		Origin:    2,
+		Client:    77,
+		ClientSeq: 1234,
+		Flags:     FlagReadOnly,
+		Op:        []byte("GET key-17"),
+	}
+}
+
+func sampleCert() CounterCert {
+	return CounterCert{Replica: 1, Counter: 3, Value: 42, MAC: []byte("macmacmac")}
+}
+
+func roundTrip(t *testing.T, m Message) Message {
+	t.Helper()
+	b := Encode(m)
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatalf("Decode(%s): %v", m.Kind(), err)
+	}
+	if got.Kind() != m.Kind() {
+		t.Fatalf("kind mismatch: got %s, want %s", got.Kind(), m.Kind())
+	}
+	return got
+}
+
+func TestRoundTripAllKinds(t *testing.T) {
+	req := sampleRequest()
+	cases := []Message{
+		&ChannelData{ConnID: 9, Payload: []byte("ciphertext")},
+		&BFTRequest{Client: 1, ClientSeq: 2, Flags: FlagDirect, Op: []byte("op")},
+		&BFTReply{Executor: 2, Client: 1, ClientSeq: 2, ReqDigest: DigestOf([]byte("r")),
+			Direct: true, Conflict: false, Result: []byte("res")},
+		&Forward{Req: req},
+		&Prepare{View: 1, Seq: 10, Req: req, Cert: sampleCert()},
+		&Commit{View: 1, Seq: 10, ReqDigest: req.Digest(), Cert: sampleCert()},
+		&OrderedReply{Executor: 0, Seq: 10, Client: 77, ClientSeq: 1234,
+			ReqDigest: req.Digest(), Result: []byte("result"),
+			InvalidKeys: []string{"a", "b"}, TroxyTag: []byte("tag")},
+		&Checkpoint{Seq: 128, StateDigest: DigestOf([]byte("state"))},
+		&ViewChange{Replica: 1, NewView: 2, StableSeq: 128,
+			StableDigest: DigestOf([]byte("s")),
+			Prepared: []PreparedEntry{
+				{View: 1, Seq: 129, Req: req, PrepareCert: sampleCert()},
+			},
+			Cert: sampleCert()},
+		&NewView{Leader: 2, View: 2, ViewChanges: []ViewChange{
+			{Replica: 1, NewView: 2, StableSeq: 128, Cert: sampleCert()},
+			{Replica: 2, NewView: 2, StableSeq: 128, Cert: sampleCert()},
+		}, Cert: sampleCert()},
+		&CacheQuery{From: 0, QueryID: 5, ReqDigest: req.Digest(), Tag: []byte("t")},
+		&CacheReply{From: 1, QueryID: 5, ReqDigest: req.Digest(), Found: true,
+			ReplyDigest: DigestOf([]byte("reply")), Tag: []byte("t")},
+	}
+	for _, m := range cases {
+		got := roundTrip(t, m)
+		if !reflect.DeepEqual(got, m) {
+			t.Errorf("%s round trip mismatch:\n got  %#v\n want %#v", m.Kind(), got, m)
+		}
+	}
+}
+
+func TestDecodeRejectsUnknownKind(t *testing.T) {
+	if _, err := Decode([]byte{0xff, 1, 2, 3}); err == nil {
+		t.Error("expected error for unknown kind")
+	}
+	if _, err := Decode(nil); err == nil {
+		t.Error("expected error for empty input")
+	}
+}
+
+func TestDecodeRejectsTrailing(t *testing.T) {
+	b := Encode(&Checkpoint{Seq: 1})
+	b = append(b, 0xee)
+	if _, err := Decode(b); err == nil {
+		t.Error("expected error for trailing bytes")
+	}
+}
+
+func TestOrderRequestDigestStable(t *testing.T) {
+	a, b := sampleRequest(), sampleRequest()
+	if a.Digest() != b.Digest() {
+		t.Error("identical requests must have identical digests")
+	}
+	b.ClientSeq++
+	if a.Digest() == b.Digest() {
+		t.Error("different requests must have different digests")
+	}
+}
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	e := Seal(3, 0, &Checkpoint{Seq: 7, StateDigest: DigestOf([]byte("x"))})
+	e.MAC = []byte("mac-bytes")
+	b := EncodeEnvelope(e)
+	if len(b) != e.WireSize()-4 {
+		t.Errorf("WireSize = %d, want %d (+4 frame header)", e.WireSize(), len(b)+4)
+	}
+	got, err := DecodeEnvelope(b)
+	if err != nil {
+		t.Fatalf("DecodeEnvelope: %v", err)
+	}
+	if !reflect.DeepEqual(got, e) {
+		t.Errorf("envelope mismatch: got %#v, want %#v", got, e)
+	}
+	m, err := got.Open()
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	cp, ok := m.(*Checkpoint)
+	if !ok || cp.Seq != 7 {
+		t.Errorf("opened message = %#v", m)
+	}
+}
+
+func TestEnvelopeOpenRejectsGarbageBody(t *testing.T) {
+	e := &Envelope{From: 1, To: 2, Kind: KindPrepare, Body: []byte{1, 2}}
+	if _, err := e.Open(); err == nil {
+		t.Error("expected decode error for garbage Prepare body")
+	}
+}
+
+func TestTagInputExcludesTag(t *testing.T) {
+	r := &OrderedReply{Executor: 1, Result: []byte("r"), TroxyTag: []byte("A")}
+	in1 := r.TagInput()
+	r.TroxyTag = []byte("B")
+	in2 := r.TagInput()
+	if !bytes.Equal(in1, in2) {
+		t.Error("TagInput must not cover the tag itself")
+	}
+	r.Result = []byte("other")
+	if bytes.Equal(in1, r.TagInput()) {
+		t.Error("TagInput must cover the result")
+	}
+}
+
+func TestChannelFrames(t *testing.T) {
+	req := &ChannelRequest{Seq: 9, Flags: FlagReadOnly, Op: []byte("GET a")}
+	gotReq, err := DecodeChannelRequest(EncodeChannelRequest(req))
+	if err != nil {
+		t.Fatalf("DecodeChannelRequest: %v", err)
+	}
+	if !reflect.DeepEqual(gotReq, req) {
+		t.Errorf("request mismatch: %#v vs %#v", gotReq, req)
+	}
+
+	rep := &ChannelReply{Seq: 9, Status: StatusOK, Result: []byte("v")}
+	gotRep, err := DecodeChannelReply(EncodeChannelReply(rep))
+	if err != nil {
+		t.Fatalf("DecodeChannelReply: %v", err)
+	}
+	if !reflect.DeepEqual(gotRep, rep) {
+		t.Errorf("reply mismatch: %#v vs %#v", gotRep, rep)
+	}
+
+	if _, err := DecodeChannelRequest([]byte{1}); err == nil {
+		t.Error("expected error for short request frame")
+	}
+	if _, err := DecodeChannelReply([]byte{1}); err == nil {
+		t.Error("expected error for short reply frame")
+	}
+}
+
+func TestQuickDecodeNeverPanics(t *testing.T) {
+	f := func(b []byte) bool {
+		_, _ = Decode(b)         // must not panic
+		_, _ = DecodeEnvelope(b) // must not panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickEnvelopeRoundTrip(t *testing.T) {
+	f := func(from, to int32, payload, mac []byte) bool {
+		e := &Envelope{From: NodeID(from), To: NodeID(to), Kind: KindChannelData,
+			Body: payload, MAC: mac}
+		got, err := DecodeEnvelope(EncodeEnvelope(e))
+		if err != nil {
+			return false
+		}
+		return got.From == e.From && got.To == e.To &&
+			bytes.Equal(got.Body, e.Body) && bytes.Equal(got.MAC, e.MAC)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindPrepare.String() != "Prepare" {
+		t.Errorf("KindPrepare.String() = %q", KindPrepare.String())
+	}
+	if Kind(200).String() != "Kind(200)" {
+		t.Errorf("unknown kind string = %q", Kind(200).String())
+	}
+}

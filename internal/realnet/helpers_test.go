@@ -1,0 +1,17 @@
+package realnet
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+func listen(t *testing.T) (net.Listener, error) {
+	t.Helper()
+	return net.Listen("tcp", "127.0.0.1:0")
+}
+
+func dial(t *testing.T, addr string) (net.Conn, error) {
+	t.Helper()
+	return net.DialTimeout("tcp", addr, 3*time.Second)
+}

@@ -1,0 +1,310 @@
+// Package realnet is the real-time runtime for the protocol state machines
+// of internal/node: every node runs on its own goroutine with an unbounded
+// FIFO mailbox, timers are wall-clock timers, and Charge calls are no-ops
+// (real CPUs burn real cycles). It backs the deployable library: in-process
+// clusters for tests and examples, and TCP bridges plus a legacy-client
+// gateway for multi-process deployments (cmd/troxy-replica).
+package realnet
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/troxy-bft/troxy/internal/msg"
+	"github.com/troxy-bft/troxy/internal/node"
+)
+
+// Router delivers envelopes between attached nodes and, when a remote sender
+// is configured, to nodes hosted by other processes.
+type Router struct {
+	start time.Time
+
+	mu      sync.Mutex
+	nodes   map[msg.NodeID]*realNode
+	remote  func(*msg.Envelope)
+	logOut  io.Writer
+	crashed map[msg.NodeID]bool
+	closed  bool
+	seed    int64
+
+	wg sync.WaitGroup
+}
+
+// NewRouter creates an empty router.
+func NewRouter() *Router {
+	return &Router{
+		start:   time.Now(),
+		nodes:   make(map[msg.NodeID]*realNode),
+		crashed: make(map[msg.NodeID]bool),
+		seed:    time.Now().UnixNano(),
+	}
+}
+
+// SetLogOutput directs node debug logs to w (nil disables, the default).
+func (r *Router) SetLogOutput(w io.Writer) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.logOut = w
+}
+
+// SetRemoteSender installs the fallback used for envelopes addressed to
+// nodes not attached locally (e.g. a TCP bridge).
+func (r *Router) SetRemoteSender(send func(*msg.Envelope)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.remote = send
+}
+
+type mailboxItem struct {
+	env *msg.Envelope
+	key node.TimerKey
+	gen uint64
+	tmr bool
+}
+
+type realNode struct {
+	id      msg.NodeID
+	handler node.Handler
+	router  *Router
+
+	mu     sync.Mutex
+	queue  []mailboxItem
+	wake   chan struct{}
+	closed bool
+
+	timerMu  sync.Mutex
+	timerGen map[node.TimerKey]uint64
+	timers   map[node.TimerKey]*time.Timer
+
+	rng *rand.Rand
+}
+
+// Attach registers a handler and starts its goroutine. OnStart runs on that
+// goroutine before any delivery.
+func (r *Router) Attach(id msg.NodeID, h node.Handler) {
+	r.mu.Lock()
+	if _, dup := r.nodes[id]; dup {
+		r.mu.Unlock()
+		panic(fmt.Sprintf("realnet: duplicate node %d", id))
+	}
+	n := &realNode{
+		id:       id,
+		handler:  h,
+		router:   r,
+		wake:     make(chan struct{}, 1),
+		timerGen: make(map[node.TimerKey]uint64),
+		timers:   make(map[node.TimerKey]*time.Timer),
+		rng:      rand.New(rand.NewSource(r.seed + int64(id)*7919)),
+	}
+	r.nodes[id] = n
+	r.wg.Add(1)
+	r.mu.Unlock()
+
+	go n.run()
+}
+
+// Detach removes a node, stopping its goroutine. Pending messages to it are
+// dropped. It models a full replica crash in tests.
+func (r *Router) Detach(id msg.NodeID) {
+	r.mu.Lock()
+	n := r.nodes[id]
+	delete(r.nodes, id)
+	r.mu.Unlock()
+	if n != nil {
+		n.stop()
+	}
+}
+
+// Crash marks a node crashed: deliveries to it are dropped but its state is
+// retained; Restore resumes delivery.
+func (r *Router) Crash(id msg.NodeID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.crashed[id] = true
+}
+
+// Restore reverses Crash.
+func (r *Router) Restore(id msg.NodeID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.crashed, id)
+}
+
+// Send routes an envelope to a local node or through the remote sender.
+// Unroutable envelopes are dropped silently (the network is asynchronous and
+// unreliable; protocols own their retransmissions).
+func (r *Router) Send(e *msg.Envelope) {
+	r.mu.Lock()
+	if r.closed || r.crashed[e.To] {
+		r.mu.Unlock()
+		return
+	}
+	n, ok := r.nodes[e.To]
+	remote := r.remote
+	r.mu.Unlock()
+
+	if ok {
+		n.enqueue(mailboxItem{env: e})
+		return
+	}
+	if remote != nil {
+		remote(e)
+	}
+}
+
+// Close stops all node goroutines and waits for them to exit.
+func (r *Router) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	nodes := make([]*realNode, 0, len(r.nodes))
+	for _, n := range r.nodes {
+		nodes = append(nodes, n)
+	}
+	r.nodes = make(map[msg.NodeID]*realNode)
+	r.mu.Unlock()
+
+	for _, n := range nodes {
+		n.stop()
+	}
+	r.wg.Wait()
+}
+
+func (n *realNode) enqueue(item mailboxItem) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.queue = append(n.queue, item)
+	n.mu.Unlock()
+	select {
+	case n.wake <- struct{}{}:
+	default:
+	}
+}
+
+func (n *realNode) stop() {
+	n.mu.Lock()
+	alreadyClosed := n.closed
+	n.closed = true
+	n.mu.Unlock()
+
+	n.timerMu.Lock()
+	for _, t := range n.timers {
+		t.Stop()
+	}
+	n.timers = make(map[node.TimerKey]*time.Timer)
+	n.timerMu.Unlock()
+
+	if !alreadyClosed {
+		select {
+		case n.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+func (n *realNode) run() {
+	defer n.router.wg.Done()
+	env := &realEnv{node: n}
+	n.handler.OnStart(env)
+	for {
+		n.mu.Lock()
+		for len(n.queue) == 0 && !n.closed {
+			n.mu.Unlock()
+			<-n.wake
+			n.mu.Lock()
+		}
+		if n.closed && len(n.queue) == 0 {
+			n.mu.Unlock()
+			return
+		}
+		item := n.queue[0]
+		n.queue = n.queue[1:]
+		closed := n.closed
+		n.mu.Unlock()
+		if closed {
+			return
+		}
+
+		if item.tmr {
+			n.timerMu.Lock()
+			live := n.timerGen[item.key] == item.gen
+			if live {
+				delete(n.timerGen, item.key)
+				delete(n.timers, item.key)
+			}
+			n.timerMu.Unlock()
+			if live {
+				n.handler.OnTimer(env, item.key)
+			}
+			continue
+		}
+		n.handler.OnEnvelope(env, item.env)
+	}
+}
+
+type realEnv struct {
+	node *realNode
+}
+
+var _ node.Env = (*realEnv)(nil)
+
+func (e *realEnv) Self() msg.NodeID { return e.node.id }
+
+func (e *realEnv) Now() time.Duration { return time.Since(e.node.router.start) }
+
+func (e *realEnv) Send(env *msg.Envelope) {
+	if env.From != e.node.id {
+		panic(fmt.Sprintf("realnet: node %d sending as %d", e.node.id, env.From))
+	}
+	e.node.router.Send(env)
+}
+
+func (e *realEnv) SetTimer(after time.Duration, key node.TimerKey) {
+	n := e.node
+	n.timerMu.Lock()
+	defer n.timerMu.Unlock()
+	if t, ok := n.timers[key]; ok {
+		t.Stop()
+	}
+	n.timerGen[key]++
+	gen := n.timerGen[key]
+	n.timers[key] = time.AfterFunc(after, func() {
+		n.enqueue(mailboxItem{tmr: true, key: key, gen: gen})
+	})
+}
+
+func (e *realEnv) CancelTimer(key node.TimerKey) {
+	n := e.node
+	n.timerMu.Lock()
+	defer n.timerMu.Unlock()
+	if t, ok := n.timers[key]; ok {
+		t.Stop()
+		delete(n.timers, key)
+	}
+	n.timerGen[key]++
+}
+
+func (e *realEnv) Rand() *rand.Rand { return e.node.rng }
+
+func (e *realEnv) Charge(node.Profile, node.ChargeKind, int) {}
+
+func (e *realEnv) Logf(format string, args ...any) {
+	r := e.node.router
+	r.mu.Lock()
+	w := r.logOut
+	r.mu.Unlock()
+	if w == nil {
+		return
+	}
+	fmt.Fprintf(w, "%12s node=%d "+format+"\n",
+		append([]any{e.Now().Round(time.Microsecond), e.node.id}, args...)...)
+}

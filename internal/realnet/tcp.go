@@ -1,0 +1,291 @@
+package realnet
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/troxy-bft/troxy/internal/msg"
+	"github.com/troxy-bft/troxy/internal/node"
+	"github.com/troxy-bft/troxy/internal/wire"
+)
+
+// Bridge connects a Router to peer processes over TCP. Envelopes addressed
+// to non-local nodes are framed (wire.WriteFrame) and sent over a persistent
+// connection to the peer process hosting the destination node; incoming
+// frames are injected into the local router.
+//
+// The address book maps node IDs to "host:port" listen addresses. Multiple
+// node IDs may map to the same address (one process hosting several nodes).
+type Bridge struct {
+	router *Router
+
+	mu       sync.Mutex
+	addrs    map[msg.NodeID]string
+	conns    map[string]*bridgeConn
+	listener net.Listener
+	closed   bool
+
+	wg sync.WaitGroup
+}
+
+type bridgeConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// NewBridge creates a bridge for router with the given address book and
+// installs itself as the router's remote sender.
+func NewBridge(router *Router, addrs map[msg.NodeID]string) *Bridge {
+	b := &Bridge{
+		router: router,
+		addrs:  make(map[msg.NodeID]string, len(addrs)),
+		conns:  make(map[string]*bridgeConn),
+	}
+	for id, a := range addrs {
+		b.addrs[id] = a
+	}
+	router.SetRemoteSender(b.send)
+	return b
+}
+
+// Listen starts accepting peer connections on addr. Incoming envelopes are
+// injected into the local router.
+func (b *Bridge) Listen(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("realnet: bridge listen: %w", err)
+	}
+	b.mu.Lock()
+	b.listener = l
+	b.mu.Unlock()
+
+	b.wg.Add(1)
+	go func() {
+		defer b.wg.Done()
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			b.wg.Add(1)
+			go func() {
+				defer b.wg.Done()
+				b.readLoop(conn)
+			}()
+		}
+	}()
+	return nil
+}
+
+// Addr returns the bridge's listen address (nil before Listen).
+func (b *Bridge) Addr() net.Addr {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.listener == nil {
+		return nil
+	}
+	return b.listener.Addr()
+}
+
+func (b *Bridge) readLoop(conn net.Conn) {
+	defer conn.Close()
+	for {
+		frame, err := wire.ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		env, err := msg.DecodeEnvelope(frame)
+		if err != nil {
+			continue // garbage from an untrusted peer: discard
+		}
+		b.router.Send(env)
+	}
+}
+
+// send transmits an envelope to the peer process hosting e.To. Transmission
+// failures drop the envelope (the network is unreliable by assumption).
+func (b *Bridge) send(e *msg.Envelope) {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	addr, ok := b.addrs[e.To]
+	if !ok {
+		b.mu.Unlock()
+		return
+	}
+	bc, ok := b.conns[addr]
+	if !ok {
+		bc = &bridgeConn{}
+		b.conns[addr] = bc
+	}
+	b.mu.Unlock()
+
+	bc.mu.Lock()
+	defer bc.mu.Unlock()
+	if bc.conn == nil {
+		conn, err := net.DialTimeout("tcp", addr, 3*time.Second)
+		if err != nil {
+			return
+		}
+		bc.conn = conn
+	}
+	if err := wire.WriteFrame(bc.conn, msg.EncodeEnvelope(e)); err != nil {
+		bc.conn.Close()
+		bc.conn = nil
+	}
+}
+
+// Close shuts the bridge down and waits for its goroutines.
+func (b *Bridge) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	l := b.listener
+	conns := b.conns
+	b.conns = make(map[string]*bridgeConn)
+	b.mu.Unlock()
+
+	if l != nil {
+		l.Close()
+	}
+	for _, bc := range conns {
+		bc.mu.Lock()
+		if bc.conn != nil {
+			bc.conn.Close()
+			bc.conn = nil
+		}
+		bc.mu.Unlock()
+	}
+	b.wg.Wait()
+}
+
+// Gateway bridges raw legacy-client TCP connections into the envelope
+// world: each accepted connection is assigned a synthetic client node ID;
+// frames read from the socket become ChannelData envelopes to the replica,
+// and ChannelData envelopes addressed to the synthetic ID are written back
+// to the socket. The replica's untrusted connection handling (Section III-C:
+// sockets and worker threads live outside the Troxy) is exactly this.
+type Gateway struct {
+	router  *Router
+	replica msg.NodeID
+
+	mu     sync.Mutex
+	nextID msg.NodeID
+	closed bool
+	active map[net.Conn]struct{}
+
+	wg       sync.WaitGroup
+	listener net.Listener
+}
+
+// NewGateway creates a gateway that forwards client connections to replica,
+// assigning synthetic node IDs starting at firstClientID.
+func NewGateway(router *Router, replica, firstClientID msg.NodeID) *Gateway {
+	return &Gateway{
+		router:  router,
+		replica: replica,
+		nextID:  firstClientID,
+		active:  make(map[net.Conn]struct{}),
+	}
+}
+
+// Serve accepts connections on l until the gateway is closed.
+func (g *Gateway) Serve(l net.Listener) {
+	g.mu.Lock()
+	g.listener = l
+	g.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		g.mu.Lock()
+		if g.closed {
+			g.mu.Unlock()
+			conn.Close()
+			return
+		}
+		id := g.nextID
+		g.nextID++
+		g.active[conn] = struct{}{}
+		g.mu.Unlock()
+		g.wg.Add(1)
+		go func() {
+			defer g.wg.Done()
+			defer func() {
+				g.mu.Lock()
+				delete(g.active, conn)
+				g.mu.Unlock()
+			}()
+			g.handle(conn, id)
+		}()
+	}
+}
+
+// gatewayHandler is the per-connection node: it relays ChannelData
+// envelopes from the replica back to the client socket.
+type gatewayHandler struct {
+	conn net.Conn
+}
+
+func (gatewayHandler) OnStart(node.Env) {}
+
+func (h gatewayHandler) OnEnvelope(_ node.Env, e *msg.Envelope) {
+	if e.Kind != msg.KindChannelData {
+		return
+	}
+	m, err := e.Open()
+	if err != nil {
+		return
+	}
+	cd, ok := m.(*msg.ChannelData)
+	if !ok {
+		return
+	}
+	// A write failure means the client hung up; the read loop will notice
+	// and tear the connection node down.
+	_ = wire.WriteFrame(h.conn, cd.Payload)
+}
+
+func (gatewayHandler) OnTimer(node.Env, node.TimerKey) {}
+
+var _ node.Handler = gatewayHandler{}
+
+func (g *Gateway) handle(conn net.Conn, id msg.NodeID) {
+	defer conn.Close()
+	g.router.Attach(id, gatewayHandler{conn: conn})
+	defer g.router.Detach(id)
+
+	for {
+		frame, err := wire.ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		g.router.Send(msg.Seal(id, g.replica, &msg.ChannelData{
+			ConnID:  uint64(id),
+			Payload: frame,
+		}))
+	}
+}
+
+// Close stops the gateway, tearing down active client connections.
+func (g *Gateway) Close() {
+	g.mu.Lock()
+	g.closed = true
+	l := g.listener
+	for conn := range g.active {
+		conn.Close()
+	}
+	g.mu.Unlock()
+	if l != nil {
+		l.Close()
+	}
+	g.wg.Wait()
+}

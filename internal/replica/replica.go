@@ -1,0 +1,314 @@
+// Package replica implements the untrusted part of a replica: connection
+// handling, transport message authentication, and the composition of the
+// Hybster protocol core with (optionally) a Troxy. It is the node.Handler
+// that runs on each server, under both the real runtime and the simulator.
+//
+// Two frontends exist, matching the evaluation's systems:
+//
+//   - Troxy mode (Config.Proxy != nil): legacy clients connect over secure
+//     channels; the Troxy terminates them, votes over replies, and serves
+//     fast reads. Replies of executed requests travel replica→replica as
+//     OrderedReply messages authenticated by the executing replica's Troxy.
+//   - Baseline mode (Config.Proxy == nil): BFT clients (internal/bftclient)
+//     talk the protocol themselves; replicas send them BFTReply messages and
+//     answer speculative direct reads (the PBFT-like read optimization).
+package replica
+
+import (
+	"time"
+
+	"github.com/troxy-bft/troxy/internal/authn"
+	"github.com/troxy-bft/troxy/internal/hybster"
+	"github.com/troxy-bft/troxy/internal/msg"
+	"github.com/troxy-bft/troxy/internal/node"
+	"github.com/troxy-bft/troxy/internal/troxy"
+)
+
+// Config parameterizes a replica.
+type Config struct {
+	// Self is this replica's ID (0..N-1).
+	Self msg.NodeID
+
+	// N and F are the replication parameters.
+	N, F int
+
+	// Hybster configures the protocol core. Self/N/F are overwritten from
+	// this config.
+	Hybster hybster.Config
+
+	// Directory provides the transport authentication keys.
+	Directory *authn.Directory
+
+	// Proxy is the Troxy binding (nil = baseline mode).
+	Proxy troxy.Proxy
+
+	// TickInterval drives the Troxy's timeout processing (zero: 100ms).
+	TickInterval time.Duration
+}
+
+const timerTick = "replica/tick"
+
+// Replica is the untrusted replica part.
+type Replica struct {
+	cfg   Config
+	auth  *authn.Authenticator
+	core  *hybster.Core
+	proxy troxy.Proxy
+
+	stats Stats
+}
+
+// Stats counts transport-level events.
+type Stats struct {
+	// BadMACs counts envelopes dropped by transport authentication ("if a
+	// correct component receives a message it cannot verify, the component
+	// discards the message", Section III-B).
+	BadMACs uint64
+	// DirectReads counts speculative read executions (baseline mode).
+	DirectReads uint64
+}
+
+var _ node.Handler = (*Replica)(nil)
+var _ hybster.Outbound = (*Replica)(nil)
+
+// New creates a replica.
+func New(cfg Config) *Replica {
+	r := &Replica{cfg: cfg, proxy: cfg.Proxy}
+	r.auth = authn.NewAuthenticator(cfg.Self, cfg.Directory)
+	hcfg := cfg.Hybster
+	hcfg.Self = cfg.Self
+	hcfg.N = cfg.N
+	hcfg.F = cfg.F
+	r.core = hybster.New(hcfg, r)
+	return r
+}
+
+// Core exposes the protocol core (experiments read its metrics).
+func (r *Replica) Core() *hybster.Core { return r.core }
+
+// Stats returns transport counters.
+func (r *Replica) Stats() Stats { return r.stats }
+
+// OnStart implements node.Handler.
+func (r *Replica) OnStart(env node.Env) {
+	if r.proxy != nil {
+		env.SetTimer(r.tickInterval(), node.TimerKey{Kind: timerTick})
+	}
+}
+
+func (r *Replica) tickInterval() time.Duration {
+	if r.cfg.TickInterval > 0 {
+		return r.cfg.TickInterval
+	}
+	return 100 * time.Millisecond
+}
+
+// OnTimer implements node.Handler.
+func (r *Replica) OnTimer(env node.Env, key node.TimerKey) {
+	switch {
+	case hybster.OwnsTimer(key):
+		r.core.OnTimer(env, key)
+	case key.Kind == timerTick:
+		if r.proxy != nil {
+			if acts, err := r.proxy.Tick(env); err == nil {
+				r.apply(env, acts)
+			}
+			env.SetTimer(r.tickInterval(), node.TimerKey{Kind: timerTick})
+		}
+	}
+}
+
+// OnEnvelope implements node.Handler.
+func (r *Replica) OnEnvelope(env node.Env, e *msg.Envelope) {
+	switch e.Kind {
+	case msg.KindChannelData:
+		r.onChannelData(env, e)
+		return
+	}
+
+	// Everything else travels with a transport MAC.
+	env.Charge(node.ProfileJava, node.ChargeMAC, len(e.Body))
+	if !r.auth.VerifyMAC(e) {
+		r.stats.BadMACs++
+		return
+	}
+	m, err := e.Open()
+	if err != nil {
+		r.stats.BadMACs++
+		return
+	}
+	env.Charge(node.ProfileJava, node.ChargeBase, 0)
+
+	switch m := m.(type) {
+	case *msg.BFTRequest:
+		r.onBFTRequest(env, e.From, m)
+	case *msg.Forward:
+		r.core.OnForward(env, e.From, m)
+	case *msg.Prepare:
+		r.core.OnPrepare(env, e.From, m)
+	case *msg.Commit:
+		r.core.OnCommit(env, e.From, m)
+	case *msg.Checkpoint:
+		r.core.OnCheckpoint(env, e.From, m)
+	case *msg.ViewChange:
+		r.core.OnViewChange(env, e.From, m)
+	case *msg.NewView:
+		r.core.OnNewView(env, e.From, m)
+	case *msg.StateRequest:
+		r.core.OnStateRequest(env, e.From, m)
+	case *msg.StateReply:
+		r.core.OnStateReply(env, e.From, m)
+	case *msg.OrderedReply:
+		if r.proxy != nil {
+			if acts, err := r.proxy.HandleReply(env, m); err == nil {
+				r.apply(env, acts)
+			}
+		}
+	case *msg.CacheQuery:
+		if r.proxy != nil {
+			if acts, err := r.proxy.HandleCacheQuery(env, m); err == nil {
+				r.apply(env, acts)
+			}
+		}
+	case *msg.CacheReply:
+		if r.proxy != nil {
+			if acts, err := r.proxy.HandleCacheReply(env, m); err == nil {
+				r.apply(env, acts)
+			}
+		}
+	}
+}
+
+// onChannelData feeds opaque client bytes into the Troxy.
+func (r *Replica) onChannelData(env node.Env, e *msg.Envelope) {
+	if r.proxy == nil {
+		return // baseline replicas have no legacy-client frontend
+	}
+	m, err := e.Open()
+	if err != nil {
+		return
+	}
+	cd, ok := m.(*msg.ChannelData)
+	if !ok {
+		return
+	}
+	acts, err := r.proxy.HandleClientData(env, cd.ConnID, e.From, cd.Payload)
+	if err != nil {
+		env.Logf("troxy: client data from %d: %v", e.From, err)
+		return
+	}
+	r.apply(env, acts)
+}
+
+// onBFTRequest serves baseline BFT clients.
+func (r *Replica) onBFTRequest(env node.Env, from msg.NodeID, m *msg.BFTRequest) {
+	if m.Flags&msg.FlagDirect != 0 {
+		// Speculative read: execute without ordering and reply directly.
+		result, ok := r.core.ExecuteReadOnly(env, m.Op)
+		rep := &msg.BFTReply{
+			Executor:  r.cfg.Self,
+			Client:    m.Client,
+			ClientSeq: m.ClientSeq,
+			ReqDigest: msg.DigestOf(m.Op),
+			Direct:    true,
+			Conflict:  !ok,
+			Result:    result,
+		}
+		r.stats.DirectReads++
+		r.sendAuthed(env, from, rep)
+		return
+	}
+	if m.Flags&msg.FlagBroadcast != 0 && !r.core.IsLeader() {
+		// The client broadcast this request; the leader has its own copy
+		// and followers must not amplify it into Forwards.
+		return
+	}
+	r.core.Submit(env, &msg.OrderRequest{
+		Origin:    from,
+		Client:    m.Client,
+		ClientSeq: m.ClientSeq,
+		Flags:     m.Flags,
+		Op:        m.Op,
+	})
+}
+
+// apply executes the Troxy's requested actions.
+func (r *Replica) apply(env node.Env, acts troxy.Actions) {
+	for _, cr := range acts.Client {
+		env.Send(msg.Seal(r.cfg.Self, cr.Node, &msg.ChannelData{
+			ConnID:  cr.ConnID,
+			Payload: cr.Frame,
+		}))
+	}
+	for i := range acts.Submits {
+		req := acts.Submits[i]
+		r.core.Submit(env, &req)
+	}
+	for _, pm := range acts.Queries {
+		var m msg.Message
+		if pm.Query != nil {
+			m = pm.Query
+		} else {
+			m = pm.Reply
+		}
+		r.sendAuthed(env, pm.To, m)
+	}
+}
+
+// sendAuthed seals, MACs and transmits a message.
+func (r *Replica) sendAuthed(env node.Env, to msg.NodeID, m msg.Message) {
+	e := msg.Seal(r.cfg.Self, to, m)
+	env.Charge(node.ProfileJava, node.ChargeMAC, len(e.Body))
+	r.auth.SealMAC(e)
+	env.Send(e)
+}
+
+// Send implements hybster.Outbound.
+func (r *Replica) Send(env node.Env, to msg.NodeID, m msg.Message) {
+	r.sendAuthed(env, to, m)
+}
+
+// Committed implements hybster.Outbound: every executed request produces a
+// reply toward its origin. In Troxy mode the reply is authenticated by this
+// replica's Troxy — which also invalidates outdated cache entries before the
+// reply can count anywhere (Section IV-A).
+func (r *Replica) Committed(env node.Env, seq uint64, req *msg.OrderRequest, result []byte, keys []string, read bool) {
+	if req.Origin == msg.NoNode {
+		return
+	}
+	if r.proxy == nil {
+		// Baseline: reply straight to the BFT client.
+		r.sendAuthed(env, req.Origin, &msg.BFTReply{
+			Executor:  r.cfg.Self,
+			Client:    req.Client,
+			ClientSeq: req.ClientSeq,
+			ReqDigest: req.Digest(),
+			Result:    result,
+		})
+		return
+	}
+
+	rep := &msg.OrderedReply{
+		Executor:    r.cfg.Self,
+		Seq:         seq,
+		Client:      req.Client,
+		ClientSeq:   req.ClientSeq,
+		ReqDigest:   req.Digest(),
+		Result:      result,
+		InvalidKeys: keys,
+	}
+	opHash := msg.DigestOf(req.Op)
+	env.Charge(node.ProfileJava, node.ChargeHash, len(req.Op))
+	if err := r.proxy.AuthenticateReply(env, rep, read, opHash); err != nil {
+		env.Logf("troxy: authenticate reply: %v", err)
+		return
+	}
+	if req.Origin == r.cfg.Self {
+		// The voter lives in this replica's own Troxy.
+		if acts, err := r.proxy.HandleReply(env, rep); err == nil {
+			r.apply(env, acts)
+		}
+		return
+	}
+	r.sendAuthed(env, req.Origin, rep)
+}

@@ -1,0 +1,143 @@
+package replica
+
+import (
+	"testing"
+	"time"
+
+	"github.com/troxy-bft/troxy/internal/app"
+	"github.com/troxy-bft/troxy/internal/authn"
+	"github.com/troxy-bft/troxy/internal/hybster"
+	"github.com/troxy-bft/troxy/internal/msg"
+	"github.com/troxy-bft/troxy/internal/node"
+	"github.com/troxy-bft/troxy/internal/simnet"
+	"github.com/troxy-bft/troxy/internal/tcounter"
+)
+
+// newBaselineCluster wires three baseline-mode replicas directly (no Troxy),
+// exercising this package's transport authentication and dispatch.
+func newBaselineCluster(t *testing.T) ([]*Replica, *authn.Directory, *simnet.Network) {
+	t.Helper()
+	dir, err := authn.NewDirectory([]byte("replica-test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := simnet.New(2, nil)
+	net.SetDefaultLink(simnet.FixedLatency(time.Millisecond))
+	var reps []*Replica
+	for i := 0; i < 3; i++ {
+		sub := tcounter.NewSubsystem(msg.NodeID(i))
+		sub.SetKey(dir.CounterKey())
+		r := New(Config{
+			Self: msg.NodeID(i),
+			N:    3,
+			F:    1,
+			Hybster: hybster.Config{
+				Profile:           node.ProfileJava,
+				Authority:         tcounter.Direct{S: sub},
+				App:               app.NewStore(),
+				ViewChangeTimeout: 10 * time.Second,
+			},
+			Directory: dir,
+		})
+		reps = append(reps, r)
+		net.Attach(msg.NodeID(i), r)
+	}
+	return reps, dir, net
+}
+
+// sender injects envelopes, optionally MACed with the right key.
+type sender struct {
+	auth *authn.Authenticator
+	send []*msg.Envelope
+}
+
+func (s *sender) OnStart(env node.Env) {
+	for _, e := range s.send {
+		env.Send(e)
+	}
+}
+func (s *sender) OnEnvelope(node.Env, *msg.Envelope) {}
+func (s *sender) OnTimer(node.Env, node.TimerKey)    {}
+
+func TestUnauthenticatedEnvelopesDiscarded(t *testing.T) {
+	reps, _, net := newBaselineCluster(t)
+	e := msg.Seal(100, 0, &msg.BFTRequest{Client: 1, ClientSeq: 1, Op: []byte("PUT a 1")})
+	e.MAC = []byte("bogus")
+	net.Attach(100, &sender{send: []*msg.Envelope{e}})
+	net.Run(time.Second)
+	if reps[0].Stats().BadMACs == 0 {
+		t.Error("bogus MAC not counted")
+	}
+	if reps[0].Core().Metrics().Executed != 0 {
+		t.Error("unauthenticated request executed")
+	}
+}
+
+func TestAuthenticatedRequestOrdersAndReplies(t *testing.T) {
+	reps, dir, net := newBaselineCluster(t)
+	auth := authn.NewAuthenticator(100, dir)
+	e := msg.Seal(100, 0, &msg.BFTRequest{Client: 1, ClientSeq: 1, Op: []byte("PUT a 1")})
+	auth.SealMAC(e)
+
+	recv := &collector{}
+	net.Attach(100, &sender{send: []*msg.Envelope{e}})
+	net.Attach(101, recv) // unrelated observer
+	net.Run(2 * time.Second)
+
+	for i, r := range reps {
+		if r.Core().Metrics().Executed != 1 {
+			t.Errorf("replica %d executed %d", i, r.Core().Metrics().Executed)
+		}
+	}
+}
+
+type collector struct{ got []*msg.Envelope }
+
+func (c *collector) OnStart(node.Env) {}
+func (c *collector) OnEnvelope(_ node.Env, e *msg.Envelope) {
+	c.got = append(c.got, e)
+}
+func (c *collector) OnTimer(node.Env, node.TimerKey) {}
+
+func TestDirectReadExecutesWithoutOrdering(t *testing.T) {
+	reps, dir, net := newBaselineCluster(t)
+	auth := authn.NewAuthenticator(100, dir)
+	e := msg.Seal(100, 1, &msg.BFTRequest{
+		Client: 1, ClientSeq: 1,
+		Flags: msg.FlagReadOnly | msg.FlagDirect,
+		Op:    []byte("GET a"),
+	})
+	auth.SealMAC(e)
+
+	net.Attach(100, &sender{send: []*msg.Envelope{e}})
+	net.Run(time.Second)
+
+	if reps[1].Stats().DirectReads != 1 {
+		t.Errorf("direct reads = %d", reps[1].Stats().DirectReads)
+	}
+	if reps[1].Core().Metrics().Executed != 0 {
+		t.Error("direct read went through ordering")
+	}
+}
+
+func TestBroadcastFlagNotForwardedByFollowers(t *testing.T) {
+	reps, dir, net := newBaselineCluster(t)
+	auth := authn.NewAuthenticator(100, dir)
+	var envs []*msg.Envelope
+	for i := 0; i < 3; i++ {
+		e := msg.Seal(100, msg.NodeID(i), &msg.BFTRequest{
+			Client: 1, ClientSeq: 1,
+			Flags: msg.FlagBroadcast,
+			Op:    []byte("PUT a 1"),
+		})
+		auth.SealMAC(e)
+		envs = append(envs, e)
+	}
+	net.Attach(100, &sender{send: envs})
+	net.Run(2 * time.Second)
+	for i, r := range reps {
+		if got := r.Core().Metrics().Executed; got != 1 {
+			t.Errorf("replica %d executed %d, want exactly 1", i, got)
+		}
+	}
+}

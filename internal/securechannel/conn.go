@@ -1,0 +1,138 @@
+package securechannel
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/troxy-bft/troxy/internal/wire"
+)
+
+// maxRecordPlaintext bounds the plaintext carried by a single record on
+// byte-stream transports.
+const maxRecordPlaintext = 16 * 1024
+
+// Conn adapts a Session to net.Conn over a byte-stream transport, so that
+// completely unmodified legacy clients (e.g. net/http with a custom dialer)
+// can talk to a Troxy. Records are length-prefixed on the underlying stream.
+//
+// Read and Write may be used concurrently with each other (as net.Conn
+// requires) but each is serialized internally.
+type Conn struct {
+	raw net.Conn
+
+	readMu  sync.Mutex
+	writeMu sync.Mutex
+	sessMu  sync.Mutex
+	sess    *Session
+	readBuf []byte
+}
+
+// ClientConn performs the client side of the handshake over raw and returns
+// the secured connection. serverPub pins the service identity.
+func ClientConn(raw net.Conn, serverPub ed25519.PublicKey) (*Conn, error) {
+	hs, hello, err := NewClientHandshake(serverPub, rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	if err := wire.WriteFrame(raw, hello); err != nil {
+		return nil, fmt.Errorf("securechannel: send client hello: %w", err)
+	}
+	serverHello, err := wire.ReadFrame(raw)
+	if err != nil {
+		return nil, fmt.Errorf("securechannel: read server hello: %w", err)
+	}
+	sess, err := hs.Finish(serverHello)
+	if err != nil {
+		return nil, err
+	}
+	return &Conn{raw: raw, sess: sess}, nil
+}
+
+// ServerConn performs the server side of the handshake over raw. identity is
+// the service's Ed25519 private key (inside the enclave in a Troxy replica;
+// this adapter is also used by the standalone and Prophecy services).
+func ServerConn(raw net.Conn, identity ed25519.PrivateKey) (*Conn, error) {
+	clientHello, err := wire.ReadFrame(raw)
+	if err != nil {
+		return nil, fmt.Errorf("securechannel: read client hello: %w", err)
+	}
+	sess, serverHello, err := ServerHandshake(identity, clientHello, rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	if err := wire.WriteFrame(raw, serverHello); err != nil {
+		return nil, fmt.Errorf("securechannel: send server hello: %w", err)
+	}
+	return &Conn{raw: raw, sess: sess}, nil
+}
+
+// Read implements net.Conn.
+func (c *Conn) Read(p []byte) (int, error) {
+	c.readMu.Lock()
+	defer c.readMu.Unlock()
+	for len(c.readBuf) == 0 {
+		record, err := wire.ReadFrame(c.raw)
+		if err != nil {
+			return 0, err
+		}
+		c.sessMu.Lock()
+		pt, err := c.sess.Open(record)
+		c.sessMu.Unlock()
+		if err != nil {
+			return 0, err
+		}
+		c.readBuf = pt
+	}
+	n := copy(p, c.readBuf)
+	c.readBuf = c.readBuf[n:]
+	return n, nil
+}
+
+// Write implements net.Conn.
+func (c *Conn) Write(p []byte) (int, error) {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	written := 0
+	for len(p) > 0 {
+		chunk := p
+		if len(chunk) > maxRecordPlaintext {
+			chunk = chunk[:maxRecordPlaintext]
+		}
+		c.sessMu.Lock()
+		record, err := c.sess.Seal(chunk)
+		c.sessMu.Unlock()
+		if err != nil {
+			return written, err
+		}
+		if err := wire.WriteFrame(c.raw, record); err != nil {
+			return written, err
+		}
+		written += len(chunk)
+		p = p[len(chunk):]
+	}
+	return written, nil
+}
+
+// Close implements net.Conn.
+func (c *Conn) Close() error { return c.raw.Close() }
+
+// LocalAddr implements net.Conn.
+func (c *Conn) LocalAddr() net.Addr { return c.raw.LocalAddr() }
+
+// RemoteAddr implements net.Conn.
+func (c *Conn) RemoteAddr() net.Addr { return c.raw.RemoteAddr() }
+
+// SetDeadline implements net.Conn.
+func (c *Conn) SetDeadline(t time.Time) error { return c.raw.SetDeadline(t) }
+
+// SetReadDeadline implements net.Conn.
+func (c *Conn) SetReadDeadline(t time.Time) error { return c.raw.SetReadDeadline(t) }
+
+// SetWriteDeadline implements net.Conn.
+func (c *Conn) SetWriteDeadline(t time.Time) error { return c.raw.SetWriteDeadline(t) }
+
+var _ net.Conn = (*Conn)(nil)

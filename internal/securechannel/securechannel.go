@@ -1,0 +1,277 @@
+// Package securechannel implements the TLS-like secure channel between
+// legacy clients and Troxy instances. It substitutes for the TaLoS library
+// of the paper's prototype: the handshake and record protection logic run
+// inside the enclave boundary, the session keys never leave it, and the
+// untrusted replica part only ever sees opaque handshake frames and
+// encrypted records.
+//
+// The protocol is a compact TLS 1.3 analogue:
+//
+//   - X25519 ephemeral key agreement,
+//   - an Ed25519 server signature over the handshake transcript (the
+//     server's identity key is provisioned into the enclave after
+//     attestation, like the private key in Section V-A),
+//   - HKDF-SHA256 key derivation into two directional AES-256-GCM keys,
+//   - per-direction 64-bit record sequence numbers used as nonces.
+//
+// Replay protection falls out of the record layer: each endpoint's receive
+// sequence number advances on every successfully opened record, so a
+// replayed or reordered ciphertext fails authentication ("each endpoint
+// will never accept the same chunk of encrypted data twice", Section III-D).
+package securechannel
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/ecdh"
+	"crypto/ed25519"
+	"crypto/hkdf"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Frame type bytes on the wire.
+const (
+	frameClientHello byte = iota + 1
+	frameServerHello
+	frameRecord
+)
+
+// Overhead is the per-record ciphertext expansion (type byte + GCM tag).
+const Overhead = 1 + 16
+
+// HandshakeOverheadClient and HandshakeOverheadServer are the wire sizes of
+// the two handshake frames; the simulator uses them for byte accounting.
+const (
+	HandshakeOverheadClient = 1 + 32 + 16
+	HandshakeOverheadServer = 1 + 32 + 16 + ed25519.SignatureSize
+)
+
+// Errors.
+var (
+	// ErrHandshake reports a malformed or unauthentic handshake frame.
+	ErrHandshake = errors.New("securechannel: handshake failed")
+
+	// ErrRecord reports a record that failed authentication (tampering,
+	// replay, reordering, or truncation).
+	ErrRecord = errors.New("securechannel: record rejected")
+
+	// ErrNotEstablished reports record I/O before the handshake completed.
+	ErrNotEstablished = errors.New("securechannel: not established")
+)
+
+// Session is an established secure channel endpoint. It is not safe for
+// concurrent use; callers serialize access (the Troxy state machine and the
+// net.Conn adapter both do).
+type Session struct {
+	sendAEAD cipher.AEAD
+	recvAEAD cipher.AEAD
+	sendSeq  uint64
+	recvSeq  uint64
+}
+
+// Established reports whether the handshake completed.
+func (s *Session) Established() bool { return s != nil && s.sendAEAD != nil }
+
+// Seal encrypts one plaintext frame into a record.
+func (s *Session) Seal(plaintext []byte) ([]byte, error) {
+	if !s.Established() {
+		return nil, ErrNotEstablished
+	}
+	nonce := make([]byte, 12)
+	putSeq(nonce, s.sendSeq)
+	s.sendSeq++
+	out := make([]byte, 1, 1+len(plaintext)+16)
+	out[0] = frameRecord
+	return s.sendAEAD.Seal(out, nonce, plaintext, out[:1]), nil
+}
+
+// Open authenticates and decrypts one record. A record can be opened exactly
+// once and only in order; anything else fails.
+func (s *Session) Open(record []byte) ([]byte, error) {
+	if !s.Established() {
+		return nil, ErrNotEstablished
+	}
+	if len(record) < Overhead || record[0] != frameRecord {
+		return nil, ErrRecord
+	}
+	nonce := make([]byte, 12)
+	putSeq(nonce, s.recvSeq)
+	pt, err := s.recvAEAD.Open(nil, nonce, record[1:], record[:1])
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrRecord, err)
+	}
+	s.recvSeq++
+	return pt, nil
+}
+
+func putSeq(nonce []byte, seq uint64) {
+	// The low 8 bytes of the 12-byte nonce carry the sequence number.
+	for i := 0; i < 8; i++ {
+		nonce[4+i] = byte(seq >> (8 * i))
+	}
+}
+
+// ClientHandshake is the in-flight client side of a handshake.
+type ClientHandshake struct {
+	serverPub ed25519.PublicKey
+	priv      *ecdh.PrivateKey
+	hello     []byte
+}
+
+// NewClientHandshake starts a handshake towards a server whose identity
+// public key is serverPub. It returns the handshake state and the
+// ClientHello frame to transmit. randSource supplies ephemeral key material
+// (crypto/rand.Reader in production, a seeded reader in the simulator).
+func NewClientHandshake(serverPub ed25519.PublicKey, randSource io.Reader) (*ClientHandshake, []byte, error) {
+	priv, err := ecdh.X25519().GenerateKey(randSource)
+	if err != nil {
+		return nil, nil, fmt.Errorf("securechannel: ephemeral key: %w", err)
+	}
+	random := make([]byte, 16)
+	if _, err := io.ReadFull(randSource, random); err != nil {
+		return nil, nil, fmt.Errorf("securechannel: client random: %w", err)
+	}
+	hello := make([]byte, 0, HandshakeOverheadClient)
+	hello = append(hello, frameClientHello)
+	hello = append(hello, priv.PublicKey().Bytes()...)
+	hello = append(hello, random...)
+	return &ClientHandshake{serverPub: serverPub, priv: priv, hello: hello}, hello, nil
+}
+
+// Finish consumes the ServerHello frame and returns the established session.
+func (h *ClientHandshake) Finish(serverHello []byte) (*Session, error) {
+	if len(serverHello) != HandshakeOverheadServer || serverHello[0] != frameServerHello {
+		return nil, fmt.Errorf("%w: bad server hello", ErrHandshake)
+	}
+	serverECDH := serverHello[1:33]
+	sig := serverHello[49:]
+
+	transcript := transcriptHash(h.hello, serverHello[:49])
+	if !ed25519.Verify(h.serverPub, transcript, sig) {
+		return nil, fmt.Errorf("%w: bad server signature", ErrHandshake)
+	}
+	peer, err := ecdh.X25519().NewPublicKey(serverECDH)
+	if err != nil {
+		return nil, fmt.Errorf("%w: bad server key share: %v", ErrHandshake, err)
+	}
+	shared, err := h.priv.ECDH(peer)
+	if err != nil {
+		return nil, fmt.Errorf("%w: ECDH: %v", ErrHandshake, err)
+	}
+	c2s, s2c, err := deriveKeys(shared, transcript)
+	if err != nil {
+		return nil, err
+	}
+	return newSession(c2s, s2c)
+}
+
+// ServerHandshake processes a ClientHello and produces the ServerHello plus
+// the established session in one step (the server has no further flights).
+// identity is the server's Ed25519 private key, held inside the enclave.
+func ServerHandshake(identity ed25519.PrivateKey, clientHello []byte, randSource io.Reader) (*Session, []byte, error) {
+	if len(clientHello) != HandshakeOverheadClient || clientHello[0] != frameClientHello {
+		return nil, nil, fmt.Errorf("%w: bad client hello", ErrHandshake)
+	}
+	clientECDH := clientHello[1:33]
+
+	priv, err := ecdh.X25519().GenerateKey(randSource)
+	if err != nil {
+		return nil, nil, fmt.Errorf("securechannel: ephemeral key: %w", err)
+	}
+	random := make([]byte, 16)
+	if _, err := io.ReadFull(randSource, random); err != nil {
+		return nil, nil, fmt.Errorf("securechannel: server random: %w", err)
+	}
+
+	core := make([]byte, 0, 49)
+	core = append(core, frameServerHello)
+	core = append(core, priv.PublicKey().Bytes()...)
+	core = append(core, random...)
+
+	transcript := transcriptHash(clientHello, core)
+	sig := ed25519.Sign(identity, transcript)
+	serverHello := append(core, sig...)
+
+	peer, err := ecdh.X25519().NewPublicKey(clientECDH)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: bad client key share: %v", ErrHandshake, err)
+	}
+	shared, err := priv.ECDH(peer)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: ECDH: %v", ErrHandshake, err)
+	}
+	c2s, s2c, err := deriveKeys(shared, transcript)
+	if err != nil {
+		return nil, nil, err
+	}
+	sess, err := newServerSession(c2s, s2c)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sess, serverHello, nil
+}
+
+func transcriptHash(clientHello, serverCore []byte) []byte {
+	h := sha256.New()
+	h.Write([]byte("securechannel-transcript"))
+	h.Write(clientHello)
+	h.Write(serverCore)
+	return h.Sum(nil)
+}
+
+func deriveKeys(shared, transcript []byte) (c2s, s2c []byte, err error) {
+	prk, err := hkdf.Extract(sha256.New, shared, transcript)
+	if err != nil {
+		return nil, nil, fmt.Errorf("securechannel: hkdf extract: %w", err)
+	}
+	c2s, err = hkdf.Expand(sha256.New, prk, "client-to-server", 32)
+	if err != nil {
+		return nil, nil, fmt.Errorf("securechannel: hkdf expand: %w", err)
+	}
+	s2c, err = hkdf.Expand(sha256.New, prk, "server-to-client", 32)
+	if err != nil {
+		return nil, nil, fmt.Errorf("securechannel: hkdf expand: %w", err)
+	}
+	return c2s, s2c, nil
+}
+
+func aead(key []byte) (cipher.AEAD, error) {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("securechannel: cipher: %w", err)
+	}
+	g, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("securechannel: GCM: %w", err)
+	}
+	return g, nil
+}
+
+func newSession(sendKey, recvKey []byte) (*Session, error) {
+	send, err := aead(sendKey)
+	if err != nil {
+		return nil, err
+	}
+	recv, err := aead(recvKey)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{sendAEAD: send, recvAEAD: recv}, nil
+}
+
+func newServerSession(c2s, s2c []byte) (*Session, error) {
+	return newSession(s2c, c2s)
+}
+
+// IsHandshakeFrame reports whether b looks like a handshake frame (as
+// opposed to a record); the Troxy uses it to route incoming channel bytes.
+func IsHandshakeFrame(b []byte) bool {
+	return len(b) > 0 && (b[0] == frameClientHello || b[0] == frameServerHello)
+}
+
+// RecordSize returns the wire size of a record carrying n plaintext bytes,
+// including the transport length prefix.
+func RecordSize(n int) int { return 4 + n + Overhead }

@@ -1,0 +1,270 @@
+package securechannel
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"crypto/rand"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"testing/quick"
+)
+
+func testIdentity(t *testing.T) (ed25519.PublicKey, ed25519.PrivateKey) {
+	t.Helper()
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pub, priv
+}
+
+func handshake(t *testing.T) (client, server *Session) {
+	t.Helper()
+	pub, priv := testIdentity(t)
+	hs, hello, err := NewClientHandshake(pub, rand.Reader)
+	if err != nil {
+		t.Fatalf("NewClientHandshake: %v", err)
+	}
+	if len(hello) != HandshakeOverheadClient {
+		t.Fatalf("client hello size = %d, want %d", len(hello), HandshakeOverheadClient)
+	}
+	server, serverHello, err := ServerHandshake(priv, hello, rand.Reader)
+	if err != nil {
+		t.Fatalf("ServerHandshake: %v", err)
+	}
+	if len(serverHello) != HandshakeOverheadServer {
+		t.Fatalf("server hello size = %d, want %d", len(serverHello), HandshakeOverheadServer)
+	}
+	client, err = hs.Finish(serverHello)
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	return client, server
+}
+
+func TestRoundTripBothDirections(t *testing.T) {
+	client, server := handshake(t)
+	for i := 0; i < 5; i++ {
+		rec, err := client.Seal([]byte("ping"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pt, err := server.Open(rec)
+		if err != nil {
+			t.Fatalf("server open %d: %v", i, err)
+		}
+		if string(pt) != "ping" {
+			t.Errorf("plaintext = %q", pt)
+		}
+		rec, err = server.Seal([]byte("pong"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pt, err = client.Open(rec)
+		if err != nil {
+			t.Fatalf("client open %d: %v", i, err)
+		}
+		if string(pt) != "pong" {
+			t.Errorf("plaintext = %q", pt)
+		}
+	}
+}
+
+func TestReplayRejected(t *testing.T) {
+	client, server := handshake(t)
+	rec, err := client.Seal([]byte("once"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := server.Open(rec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := server.Open(rec); !errors.Is(err, ErrRecord) {
+		t.Errorf("replayed record error = %v", err)
+	}
+}
+
+func TestReorderRejected(t *testing.T) {
+	client, server := handshake(t)
+	r1, _ := client.Seal([]byte("1"))
+	r2, _ := client.Seal([]byte("2"))
+	if _, err := server.Open(r2); !errors.Is(err, ErrRecord) {
+		t.Errorf("out-of-order record error = %v", err)
+	}
+	// After the failure, in-order delivery still works.
+	if _, err := server.Open(r1); err != nil {
+		t.Errorf("in-order record after failure: %v", err)
+	}
+}
+
+func TestTamperRejected(t *testing.T) {
+	client, server := handshake(t)
+	rec, _ := client.Seal([]byte("data"))
+	rec[len(rec)-1] ^= 1
+	if _, err := server.Open(rec); !errors.Is(err, ErrRecord) {
+		t.Errorf("tampered record error = %v", err)
+	}
+}
+
+func TestDirectionKeysDiffer(t *testing.T) {
+	client, server := handshake(t)
+	rec, _ := client.Seal([]byte("c2s"))
+	// The client must not accept its own direction's traffic (reflection).
+	if _, err := client.Open(rec); !errors.Is(err, ErrRecord) {
+		t.Errorf("reflected record error = %v", err)
+	}
+	if _, err := server.Open(rec); err != nil {
+		t.Errorf("legitimate receive failed: %v", err)
+	}
+}
+
+func TestServerSignatureVerified(t *testing.T) {
+	pub, _ := testIdentity(t)
+	_, rogusPriv := testIdentity(t) // attacker key
+
+	hs, hello, err := NewClientHandshake(pub, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A malicious replica (without the enclave identity key) answers.
+	_, serverHello, err := ServerHandshake(rogusPriv, hello, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hs.Finish(serverHello); !errors.Is(err, ErrHandshake) {
+		t.Errorf("rogue server hello error = %v", err)
+	}
+}
+
+func TestHandshakeRejectsGarbage(t *testing.T) {
+	_, priv := testIdentity(t)
+	if _, _, err := ServerHandshake(priv, []byte("junk"), rand.Reader); !errors.Is(err, ErrHandshake) {
+		t.Errorf("garbage client hello error = %v", err)
+	}
+	pub, _ := testIdentity(t)
+	hs, _, err := NewClientHandshake(pub, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hs.Finish([]byte("junk")); !errors.Is(err, ErrHandshake) {
+		t.Errorf("garbage server hello error = %v", err)
+	}
+}
+
+func TestNotEstablished(t *testing.T) {
+	var s *Session
+	if _, err := s.Seal([]byte("x")); !errors.Is(err, ErrNotEstablished) {
+		t.Errorf("nil session Seal error = %v", err)
+	}
+	empty := &Session{}
+	if _, err := empty.Open([]byte("x")); !errors.Is(err, ErrNotEstablished) {
+		t.Errorf("empty session Open error = %v", err)
+	}
+}
+
+func TestIsHandshakeFrame(t *testing.T) {
+	client, _ := handshake(t)
+	pub, _ := testIdentity(t)
+	_, hello, err := NewClientHandshake(pub, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsHandshakeFrame(hello) {
+		t.Error("client hello not recognized as handshake frame")
+	}
+	rec, _ := client.Seal([]byte("x"))
+	if IsHandshakeFrame(rec) {
+		t.Error("record misclassified as handshake frame")
+	}
+	if IsHandshakeFrame(nil) {
+		t.Error("empty frame misclassified")
+	}
+}
+
+func TestQuickSealOpen(t *testing.T) {
+	client, server := handshake(t)
+	f := func(data []byte) bool {
+		rec, err := client.Seal(data)
+		if err != nil {
+			return false
+		}
+		if len(rec) != len(data)+Overhead {
+			return false
+		}
+		pt, err := server.Open(rec)
+		return err == nil && bytes.Equal(pt, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConnAdapter(t *testing.T) {
+	pub, priv := testIdentity(t)
+	clientRaw, serverRaw := net.Pipe()
+	t.Cleanup(func() {
+		clientRaw.Close()
+		serverRaw.Close()
+	})
+
+	type res struct {
+		conn *Conn
+		err  error
+	}
+	serverCh := make(chan res, 1)
+	go func() {
+		c, err := ServerConn(serverRaw, priv)
+		serverCh <- res{c, err}
+	}()
+	client, err := ClientConn(clientRaw, pub)
+	if err != nil {
+		t.Fatalf("ClientConn: %v", err)
+	}
+	sr := <-serverCh
+	if sr.err != nil {
+		t.Fatalf("ServerConn: %v", sr.err)
+	}
+	server := sr.conn
+
+	// Big payload exercises record chunking.
+	payload := bytes.Repeat([]byte("0123456789abcdef"), 4096) // 64 KiB
+	go func() {
+		if _, err := client.Write(payload); err != nil {
+			t.Errorf("client write: %v", err)
+		}
+	}()
+	got := make([]byte, len(payload))
+	if _, err := io.ReadFull(server, got); err != nil {
+		t.Fatalf("server read: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Error("payload corrupted through Conn")
+	}
+
+	// And the reverse direction.
+	go func() {
+		if _, err := server.Write([]byte("reply")); err != nil {
+			t.Errorf("server write: %v", err)
+		}
+	}()
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(client, buf); err != nil {
+		t.Fatalf("client read: %v", err)
+	}
+	if string(buf) != "reply" {
+		t.Errorf("reply = %q", buf)
+	}
+}
+
+func TestRecordSize(t *testing.T) {
+	client, _ := handshake(t)
+	rec, err := client.Seal(make([]byte, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if RecordSize(100) != 4+len(rec) {
+		t.Errorf("RecordSize(100) = %d, want %d", RecordSize(100), 4+len(rec))
+	}
+}

@@ -1,0 +1,121 @@
+package simnet
+
+import (
+	"time"
+
+	"github.com/troxy-bft/troxy/internal/node"
+)
+
+// Cost prices one operation class: a fixed setup cost plus a per-byte rate.
+// The rate is expressed in nanoseconds per byte and may be fractional.
+type Cost struct {
+	Fixed     time.Duration
+	PerByteNs float64
+}
+
+// of returns the virtual CPU time of an operation over n bytes.
+func (c Cost) of(n int) time.Duration {
+	return c.Fixed + time.Duration(c.PerByteNs*float64(n))
+}
+
+// CostModel converts Charge calls of protocol state machines into virtual
+// CPU time. The constants are calibrated against the paper's evaluation
+// hardware (Core i7-6700 @ 3.4 GHz, OpenJDK 1.8, SGX SDK v1.9) so that the
+// *relative* results of Figures 6-11 reproduce; absolute throughput is not
+// claimed. See EXPERIMENTS.md for the calibration rationale.
+type CostModel struct {
+	costs map[node.Profile]map[node.ChargeKind]Cost
+}
+
+// NewCostModel returns an empty cost model (all operations free).
+func NewCostModel() *CostModel {
+	return &CostModel{costs: make(map[node.Profile]map[node.ChargeKind]Cost)}
+}
+
+// Set prices an operation class for a profile.
+func (m *CostModel) Set(p node.Profile, k node.ChargeKind, c Cost) *CostModel {
+	byKind, ok := m.costs[p]
+	if !ok {
+		byKind = make(map[node.ChargeKind]Cost)
+		m.costs[p] = byKind
+	}
+	byKind[k] = c
+	return m
+}
+
+// CostOf returns the virtual CPU time of an operation.
+func (m *CostModel) CostOf(p node.Profile, k node.ChargeKind, n int) time.Duration {
+	if m == nil {
+		return 0
+	}
+	return m.costs[p][k].of(n)
+}
+
+// DefaultCostModel builds the calibrated model used by the experiment
+// harness.
+//
+// Calibration anchors (paper, Section VI):
+//
+//   - Java HMAC authentication is markedly slower per byte than C/C++
+//     ("authenticating messages with large payload is faster in C/C++ than
+//     it is in Java") — this drives the Fig. 6 parity crossover at 8 KiB and
+//     the Fig. 8 crossover at 4 KiB.
+//   - etroxy loses ~43% at 256 B ordered writes, and "half of the
+//     performance loss ... is caused by using the trusted subsystem" — the
+//     enclave transition cost therefore roughly equals the whole ctroxy
+//     overhead (JNI crossings plus the extra reply-voting steps).
+//   - SGX ecall/ocall round trips cost single-digit microseconds; EPC
+//     paging is avoided by the prototype's design and is not priced.
+func DefaultCostModel() *CostModel {
+	m := NewCostModel()
+
+	// Fixed message-handling cost (dispatch, queues, socket syscalls).
+	m.Set(node.ProfileJava, node.ChargeBase, Cost{Fixed: 4 * time.Microsecond})
+	m.Set(node.ProfileCpp, node.ChargeBase, Cost{Fixed: 2 * time.Microsecond})
+	m.Set(node.ProfileEnclave, node.ChargeBase, Cost{Fixed: 2 * time.Microsecond})
+
+	// HMAC-SHA256 message authentication. Java pays a higher per-byte rate
+	// (JCA overhead, buffer copies); C/C++ uses native crypto.
+	m.Set(node.ProfileJava, node.ChargeMAC, Cost{Fixed: 2 * time.Microsecond, PerByteNs: 7})
+	m.Set(node.ProfileCpp, node.ChargeMAC, Cost{Fixed: 1 * time.Microsecond, PerByteNs: 3})
+	m.Set(node.ProfileEnclave, node.ChargeMAC, Cost{Fixed: 1 * time.Microsecond, PerByteNs: 3})
+
+	// AEAD record protection (TLS-like channel).
+	m.Set(node.ProfileJava, node.ChargeAEAD, Cost{Fixed: 3 * time.Microsecond, PerByteNs: 8})
+	m.Set(node.ProfileCpp, node.ChargeAEAD, Cost{Fixed: 2 * time.Microsecond, PerByteNs: 3})
+	m.Set(node.ProfileEnclave, node.ChargeAEAD, Cost{Fixed: 2 * time.Microsecond, PerByteNs: 3})
+
+	// Hashing (request digests, cache keys).
+	m.Set(node.ProfileJava, node.ChargeHash, Cost{Fixed: 1 * time.Microsecond, PerByteNs: 3})
+	m.Set(node.ProfileCpp, node.ChargeHash, Cost{Fixed: 500 * time.Nanosecond, PerByteNs: 2})
+	m.Set(node.ProfileEnclave, node.ChargeHash, Cost{Fixed: 500 * time.Nanosecond, PerByteNs: 2})
+
+	// Application execution (the microbenchmark service copies the payload
+	// and produces a reply of configured size).
+	m.Set(node.ProfileJava, node.ChargeExec, Cost{Fixed: 5 * time.Microsecond, PerByteNs: 1})
+	m.Set(node.ProfileCpp, node.ChargeExec, Cost{Fixed: 5 * time.Microsecond, PerByteNs: 1})
+	m.Set(node.ProfileEnclave, node.ChargeExec, Cost{Fixed: 5 * time.Microsecond, PerByteNs: 1})
+
+	// Enclave boundary crossings: TLB flush, stack switch, parameter
+	// copies. The enclave profile pays them for every Troxy operation;
+	// ctroxy runs the same code outside SGX and pays none. The Java profile
+	// pays them too, but only where the protocol actually enters SGX — the
+	// trusted-counter subsystem Hybster itself relies on.
+	// Troxy's ecalls marshal whole requests/replies across the boundary and
+	// touch session state spread over EPC pages; their effective cost
+	// (fitted to the paper's ctroxy/etroxy split) is far above a bare
+	// round-trip. The counter subsystem's ecalls (Java profile) carry a
+	// 48-byte argument and hit one cache line, so they sit near the bare
+	// transition cost.
+	m.Set(node.ProfileEnclave, node.ChargeTransition, Cost{Fixed: 14 * time.Microsecond, PerByteNs: 2})
+	m.Set(node.ProfileJava, node.ChargeTransition, Cost{Fixed: 2 * time.Microsecond, PerByteNs: 0.1})
+
+	// JNI crossings between the Java replica host and native code; paid by
+	// all configurations (Hybster reaches its SGX subsystem via JNI, and
+	// the Troxy library is native code invoked from the Java host).
+	m.Set(node.ProfileJava, node.ChargeJNI, Cost{Fixed: 1 * time.Microsecond, PerByteNs: 0.3})
+	m.Set(node.ProfileCpp, node.ChargeJNI, Cost{Fixed: 2 * time.Microsecond, PerByteNs: 0.5})
+	m.Set(node.ProfileEnclave, node.ChargeJNI, Cost{Fixed: 2 * time.Microsecond, PerByteNs: 0.5})
+
+	return m
+}

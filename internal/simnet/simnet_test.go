@@ -1,0 +1,315 @@
+package simnet
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/troxy-bft/troxy/internal/msg"
+	"github.com/troxy-bft/troxy/internal/node"
+)
+
+// pinger sends count pings to peer and records reply times.
+type pinger struct {
+	peer    msg.NodeID
+	count   int
+	replies []time.Duration
+	sent    int
+}
+
+func (p *pinger) OnStart(env node.Env) {
+	env.SetTimer(0, node.TimerKey{Kind: "kick"})
+}
+
+func (p *pinger) OnEnvelope(env node.Env, e *msg.Envelope) {
+	p.replies = append(p.replies, env.Now())
+	if p.sent < p.count {
+		p.send(env)
+	}
+}
+
+func (p *pinger) OnTimer(env node.Env, key node.TimerKey) {
+	p.send(env)
+}
+
+func (p *pinger) send(env node.Env) {
+	p.sent++
+	env.Send(msg.Seal(env.Self(), p.peer, &msg.ChannelData{ConnID: uint64(p.sent), Payload: []byte("ping")}))
+}
+
+// echoer replies to every envelope, charging a configurable cost.
+type echoer struct {
+	charge time.Duration
+}
+
+func (e *echoer) OnStart(node.Env) {}
+
+func (e *echoer) OnEnvelope(env node.Env, in *msg.Envelope) {
+	if e.charge > 0 {
+		// Charge an exact duration via a synthetic cost model entry.
+		env.Charge(node.ProfileCpp, node.ChargeBase, 0)
+	}
+	env.Send(msg.Seal(env.Self(), in.From, &msg.ChannelData{Payload: []byte("pong")}))
+}
+
+func (e *echoer) OnTimer(node.Env, node.TimerKey) {}
+
+func TestPingPongLatency(t *testing.T) {
+	n := New(1, nil)
+	n.SetDefaultLink(FixedLatency(time.Millisecond))
+	p := &pinger{peer: 2, count: 3}
+	n.AttachConfig(1, p, NodeConfig{})
+	n.AttachConfig(2, &echoer{}, NodeConfig{})
+	n.Run(time.Second)
+	if len(p.replies) != 3 {
+		t.Fatalf("replies = %d, want 3", len(p.replies))
+	}
+	// Each round trip is 2 ms (no CPU costs, no bandwidth).
+	for i, at := range p.replies {
+		want := time.Duration(i+1) * 2 * time.Millisecond
+		if at != want {
+			t.Errorf("reply %d at %v, want %v", i, at, want)
+		}
+	}
+}
+
+func TestCostModelChargesServiceTime(t *testing.T) {
+	cm := NewCostModel()
+	cm.Set(node.ProfileCpp, node.ChargeBase, Cost{Fixed: 10 * time.Millisecond})
+	n := New(1, cm)
+	n.SetDefaultLink(FixedLatency(0))
+	p := &pinger{peer: 2, count: 2}
+	n.AttachConfig(1, p, NodeConfig{})
+	n.AttachConfig(2, &echoer{charge: 10 * time.Millisecond}, NodeConfig{Cores: 1})
+	n.Run(time.Second)
+	if len(p.replies) != 2 {
+		t.Fatalf("replies = %d, want 2", len(p.replies))
+	}
+	// The echoer sends its reply after the charged service time.
+	if p.replies[0] != 10*time.Millisecond {
+		t.Errorf("first reply at %v, want 10ms", p.replies[0])
+	}
+}
+
+// burster fires n messages at once to measure serialization.
+type burster struct {
+	peer msg.NodeID
+	n    int
+	size int
+}
+
+func (b *burster) OnStart(env node.Env) {
+	for i := 0; i < b.n; i++ {
+		env.Send(msg.Seal(env.Self(), b.peer, &msg.ChannelData{Payload: make([]byte, b.size)}))
+	}
+}
+func (b *burster) OnEnvelope(node.Env, *msg.Envelope) {}
+func (b *burster) OnTimer(node.Env, node.TimerKey)    {}
+
+// sink records arrival times.
+type sink struct {
+	arrivals []time.Duration
+}
+
+func (s *sink) OnStart(node.Env) {}
+func (s *sink) OnEnvelope(env node.Env, _ *msg.Envelope) {
+	s.arrivals = append(s.arrivals, env.Now())
+}
+func (s *sink) OnTimer(node.Env, node.TimerKey) {}
+
+func TestEgressBandwidthSerializes(t *testing.T) {
+	n := New(1, nil)
+	n.SetDefaultLink(FixedLatency(0))
+	recv := &sink{}
+	// 1 MB/s egress; 1000-byte payloads → envelope ≈ 1021 bytes ≈ 1.02 ms each.
+	n.AttachConfig(1, &burster{peer: 2, n: 3, size: 1000}, NodeConfig{EgressBps: 1e6})
+	n.AttachConfig(2, recv, NodeConfig{})
+	n.Run(time.Second)
+	if len(recv.arrivals) != 3 {
+		t.Fatalf("arrivals = %d", len(recv.arrivals))
+	}
+	gap := recv.arrivals[1] - recv.arrivals[0]
+	if gap < 900*time.Microsecond || gap > 1200*time.Microsecond {
+		t.Errorf("serialization gap = %v, want ≈1ms", gap)
+	}
+}
+
+func TestIngressBandwidthSerializes(t *testing.T) {
+	n := New(1, nil)
+	n.SetDefaultLink(FixedLatency(0))
+	recv := &sink{}
+	n.AttachConfig(1, &burster{peer: 3, n: 2, size: 1000}, NodeConfig{})
+	n.AttachConfig(2, &burster{peer: 3, n: 2, size: 1000}, NodeConfig{})
+	n.AttachConfig(3, recv, NodeConfig{IngressBps: 1e6})
+	n.Run(time.Second)
+	if len(recv.arrivals) != 4 {
+		t.Fatalf("arrivals = %d", len(recv.arrivals))
+	}
+	for i := 1; i < 4; i++ {
+		gap := recv.arrivals[i] - recv.arrivals[i-1]
+		if gap < 900*time.Microsecond {
+			t.Errorf("ingress gap %d = %v, want ≥0.9ms", i, gap)
+		}
+	}
+}
+
+// timerNode exercises set/replace/cancel semantics.
+type timerNode struct {
+	fired []node.TimerKey
+	plan  func(env node.Env)
+}
+
+func (tn *timerNode) OnStart(env node.Env)               { tn.plan(env) }
+func (tn *timerNode) OnEnvelope(node.Env, *msg.Envelope) {}
+func (tn *timerNode) OnTimer(env node.Env, key node.TimerKey) {
+	tn.fired = append(tn.fired, key)
+}
+
+func TestTimerReplaceAndCancel(t *testing.T) {
+	n := New(1, nil)
+	tn := &timerNode{}
+	tn.plan = func(env node.Env) {
+		env.SetTimer(10*time.Millisecond, node.TimerKey{Kind: "a"})
+		env.SetTimer(20*time.Millisecond, node.TimerKey{Kind: "a"}) // replaces
+		env.SetTimer(5*time.Millisecond, node.TimerKey{Kind: "b"})
+		env.CancelTimer(node.TimerKey{Kind: "b"})
+		env.SetTimer(15*time.Millisecond, node.TimerKey{Kind: "c"})
+	}
+	n.Attach(1, tn)
+	n.Run(time.Second)
+	if len(tn.fired) != 2 {
+		t.Fatalf("fired = %v", tn.fired)
+	}
+	if tn.fired[0].Kind != "c" || tn.fired[1].Kind != "a" {
+		t.Errorf("fired order = %v", tn.fired)
+	}
+}
+
+func TestCrashDropsDeliveries(t *testing.T) {
+	n := New(1, nil)
+	n.SetDefaultLink(FixedLatency(time.Millisecond))
+	p := &pinger{peer: 2, count: 100}
+	n.AttachConfig(1, p, NodeConfig{})
+	n.AttachConfig(2, &echoer{}, NodeConfig{})
+	n.Run(5 * time.Millisecond)
+	n.Crash(2)
+	n.Run(50 * time.Millisecond)
+	replies := len(p.replies)
+	if replies == 0 {
+		t.Fatal("no replies before crash")
+	}
+	if n.Stats().Dropped == 0 {
+		t.Error("no drops recorded after crash")
+	}
+	n.Restore(2)
+	// The pinger is stalled (no retry logic), so restoring alone does not
+	// resume traffic; this just checks Restore flips the flag.
+	n.Run(60 * time.Millisecond)
+	if len(p.replies) != replies {
+		t.Errorf("unexpected extra replies after restore: %d -> %d", replies, len(p.replies))
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []time.Duration {
+		n := New(42, DefaultCostModel())
+		n.SetDefaultLink(NormalLatency{Mean: time.Millisecond, Stddev: 200 * time.Microsecond, Min: 0})
+		p := &pinger{peer: 2, count: 50}
+		n.AttachConfig(1, p, NodeConfig{})
+		n.AttachConfig(2, &echoer{}, NodeConfig{})
+		n.Run(time.Second)
+		return p.replies
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestNormalLatencyStats(t *testing.T) {
+	lm := NormalLatency{Mean: 100 * time.Millisecond, Stddev: 20 * time.Millisecond, Min: time.Millisecond}
+	r := rand.New(rand.NewSource(7))
+	var sum time.Duration
+	const n = 10000
+	for i := 0; i < n; i++ {
+		d := lm.Sample(r)
+		if d < time.Millisecond {
+			t.Fatalf("sample below min: %v", d)
+		}
+		sum += d
+	}
+	mean := sum / n
+	if mean < 95*time.Millisecond || mean > 105*time.Millisecond {
+		t.Errorf("empirical mean = %v, want ≈100ms", mean)
+	}
+}
+
+func TestAtScheduling(t *testing.T) {
+	n := New(1, nil)
+	var ran []time.Duration
+	n.At(10*time.Millisecond, func() { ran = append(ran, n.Now()) })
+	n.At(5*time.Millisecond, func() { ran = append(ran, n.Now()) })
+	n.Run(time.Second)
+	if len(ran) != 2 || ran[0] != 5*time.Millisecond || ran[1] != 10*time.Millisecond {
+		t.Errorf("ran = %v", ran)
+	}
+}
+
+func TestRunAdvancesClock(t *testing.T) {
+	n := New(1, nil)
+	n.Run(time.Second)
+	if n.Now() != time.Second {
+		t.Errorf("Now = %v, want 1s", n.Now())
+	}
+}
+
+func TestDuplicateAttachPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on duplicate attach")
+		}
+	}()
+	n := New(1, nil)
+	n.Attach(1, &echoer{})
+	n.Attach(1, &echoer{})
+}
+
+func TestCostModelMath(t *testing.T) {
+	cm := NewCostModel()
+	cm.Set(node.ProfileJava, node.ChargeMAC, Cost{Fixed: time.Microsecond, PerByteNs: 7})
+	got := cm.CostOf(node.ProfileJava, node.ChargeMAC, 1000)
+	want := time.Microsecond + 7*time.Microsecond
+	if got != want {
+		t.Errorf("CostOf = %v, want %v", got, want)
+	}
+	if cm.CostOf(node.ProfileCpp, node.ChargeMAC, 1000) != 0 {
+		t.Error("unset profile should cost 0")
+	}
+	var nilModel *CostModel
+	if nilModel.CostOf(node.ProfileJava, node.ChargeMAC, 10) != 0 {
+		t.Error("nil model should cost 0")
+	}
+}
+
+func TestDefaultCostModelOrdering(t *testing.T) {
+	cm := DefaultCostModel()
+	// Java authentication must be more expensive per byte than C/C++ — the
+	// central asymmetry of the evaluation.
+	j := cm.CostOf(node.ProfileJava, node.ChargeMAC, 8192)
+	c := cm.CostOf(node.ProfileCpp, node.ChargeMAC, 8192)
+	if j <= c {
+		t.Errorf("java MAC (%v) must exceed cpp MAC (%v)", j, c)
+	}
+	// Only the enclave profile pays transitions.
+	if cm.CostOf(node.ProfileCpp, node.ChargeTransition, 100) != 0 {
+		t.Error("cpp profile must not pay transition costs")
+	}
+	if cm.CostOf(node.ProfileEnclave, node.ChargeTransition, 100) == 0 {
+		t.Error("enclave profile must pay transition costs")
+	}
+}

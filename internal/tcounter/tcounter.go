@@ -1,0 +1,299 @@
+// Package tcounter implements the trusted monotonic-counter subsystem that
+// Hybster (and hence Troxy's prototype) relies on to reduce the replica
+// count to 2f+1. It is the TrInc/TrInX analogue: a small trusted service
+// that certifies (counter, value, message-digest) bindings with a key shared
+// only among trusted subsystems, and guarantees that
+//
+//   - each counter value is certified at most once (no equivocation), and
+//   - values are strictly increasing (no rollback).
+//
+// The subsystem runs inside an enclave (internal/enclave) and is reachable
+// from the untrusted replica part only through its ecall facade; the
+// certification key arrives via post-attestation provisioning. Trusted code
+// co-located in the same enclave (the Troxy) may call it directly.
+package tcounter
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"hash"
+	"sync"
+
+	"github.com/troxy-bft/troxy/internal/enclave"
+	"github.com/troxy-bft/troxy/internal/msg"
+	"github.com/troxy-bft/troxy/internal/wire"
+)
+
+// Well-known counter IDs. Ordering counters are indexed by view number and
+// therefore use the low ID space; control counters live high.
+const (
+	// ViewChangeCounter certifies view-change messages.
+	ViewChangeCounter uint32 = 1<<31 + iota
+
+	// NewViewCounter certifies new-view messages.
+	NewViewCounter
+)
+
+// OrderCounter returns the ordering-counter ID for a view.
+func OrderCounter(view uint64) uint32 { return uint32(view & 0x7fffffff) }
+
+// Errors returned by the subsystem.
+var (
+	// ErrNotProvisioned reports certification before the key arrived.
+	ErrNotProvisioned = errors.New("tcounter: not provisioned")
+
+	// ErrNotMonotonic reports an attempt to certify a value at or below the
+	// counter's last certified value.
+	ErrNotMonotonic = errors.New("tcounter: value not monotonically increasing")
+)
+
+// SecretName is the provisioning key under which the certification secret is
+// delivered to the enclave.
+const SecretName = "counter-key"
+
+// Subsystem is the trusted-counter state of one replica. It is safe for
+// concurrent use.
+type Subsystem struct {
+	owner msg.NodeID
+
+	mu       sync.Mutex
+	key      []byte
+	mac      hash.Hash
+	counters map[uint32]uint64
+}
+
+// NewSubsystem creates the (unprovisioned) subsystem for a replica.
+func NewSubsystem(owner msg.NodeID) *Subsystem {
+	return &Subsystem{owner: owner, counters: make(map[uint32]uint64)}
+}
+
+// Reset wipes volatile state (counters and key); used on enclave restart.
+func (s *Subsystem) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.key = nil
+	s.mac = nil
+	s.counters = make(map[uint32]uint64)
+}
+
+// SetKey installs the certification secret (from provisioning).
+func (s *Subsystem) SetKey(key []byte) {
+	k := make([]byte, len(key))
+	copy(k, key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.key = k
+	s.mac = hmac.New(sha256.New, k)
+}
+
+// Owner returns the replica this subsystem belongs to.
+func (s *Subsystem) Owner() msg.NodeID { return s.owner }
+
+func certInput(replica msg.NodeID, counter uint32, value uint64, digest msg.Digest) []byte {
+	w := wire.NewWriter(64)
+	w.String("tcounter-cert")
+	w.U32(uint32(replica))
+	w.U32(counter)
+	w.U64(value)
+	w.Raw(digest[:])
+	return w.Bytes()
+}
+
+// Certify binds digest to the next value of the given counter. The value
+// must be strictly greater than the last certified value; the first
+// certified value of a counter may be arbitrary (>0), which lets a new
+// leader start its ordering counter at the sequence number where the
+// previous view ended.
+func (s *Subsystem) Certify(counter uint32, value uint64, digest msg.Digest) (msg.CounterCert, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.key == nil {
+		return msg.CounterCert{}, ErrNotProvisioned
+	}
+	last, used := s.counters[counter]
+	if used && value <= last {
+		return msg.CounterCert{}, fmt.Errorf("%w: counter %d at %d, asked %d",
+			ErrNotMonotonic, counter, last, value)
+	}
+	if !used && value == 0 {
+		return msg.CounterCert{}, fmt.Errorf("%w: first value must be positive", ErrNotMonotonic)
+	}
+	s.counters[counter] = value
+
+	s.mac.Reset()
+	s.mac.Write(certInput(s.owner, counter, value, digest))
+	return msg.CounterCert{
+		Replica: s.owner,
+		Counter: counter,
+		Value:   value,
+		MAC:     s.mac.Sum(nil),
+	}, nil
+}
+
+// Verify checks a certificate produced by any replica's subsystem against
+// the digest it allegedly binds.
+func (s *Subsystem) Verify(cert msg.CounterCert, digest msg.Digest) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.mac == nil || len(cert.MAC) != sha256.Size {
+		return false
+	}
+	s.mac.Reset()
+	s.mac.Write(certInput(cert.Replica, cert.Counter, cert.Value, digest))
+	return hmac.Equal(s.mac.Sum(nil), cert.MAC)
+}
+
+// Value returns the last certified value of a counter (0 if unused).
+func (s *Subsystem) Value(counter uint32) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counters[counter]
+}
+
+// Authority is the interface through which protocol code (which runs in the
+// untrusted replica part) uses the trusted counters. The enclave-backed
+// implementation crosses the boundary per call, which is exactly where the
+// paper's JNI+SGX overhead sits.
+type Authority interface {
+	// Certify binds digest to value on counter; it fails if the binding
+	// would violate monotonicity.
+	Certify(counter uint32, value uint64, digest msg.Digest) (msg.CounterCert, error)
+
+	// Verify checks a certificate against a digest.
+	Verify(cert msg.CounterCert, digest msg.Digest) bool
+}
+
+// Direct adapts a Subsystem to Authority without an enclave boundary (used
+// by trusted code co-located in the same enclave, and by the "ctroxy"
+// configuration of the evaluation that runs outside SGX).
+type Direct struct {
+	S *Subsystem
+}
+
+// Certify implements Authority.
+func (d Direct) Certify(counter uint32, value uint64, digest msg.Digest) (msg.CounterCert, error) {
+	return d.S.Certify(counter, value, digest)
+}
+
+// Verify implements Authority.
+func (d Direct) Verify(cert msg.CounterCert, digest msg.Digest) bool {
+	return d.S.Verify(cert, digest)
+}
+
+var _ Authority = Direct{}
+
+// ECall names exposed by the counter subsystem when hosted in an enclave.
+const (
+	ECallCertify = "counter_certify"
+	ECallVerify  = "counter_verify"
+)
+
+// ECallHandlers returns the ecall table fragment for hosting s inside an
+// enclave; Troxy merges it into its own 16-entry table.
+func ECallHandlers(s *Subsystem) map[string]func([]byte) ([]byte, error) {
+	return map[string]func([]byte) ([]byte, error){
+		ECallCertify: func(arg []byte) ([]byte, error) {
+			r := wire.NewReader(arg)
+			counter := r.U32()
+			value := r.U64()
+			var digest msg.Digest
+			copy(digest[:], r.FixedBytes(len(digest)))
+			if err := r.Finish(); err != nil {
+				return nil, fmt.Errorf("tcounter: certify args: %w", err)
+			}
+			cert, err := s.Certify(counter, value, digest)
+			if err != nil {
+				return nil, err
+			}
+			w := wire.NewWriter(64)
+			cert.MarshalWire(w)
+			return w.Bytes(), nil
+		},
+		ECallVerify: func(arg []byte) ([]byte, error) {
+			r := wire.NewReader(arg)
+			var cert msg.CounterCert
+			if err := cert.UnmarshalWire(r); err != nil {
+				return nil, fmt.Errorf("tcounter: verify args: %w", err)
+			}
+			var digest msg.Digest
+			copy(digest[:], r.FixedBytes(len(digest)))
+			if err := r.Finish(); err != nil {
+				return nil, fmt.Errorf("tcounter: verify args: %w", err)
+			}
+			if s.Verify(cert, digest) {
+				return []byte{1}, nil
+			}
+			return []byte{0}, nil
+		},
+	}
+}
+
+// Hosted wraps a Subsystem as standalone enclave-trusted code, for replicas
+// that run only the counter subsystem inside SGX (the baseline Hybster
+// configuration, which has no Troxy).
+type Hosted struct {
+	S *Subsystem
+}
+
+var _ enclave.Trusted = Hosted{}
+
+// ECalls implements enclave.Trusted.
+func (h Hosted) ECalls() map[string]func([]byte) ([]byte, error) {
+	return ECallHandlers(h.S)
+}
+
+// OnStart implements enclave.Trusted.
+func (h Hosted) OnStart(*enclave.Services) { h.S.Reset() }
+
+// Provision implements enclave.Trusted.
+func (h Hosted) Provision(secrets map[string][]byte) error {
+	key, ok := secrets[SecretName]
+	if !ok {
+		return ErrNotProvisioned
+	}
+	h.S.SetKey(key)
+	return nil
+}
+
+// EnclaveAuthority is the untrusted-side Authority that crosses an enclave
+// boundary per operation.
+type EnclaveAuthority struct {
+	E *enclave.Enclave
+}
+
+// Certify implements Authority via the counter_certify ecall.
+func (a EnclaveAuthority) Certify(counter uint32, value uint64, digest msg.Digest) (msg.CounterCert, error) {
+	w := wire.NewWriter(48)
+	w.U32(counter)
+	w.U64(value)
+	w.Raw(digest[:])
+	out, err := a.E.ECall(ECallCertify, w.Bytes())
+	if err != nil {
+		return msg.CounterCert{}, err
+	}
+	r := wire.NewReader(out)
+	var cert msg.CounterCert
+	if err := cert.UnmarshalWire(r); err != nil {
+		return msg.CounterCert{}, fmt.Errorf("tcounter: certify result: %w", err)
+	}
+	if err := r.Finish(); err != nil {
+		return msg.CounterCert{}, fmt.Errorf("tcounter: certify result: %w", err)
+	}
+	return cert, nil
+}
+
+// Verify implements Authority via the counter_verify ecall.
+func (a EnclaveAuthority) Verify(cert msg.CounterCert, digest msg.Digest) bool {
+	w := wire.NewWriter(96)
+	cert.MarshalWire(w)
+	w.Raw(digest[:])
+	out, err := a.E.ECall(ECallVerify, w.Bytes())
+	if err != nil {
+		return false
+	}
+	return len(out) == 1 && out[0] == 1
+}
+
+var _ Authority = EnclaveAuthority{}

@@ -1,0 +1,234 @@
+package tcounter
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"github.com/troxy-bft/troxy/internal/enclave"
+	"github.com/troxy-bft/troxy/internal/msg"
+)
+
+func provisioned(owner msg.NodeID) *Subsystem {
+	s := NewSubsystem(owner)
+	s.SetKey([]byte("shared-counter-key"))
+	return s
+}
+
+func TestCertifyVerify(t *testing.T) {
+	a := provisioned(0)
+	b := provisioned(1)
+
+	d := msg.DigestOf([]byte("prepare"))
+	cert, err := a.Certify(OrderCounter(0), 1, d)
+	if err != nil {
+		t.Fatalf("Certify: %v", err)
+	}
+	if cert.Replica != 0 || cert.Counter != OrderCounter(0) || cert.Value != 1 {
+		t.Errorf("cert fields = %+v", cert)
+	}
+	if !b.Verify(cert, d) {
+		t.Error("peer subsystem rejected valid certificate")
+	}
+	if b.Verify(cert, msg.DigestOf([]byte("other"))) {
+		t.Error("certificate accepted for wrong digest")
+	}
+
+	forged := cert
+	forged.Value = 2
+	if b.Verify(forged, d) {
+		t.Error("value-modified certificate accepted")
+	}
+	forged = cert
+	forged.Replica = 1
+	if b.Verify(forged, d) {
+		t.Error("owner-modified certificate accepted")
+	}
+}
+
+func TestMonotonicity(t *testing.T) {
+	s := provisioned(0)
+	d := msg.DigestOf([]byte("m"))
+
+	if _, err := s.Certify(1, 5, d); err != nil { // first value may be arbitrary
+		t.Fatalf("first certify: %v", err)
+	}
+	if _, err := s.Certify(1, 5, d); !errors.Is(err, ErrNotMonotonic) {
+		t.Errorf("re-certify same value: %v", err)
+	}
+	if _, err := s.Certify(1, 4, d); !errors.Is(err, ErrNotMonotonic) {
+		t.Errorf("certify lower value: %v", err)
+	}
+	if _, err := s.Certify(1, 6, d); err != nil {
+		t.Errorf("certify next value: %v", err)
+	}
+	if got := s.Value(1); got != 6 {
+		t.Errorf("Value = %d, want 6", got)
+	}
+	// Independent counters do not interfere.
+	if _, err := s.Certify(2, 1, d); err != nil {
+		t.Errorf("independent counter: %v", err)
+	}
+	if _, err := s.Certify(1, 0, d); !errors.Is(err, ErrNotMonotonic) {
+		t.Errorf("zero value: %v", err)
+	}
+}
+
+func TestZeroFirstValueRejected(t *testing.T) {
+	s := provisioned(0)
+	if _, err := s.Certify(9, 0, msg.Digest{}); !errors.Is(err, ErrNotMonotonic) {
+		t.Errorf("first value 0: %v", err)
+	}
+}
+
+func TestUnprovisioned(t *testing.T) {
+	s := NewSubsystem(0)
+	if _, err := s.Certify(1, 1, msg.Digest{}); !errors.Is(err, ErrNotProvisioned) {
+		t.Errorf("unprovisioned certify: %v", err)
+	}
+	p := provisioned(1)
+	cert, err := p.Certify(1, 1, msg.Digest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Verify(cert, msg.Digest{}) {
+		t.Error("unprovisioned subsystem verified a certificate")
+	}
+}
+
+func TestDifferentKeysDisagree(t *testing.T) {
+	a := NewSubsystem(0)
+	a.SetKey([]byte("key-a"))
+	b := NewSubsystem(1)
+	b.SetKey([]byte("key-b"))
+	cert, err := a.Certify(1, 1, msg.Digest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Verify(cert, msg.Digest{}) {
+		t.Error("certificate verified under different key")
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := provisioned(0)
+	if _, err := s.Certify(1, 10, msg.Digest{}); err != nil {
+		t.Fatal(err)
+	}
+	s.Reset()
+	if _, err := s.Certify(1, 1, msg.Digest{}); !errors.Is(err, ErrNotProvisioned) {
+		t.Errorf("reset must drop the key: %v", err)
+	}
+}
+
+func TestOrderCounterIDs(t *testing.T) {
+	if OrderCounter(0) == ViewChangeCounter || OrderCounter(1) == NewViewCounter {
+		t.Error("ordering counters collide with control counters")
+	}
+	if OrderCounter(3) != 3 {
+		t.Errorf("OrderCounter(3) = %d", OrderCounter(3))
+	}
+}
+
+func TestQuickMonotoneInvariant(t *testing.T) {
+	// Property: for any sequence of certify attempts, the accepted values on
+	// a counter are strictly increasing.
+	f := func(values []uint16) bool {
+		s := provisioned(0)
+		var accepted []uint64
+		for _, raw := range values {
+			v := uint64(raw)
+			if _, err := s.Certify(7, v, msg.Digest{}); err == nil {
+				accepted = append(accepted, v)
+			}
+		}
+		for i := 1; i < len(accepted); i++ {
+			if accepted[i] <= accepted[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// enclaveHost hosts a counter subsystem inside a simulated enclave for the
+// facade tests.
+type enclaveHost struct {
+	s *Subsystem
+}
+
+func (h *enclaveHost) ECalls() map[string]func([]byte) ([]byte, error) {
+	return ECallHandlers(h.s)
+}
+
+func (h *enclaveHost) OnStart(*enclave.Services) { h.s.Reset() }
+
+func (h *enclaveHost) Provision(secrets map[string][]byte) error {
+	key, ok := secrets[SecretName]
+	if !ok {
+		return errors.New("missing counter key")
+	}
+	h.s.SetKey(key)
+	return nil
+}
+
+func TestEnclaveAuthority(t *testing.T) {
+	platform := enclave.NewPlatformWithKey([]byte("hw"))
+	host := &enclaveHost{s: NewSubsystem(2)}
+	enc, err := platform.Launch(
+		enclave.Definition{Name: "tc", CodeIdentity: "tc-v1"}, host, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Provision(map[string][]byte{SecretName: []byte("k")}); err != nil {
+		t.Fatal(err)
+	}
+
+	auth := EnclaveAuthority{E: enc}
+	d := msg.DigestOf([]byte("x"))
+	cert, err := auth.Certify(5, 1, d)
+	if err != nil {
+		t.Fatalf("Certify via ecall: %v", err)
+	}
+	if cert.Replica != 2 || cert.Value != 1 {
+		t.Errorf("cert = %+v", cert)
+	}
+	if !auth.Verify(cert, d) {
+		t.Error("Verify via ecall rejected valid cert")
+	}
+	if auth.Verify(cert, msg.DigestOf([]byte("y"))) {
+		t.Error("Verify via ecall accepted wrong digest")
+	}
+	if _, err := auth.Certify(5, 1, d); err == nil {
+		t.Error("monotonicity not enforced through ecall")
+	}
+
+	// Transition accounting: 4 ecalls so far (certify, verify, verify,
+	// failed certify).
+	if got := enc.Stats().Transitions; got != 4 {
+		t.Errorf("transitions = %d, want 4", got)
+	}
+
+	// Restart wipes the key: the authority stops working until
+	// re-provisioned (rollback does not resurrect old counter state).
+	enc.Restart()
+	if _, err := auth.Certify(5, 10, d); err == nil {
+		t.Error("certify succeeded after restart without provisioning")
+	}
+}
+
+func TestDirectAuthority(t *testing.T) {
+	s := provisioned(1)
+	var auth Authority = Direct{S: s}
+	d := msg.DigestOf([]byte("z"))
+	cert, err := auth.Certify(1, 1, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !auth.Verify(cert, d) {
+		t.Error("direct verify failed")
+	}
+}

@@ -1,0 +1,265 @@
+package troxy
+
+import (
+	"time"
+
+	"github.com/troxy-bft/troxy/internal/msg"
+)
+
+// Cache is the managed fast-read cache (Section IV). Entries are indexed by
+// the digest of the client operation and additionally by the state parts the
+// operation reads, so that a write touching a state part can invalidate
+// every cached read that depends on it.
+//
+// Two invariants keep the cache linearizable (Section IV-B):
+//
+//   - Entries are installed only from voted results (f+1 matching replies of
+//     an ordered execution), never from single-replica replies, so a faulty
+//     replica cannot pollute the cache.
+//   - Writes invalidate but never update: invalidation happens inside
+//     AuthenticateReply, i.e. before the executing replica's reply can count
+//     toward the write's quorum, so by the time a write completes, f+1
+//     Troxies have dropped the stale entry.
+//
+// The cache tracks its memory footprint and evicts least-recently-used
+// entries beyond its byte budget: the prototype keeps allocations small to
+// avoid EPC paging (Section V-A).
+type Cache struct {
+	capacity int64
+	used     int64
+
+	entries map[msg.Digest]*cacheEntry
+	byKey   map[string]map[msg.Digest]struct{}
+
+	// LRU list.
+	head, tail *cacheEntry
+
+	stats CacheStats
+}
+
+// CacheStats counts cache events.
+type CacheStats struct {
+	Hits          uint64
+	Misses        uint64
+	Invalidations uint64
+	Evictions     uint64
+	Entries       int
+	UsedBytes     int64
+}
+
+type cacheEntry struct {
+	op    msg.Digest
+	reply []byte
+	keys  []string
+	size  int64
+
+	prev, next *cacheEntry
+}
+
+// NewCache creates a cache with the given byte capacity (≤0 means 64 MiB,
+// half the EPC of the paper's hardware).
+func NewCache(capacity int64) *Cache {
+	if capacity <= 0 {
+		capacity = 64 << 20
+	}
+	return &Cache{
+		capacity: capacity,
+		entries:  make(map[msg.Digest]*cacheEntry),
+		byKey:    make(map[string]map[msg.Digest]struct{}),
+	}
+}
+
+// Get returns the cached reply for an operation digest, or nil.
+func (c *Cache) Get(op msg.Digest) []byte {
+	e, ok := c.entries[op]
+	if !ok {
+		c.stats.Misses++
+		return nil
+	}
+	c.stats.Hits++
+	c.moveToFront(e)
+	return e.reply
+}
+
+// Put installs a voted read result. keys are the state parts the read
+// depends on.
+func (c *Cache) Put(op msg.Digest, reply []byte, keys []string) {
+	if e, ok := c.entries[op]; ok {
+		c.remove(e)
+	}
+	e := &cacheEntry{
+		op:    op,
+		reply: reply,
+		keys:  keys,
+		size:  int64(len(reply)) + 64,
+	}
+	c.entries[op] = e
+	for _, k := range keys {
+		set, ok := c.byKey[k]
+		if !ok {
+			set = make(map[msg.Digest]struct{})
+			c.byKey[k] = set
+		}
+		set[op] = struct{}{}
+	}
+	c.pushFront(e)
+	c.used += e.size
+	for c.used > c.capacity && c.tail != nil {
+		c.stats.Evictions++
+		c.remove(c.tail)
+	}
+}
+
+// Invalidate drops every entry that depends on the given state part. It is
+// called while authenticating a write reply, before the write's effects can
+// become visible to any client.
+func (c *Cache) Invalidate(key string) {
+	set, ok := c.byKey[key]
+	if !ok {
+		return
+	}
+	for op := range set {
+		if e, ok := c.entries[op]; ok {
+			c.stats.Invalidations++
+			c.remove(e)
+		}
+	}
+}
+
+// Clear wipes the cache (enclave restart / rollback: the cache loses its
+// entire state and queries fall back to ordered execution).
+func (c *Cache) Clear() {
+	c.entries = make(map[msg.Digest]*cacheEntry)
+	c.byKey = make(map[string]map[msg.Digest]struct{})
+	c.head, c.tail = nil, nil
+	c.used = 0
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() CacheStats {
+	s := c.stats
+	s.Entries = len(c.entries)
+	s.UsedBytes = c.used
+	return s
+}
+
+func (c *Cache) remove(e *cacheEntry) {
+	delete(c.entries, e.op)
+	for _, k := range e.keys {
+		if set, ok := c.byKey[k]; ok {
+			delete(set, e.op)
+			if len(set) == 0 {
+				delete(c.byKey, k)
+			}
+		}
+	}
+	c.unlink(e)
+	c.used -= e.size
+}
+
+func (c *Cache) unlink(e *cacheEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else if c.head == e {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else if c.tail == e {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *Cache) pushFront(e *cacheEntry) {
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *Cache) moveToFront(e *cacheEntry) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}
+
+// Monitor tracks the fast-read fallback rate in a sliding window and decides
+// when to abandon the optimization. "We measure the cache miss rate inside
+// the Troxy. If the miss rate reaches a configurable system constant, the
+// fast read optimization is avoided in favor of a traditional protocol run"
+// (Section IV-B); Section VI-C3 adds the automatic switch back.
+type Monitor struct {
+	window    int
+	threshold float64
+	probe     time.Duration
+
+	outcomes []bool // true = fallback (miss or conflict)
+	idx      int
+	filled   int
+
+	disabledUntil time.Duration
+	switches      uint64
+}
+
+// NewMonitor creates a conflict monitor. window is the number of recent
+// fast-read attempts considered; threshold is the fallback fraction above
+// which fast reads are disabled; probe is how long the total-order mode
+// lasts before fast reads are retried.
+func NewMonitor(window int, threshold float64, probe time.Duration) *Monitor {
+	if window <= 0 {
+		window = 256
+	}
+	if threshold <= 0 {
+		threshold = 0.5
+	}
+	if probe <= 0 {
+		probe = time.Second
+	}
+	return &Monitor{
+		window:    window,
+		threshold: threshold,
+		probe:     probe,
+		outcomes:  make([]bool, window),
+	}
+}
+
+// Allow reports whether the fast path should be attempted now.
+func (m *Monitor) Allow(now time.Duration) bool {
+	return now >= m.disabledUntil
+}
+
+// Record notes the outcome of a fast-read attempt; fallback is true when the
+// attempt missed the cache or failed remote matching.
+func (m *Monitor) Record(now time.Duration, fallback bool) {
+	m.outcomes[m.idx] = fallback
+	m.idx = (m.idx + 1) % m.window
+	if m.filled < m.window {
+		m.filled++
+	}
+	if m.filled < m.window/4 || m.filled == 0 {
+		return // not enough signal yet
+	}
+	fallbacks := 0
+	for i := 0; i < m.filled; i++ {
+		if m.outcomes[i] {
+			fallbacks++
+		}
+	}
+	if float64(fallbacks)/float64(m.filled) >= m.threshold {
+		m.disabledUntil = now + m.probe
+		m.switches++
+		// Reset the window so the post-probe decision uses fresh data.
+		m.filled = 0
+		m.idx = 0
+	}
+}
+
+// Switches returns how often the monitor fell back to total-order mode.
+func (m *Monitor) Switches() uint64 { return m.switches }

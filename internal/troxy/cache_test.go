@@ -1,0 +1,199 @@
+package troxy
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/troxy-bft/troxy/internal/msg"
+)
+
+func d(s string) msg.Digest { return msg.DigestOf([]byte(s)) }
+
+func TestCachePutGetInvalidate(t *testing.T) {
+	c := NewCache(1 << 20)
+	if got := c.Get(d("op1")); got != nil {
+		t.Errorf("empty cache returned %q", got)
+	}
+	c.Put(d("op1"), []byte("reply1"), []string{"k1"})
+	c.Put(d("op2"), []byte("reply2"), []string{"k1", "k2"})
+	c.Put(d("op3"), []byte("reply3"), []string{"k3"})
+
+	if got := c.Get(d("op1")); string(got) != "reply1" {
+		t.Errorf("Get op1 = %q", got)
+	}
+	// Invalidating k1 must drop both dependent entries, not op3.
+	c.Invalidate("k1")
+	if c.Get(d("op1")) != nil || c.Get(d("op2")) != nil {
+		t.Error("entries survived invalidation")
+	}
+	if got := c.Get(d("op3")); string(got) != "reply3" {
+		t.Errorf("unrelated entry lost: %q", got)
+	}
+	st := c.Stats()
+	if st.Invalidations != 2 {
+		t.Errorf("invalidations = %d, want 2", st.Invalidations)
+	}
+	// Invalidating an unknown key is a no-op.
+	c.Invalidate("nope")
+}
+
+func TestCacheReplace(t *testing.T) {
+	c := NewCache(1 << 20)
+	c.Put(d("op"), []byte("v1"), []string{"a"})
+	c.Put(d("op"), []byte("v2"), []string{"b"})
+	if got := c.Get(d("op")); string(got) != "v2" {
+		t.Errorf("Get = %q", got)
+	}
+	// The old key index must be gone: invalidating "a" must not drop v2.
+	c.Invalidate("a")
+	if got := c.Get(d("op")); string(got) != "v2" {
+		t.Error("stale key index dropped replaced entry")
+	}
+	c.Invalidate("b")
+	if c.Get(d("op")) != nil {
+		t.Error("new key index missing")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// Each entry costs len(reply)+64; capacity fits ~4 entries of 100+64.
+	c := NewCache(700)
+	for i := 0; i < 4; i++ {
+		c.Put(d(fmt.Sprintf("op%d", i)), make([]byte, 100), []string{"k"})
+	}
+	// Touch op0 so op1 becomes the LRU victim.
+	c.Get(d("op0"))
+	c.Put(d("op4"), make([]byte, 100), []string{"k"})
+	if c.Get(d("op1")) != nil {
+		t.Error("LRU victim survived")
+	}
+	if c.Get(d("op0")) == nil {
+		t.Error("recently used entry evicted")
+	}
+	if c.Stats().Evictions == 0 {
+		t.Error("no evictions counted")
+	}
+	if c.Stats().UsedBytes > 700 {
+		t.Errorf("capacity exceeded: %d", c.Stats().UsedBytes)
+	}
+}
+
+func TestCacheClear(t *testing.T) {
+	c := NewCache(1 << 20)
+	c.Put(d("op"), []byte("v"), []string{"k"})
+	c.Clear()
+	if c.Get(d("op")) != nil {
+		t.Error("entry survived Clear (rollback must wipe the cache)")
+	}
+	if c.Stats().UsedBytes != 0 || c.Stats().Entries != 0 {
+		t.Errorf("stats after clear: %+v", c.Stats())
+	}
+}
+
+func TestCacheQuickNeverExceedsCapacity(t *testing.T) {
+	f := func(ops []uint8) bool {
+		c := NewCache(2000)
+		for i, op := range ops {
+			c.Put(d(fmt.Sprintf("op%d", op)), make([]byte, int(op)+1), []string{"k"})
+			if i%3 == 0 {
+				c.Get(d(fmt.Sprintf("op%d", op)))
+			}
+			if c.Stats().UsedBytes > 2000 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheQuickInvalidateDropsAllDependents(t *testing.T) {
+	f := func(entries []uint8, victim uint8) bool {
+		c := NewCache(1 << 20)
+		key := fmt.Sprintf("k%d", victim%4)
+		for _, e := range entries {
+			c.Put(d(fmt.Sprintf("op%d", e)), []byte{e}, []string{fmt.Sprintf("k%d", e%4)})
+		}
+		c.Invalidate(key)
+		for _, e := range entries {
+			if fmt.Sprintf("k%d", e%4) == key && c.Get(d(fmt.Sprintf("op%d", e))) != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMonitorSwitchesUnderConflicts(t *testing.T) {
+	m := NewMonitor(16, 0.5, time.Second)
+	now := time.Duration(0)
+	if !m.Allow(now) {
+		t.Fatal("fresh monitor must allow fast reads")
+	}
+	// All fallbacks: once a quarter of the window has signal, it trips.
+	trips := 0
+	for i := 0; i < 16; i++ {
+		if !m.Allow(now) {
+			trips++
+			break
+		}
+		m.Record(now, true)
+		now += time.Millisecond
+	}
+	if trips == 0 {
+		t.Fatal("monitor never switched to total-order mode")
+	}
+	if m.Switches() == 0 {
+		t.Error("switches counter not incremented")
+	}
+	// After the probe interval it allows fast reads again.
+	if m.Allow(now) {
+		t.Error("monitor re-enabled before probe interval")
+	}
+	if !m.Allow(now + 2*time.Second) {
+		t.Error("monitor did not re-enable after probe interval")
+	}
+}
+
+func TestMonitorStaysOnUnderSuccess(t *testing.T) {
+	m := NewMonitor(16, 0.5, time.Second)
+	now := time.Duration(0)
+	for i := 0; i < 200; i++ {
+		if !m.Allow(now) {
+			t.Fatalf("monitor tripped on success-only history at %d", i)
+		}
+		m.Record(now, false)
+		now += time.Millisecond
+	}
+}
+
+func TestMonitorMixedBelowThreshold(t *testing.T) {
+	m := NewMonitor(32, 0.5, time.Second)
+	now := time.Duration(0)
+	// 25% fallbacks stays under a 50% threshold.
+	for i := 0; i < 400; i++ {
+		if !m.Allow(now) {
+			t.Fatalf("monitor tripped at 25%% fallbacks (i=%d)", i)
+		}
+		m.Record(now, i%4 == 0)
+		now += time.Millisecond
+	}
+}
+
+func TestMonitorThresholdAboveOneNeverTrips(t *testing.T) {
+	m := NewMonitor(8, 1.1, time.Second)
+	now := time.Duration(0)
+	for i := 0; i < 100; i++ {
+		m.Record(now, true)
+		if !m.Allow(now) {
+			t.Fatal("monitor with threshold > 1 tripped")
+		}
+	}
+}

@@ -1,0 +1,698 @@
+// Package troxy implements the paper's core contribution: the trusted proxy
+// that relocates client-side BFT functionality (secure-channel termination,
+// request translation, reply voting) to the server side, plus the managed
+// fast-read cache of Section IV.
+//
+// The package is split along the paper's trust boundary:
+//
+//   - Core (this file) is the trusted logic. It holds everything the
+//     untrusted replica part must never see: secure-channel session keys,
+//     the Troxy group secret, the voter state and the fast-read cache. Its
+//     methods are pure state-machine transitions returning Actions — the
+//     messages the *untrusted* part must transmit (the Troxy performs no
+//     network I/O itself; the paper's design has no ocalls).
+//   - trusted.go wraps Core behind the 16-entry ecall interface of an
+//     enclave (internal/enclave), serializing arguments across the boundary.
+//   - proxy.go provides the two host-side bindings the evaluation compares:
+//     DirectProxy (ctroxy: native code outside SGX) and EnclaveProxy
+//     (etroxy: every call crosses the enclave boundary).
+package troxy
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	cryptorand "crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+
+	"github.com/troxy-bft/troxy/internal/authn"
+	"github.com/troxy-bft/troxy/internal/httpfront"
+	"github.com/troxy-bft/troxy/internal/msg"
+	"github.com/troxy-bft/troxy/internal/securechannel"
+)
+
+// Secret names delivered during post-attestation provisioning.
+const (
+	// SecretIdentity is the Ed25519 private key (seed) the Troxy uses as
+	// the service's TLS identity.
+	SecretIdentity = "troxy-identity"
+
+	// SecretGroup is the HMAC key shared among all Troxy instances.
+	SecretGroup = "troxy-group"
+)
+
+// Errors.
+var (
+	// ErrNotProvisioned reports use before secrets arrived.
+	ErrNotProvisioned = errors.New("troxy: not provisioned")
+
+	// ErrBadChannel reports undecryptable or malformed client data.
+	ErrBadChannel = errors.New("troxy: bad channel data")
+)
+
+// Config parameterizes one Troxy instance.
+type Config struct {
+	// Self is the hosting replica's ID.
+	Self msg.NodeID
+
+	// N and F are the replication parameters (N = 2F+1).
+	N, F int
+
+	// Seed feeds the Troxy's internal randomness (remote-cache replica
+	// selection). Enclaves draw from RDRAND; the simulation passes a
+	// deterministic seed.
+	Seed int64
+
+	// Classify reports whether an operation is read-only. It is the
+	// service-specific knowledge of Section III-E; the Troxy must not trust
+	// client-provided flags, or a malicious client could poison the shared
+	// cache by mislabeling writes. Nil disables the fast path.
+	Classify func(op []byte) bool
+
+	// FastReads enables the managed fast-read cache.
+	FastReads bool
+
+	// CacheCapacity is the cache budget in bytes (≤0: 64 MiB).
+	CacheCapacity int64
+
+	// MonitorWindow, MonitorThreshold and ProbeInterval parameterize the
+	// conflict monitor (zero values: 256 attempts, 0.5, 1s).
+	MonitorWindow    int
+	MonitorThreshold float64
+	ProbeInterval    time.Duration
+
+	// QueryTimeout bounds how long a fast read waits for remote cache
+	// replies before falling back to ordering (zero: 500ms).
+	QueryTimeout time.Duration
+
+	// FullCacheReplies transfers complete cache entries between Troxies
+	// instead of reply digests (the paper's base variant; hash-only is the
+	// optimization it recommends). Exposed for the ablation experiment.
+	FullCacheReplies bool
+
+	// HTTP switches the client protocol from the generic request/reply
+	// framing to an HTTP/1.1 byte stream.
+	HTTP bool
+}
+
+// Actions is what the untrusted replica part must do after an ecall: send
+// encrypted records to clients, hand requests to the ordering protocol, and
+// transmit cache messages to peer replicas. The Troxy itself never touches
+// the network.
+type Actions struct {
+	Client  []ClientRecord
+	Submits []msg.OrderRequest
+	Queries []PeerCacheMsg
+}
+
+// ClientRecord is one opaque frame for a client connection (a handshake
+// frame or an encrypted record). Node is the network destination hosting the
+// connection (a client machine may multiplex many logical clients).
+type ClientRecord struct {
+	ConnID uint64
+	Node   msg.NodeID
+	Frame  []byte
+}
+
+// PeerCacheMsg is a fast-read protocol message for a peer replica's Troxy.
+type PeerCacheMsg struct {
+	To    msg.NodeID
+	Query *msg.CacheQuery
+	Reply *msg.CacheReply
+}
+
+// merge appends other's outputs.
+func (a *Actions) merge(other Actions) {
+	a.Client = append(a.Client, other.Client...)
+	a.Submits = append(a.Submits, other.Submits...)
+	a.Queries = append(a.Queries, other.Queries...)
+}
+
+// Stats counts Troxy events.
+type Stats struct {
+	Handshakes     uint64
+	Requests       uint64
+	Reads          uint64
+	Writes         uint64
+	FastReadOK     uint64 // reads answered from f+1 matching caches
+	FastReadFell   uint64 // fast-read attempts that fell back to ordering
+	CacheMisses    uint64 // fast-path attempts without a local entry
+	VotesCompleted uint64
+	BadReplies     uint64 // replies dropped by tag verification
+	BadQueries     uint64 // cache messages dropped by tag verification
+	ModeSwitches   uint64 // monitor switches into total-order mode
+	Cache          CacheStats
+}
+
+type session struct {
+	connID uint64
+	// node is where frames for this connection are sent.
+	node    msg.NodeID
+	sc      *securechannel.Session
+	httpBuf []byte
+	nextSeq uint64
+}
+
+type voteKey struct {
+	client    uint64
+	clientSeq uint64
+}
+
+type voteState struct {
+	connID    uint64
+	reqDigest msg.Digest
+	opHash    msg.Digest
+	read      bool
+	votes     map[msg.NodeID]msg.Digest
+	results   map[msg.Digest]*msg.OrderedReply
+}
+
+type queryState struct {
+	started   time.Duration
+	connID    uint64
+	key       voteKey
+	opHash    msg.Digest
+	reply     []byte
+	replyHash msg.Digest
+	waiting   map[msg.NodeID]struct{}
+	fallback  msg.OrderRequest
+}
+
+// Core is the trusted Troxy logic. It is not safe for concurrent use; the
+// enclave's single-threaded ecall discipline (or the host state machine)
+// serializes access.
+type Core struct {
+	cfg Config
+	// rng drives replica selection; handshakeRand supplies key material.
+	// With Seed == 0 (production) handshakes draw from crypto/rand; a
+	// nonzero seed makes the whole instance deterministic for simulation.
+	rng           *rand.Rand
+	handshakeRand io.Reader
+
+	identity ed25519.PrivateKey
+	tagger   *authn.GroupTagger
+
+	sessions map[uint64]*session
+	votes    map[voteKey]*voteState
+	queries  map[uint64]*queryState
+	queryCtr uint64
+
+	cache   *Cache
+	monitor *Monitor
+
+	stats Stats
+}
+
+// NewCore creates an unprovisioned Troxy core.
+func NewCore(cfg Config) *Core {
+	c := &Core{cfg: cfg}
+	c.Reset()
+	return c
+}
+
+// Reset wipes all volatile state, modelling an enclave (re)start. Session
+// keys, the voter state and the entire fast-read cache are lost; secrets
+// must be provisioned again. A rollback attack therefore only yields an
+// empty cache and unanswered queries (Section IV-B).
+func (c *Core) Reset() {
+	c.rng = rand.New(rand.NewSource(c.cfg.Seed))
+	if c.cfg.Seed == 0 {
+		c.handshakeRand = cryptorand.Reader
+	} else {
+		c.handshakeRand = rand.New(rand.NewSource(c.cfg.Seed ^ 0x7477726f7879)) // "troxy"
+	}
+	c.identity = nil
+	c.tagger = nil
+	c.sessions = make(map[uint64]*session)
+	c.votes = make(map[voteKey]*voteState)
+	c.queries = make(map[uint64]*queryState)
+	c.cache = NewCache(c.cfg.CacheCapacity)
+	c.monitor = NewMonitor(c.cfg.MonitorWindow, c.cfg.MonitorThreshold, c.cfg.ProbeInterval)
+	c.stats = Stats{}
+}
+
+// ProvisionSecrets installs the identity key and group secret.
+func (c *Core) ProvisionSecrets(secrets map[string][]byte) error {
+	seed, ok := secrets[SecretIdentity]
+	if !ok || len(seed) != ed25519.SeedSize {
+		return fmt.Errorf("%w: missing or malformed %s", ErrNotProvisioned, SecretIdentity)
+	}
+	group, ok := secrets[SecretGroup]
+	if !ok || len(group) == 0 {
+		return fmt.Errorf("%w: missing %s", ErrNotProvisioned, SecretGroup)
+	}
+	c.identity = ed25519.NewKeyFromSeed(seed)
+	c.tagger = authn.NewGroupTagger(group)
+	return nil
+}
+
+// Provisioned reports whether secrets are installed.
+func (c *Core) Provisioned() bool { return c.identity != nil && c.tagger != nil }
+
+// Stats returns a snapshot of the counters.
+func (c *Core) Stats() Stats {
+	s := c.stats
+	s.Cache = c.cache.Stats()
+	s.ModeSwitches = c.monitor.Switches()
+	return s
+}
+
+// AcceptConn registers a client connection handled by this replica.
+func (c *Core) AcceptConn(connID uint64, node msg.NodeID) {
+	c.sessions[connID] = &session{connID: connID, node: node}
+}
+
+// CloseConn drops a client connection's session state.
+func (c *Core) CloseConn(connID uint64) {
+	delete(c.sessions, connID)
+}
+
+// HandleClientData processes opaque bytes received on a client connection:
+// handshake frames establish the secure channel; records are decrypted and
+// parsed into operations, which either hit the fast-read path or are
+// submitted for ordering.
+func (c *Core) HandleClientData(now time.Duration, connID uint64, from msg.NodeID, payload []byte) (Actions, error) {
+	var out Actions
+	if !c.Provisioned() {
+		return out, ErrNotProvisioned
+	}
+	sess, ok := c.sessions[connID]
+	if !ok {
+		sess = &session{connID: connID, node: from}
+		c.sessions[connID] = sess
+	}
+	sess.node = from
+
+	if securechannel.IsHandshakeFrame(payload) {
+		sc, serverHello, err := securechannel.ServerHandshake(c.identity, payload, c.handshakeRand)
+		if err != nil {
+			return out, fmt.Errorf("%w: %v", ErrBadChannel, err)
+		}
+		sess.sc = sc
+		sess.httpBuf = nil
+		c.stats.Handshakes++
+		out.Client = append(out.Client, ClientRecord{ConnID: connID, Node: sess.node, Frame: serverHello})
+		return out, nil
+	}
+
+	if !sess.sc.Established() {
+		return out, fmt.Errorf("%w: record before handshake", ErrBadChannel)
+	}
+	plaintext, err := sess.sc.Open(payload)
+	if err != nil {
+		return out, fmt.Errorf("%w: %v", ErrBadChannel, err)
+	}
+
+	if c.cfg.HTTP {
+		sess.httpBuf = append(sess.httpBuf, plaintext...)
+		for {
+			op, consumed, err := httpfront.ExtractRequest(sess.httpBuf)
+			if err != nil {
+				return out, fmt.Errorf("%w: %v", ErrBadChannel, err)
+			}
+			if op == nil {
+				break
+			}
+			sess.httpBuf = sess.httpBuf[consumed:]
+			sess.nextSeq++
+			// HTTP connections have no protocol-level client identity; the
+			// connection ID serves as one (a reconnect is a new client, as
+			// it is for a plain web server).
+			acts := c.handleOperation(now, sess, connID, sess.nextSeq, op)
+			out.merge(acts)
+		}
+		return out, nil
+	}
+
+	frame, err := msg.DecodeChannelRequest(plaintext)
+	if err != nil {
+		return out, fmt.Errorf("%w: %v", ErrBadChannel, err)
+	}
+	out.merge(c.handleOperation(now, sess, frame.Client, frame.Seq, frame.Op))
+	return out, nil
+}
+
+// handleOperation routes one client operation.
+func (c *Core) handleOperation(now time.Duration, sess *session, client, clientSeq uint64, op []byte) Actions {
+	var out Actions
+	c.stats.Requests++
+
+	read := c.cfg.Classify != nil && c.cfg.Classify(op)
+	if read {
+		c.stats.Reads++
+	} else {
+		c.stats.Writes++
+	}
+
+	key := voteKey{client: client, clientSeq: clientSeq}
+	opHash := msg.DigestOf(op)
+
+	// Fast path for reads (Figure 4): check the local cache, then confirm
+	// with f randomly chosen remote Troxies.
+	if read && c.cfg.FastReads && c.monitor.Allow(now) {
+		if _, pending := c.queries[c.pendingQueryFor(key)]; !pending {
+			if reply := c.cache.Get(opHash); reply != nil {
+				return c.startFastRead(now, sess, key, opHash, op, reply)
+			}
+			c.stats.CacheMisses++
+			c.monitor.Record(now, true)
+		}
+	}
+
+	out.Submits = append(out.Submits, c.registerVote(sess, key, opHash, op, read))
+	return out
+}
+
+// pendingQueryFor returns the ID of an in-flight fast read for a vote key
+// (0 if none); used to coalesce client retransmissions.
+func (c *Core) pendingQueryFor(key voteKey) uint64 {
+	for id, qs := range c.queries {
+		if qs.key == key {
+			return id
+		}
+	}
+	return 0
+}
+
+// registerVote creates the voter state for an ordered request and returns
+// the BFT request to submit. Re-registration (client retransmission) keeps
+// the already-collected votes.
+func (c *Core) registerVote(sess *session, key voteKey, opHash msg.Digest, op []byte, read bool) msg.OrderRequest {
+	flags := uint8(0)
+	if read {
+		flags = msg.FlagReadOnly
+	}
+	req := msg.OrderRequest{
+		Origin:    c.cfg.Self,
+		Client:    key.client,
+		ClientSeq: key.clientSeq,
+		Flags:     flags,
+		Op:        op,
+	}
+	if vs, ok := c.votes[key]; ok {
+		vs.connID = sess.connID // reconnects move the reply route
+		return req
+	}
+	c.votes[key] = &voteState{
+		connID:    sess.connID,
+		reqDigest: req.Digest(),
+		opHash:    opHash,
+		read:      read,
+		votes:     make(map[msg.NodeID]msg.Digest),
+		results:   make(map[msg.Digest]*msg.OrderedReply),
+	}
+	return req
+}
+
+// startFastRead begins the remote-confirmation round for a locally cached
+// read (check_cache in Figure 4).
+func (c *Core) startFastRead(now time.Duration, sess *session, key voteKey, opHash msg.Digest, op []byte, reply []byte) Actions {
+	var out Actions
+	c.queryCtr++
+	id := c.queryCtr
+	qs := &queryState{
+		started:   now,
+		connID:    sess.connID,
+		key:       key,
+		opHash:    opHash,
+		reply:     reply,
+		replyHash: msg.DigestOf(reply),
+		waiting:   make(map[msg.NodeID]struct{}, c.cfg.F),
+	}
+	qs.fallback = msg.OrderRequest{
+		Origin:    c.cfg.Self,
+		Client:    key.client,
+		ClientSeq: key.clientSeq,
+		Flags:     msg.FlagReadOnly,
+		Op:        op,
+	}
+	for _, r := range c.chooseReplicas(c.cfg.F) {
+		qs.waiting[r] = struct{}{}
+		q := &msg.CacheQuery{From: c.cfg.Self, QueryID: id, ReqDigest: opHash}
+		q.Tag = c.tagger.Tag(c.cfg.Self, q.TagInput())
+		out.Queries = append(out.Queries, PeerCacheMsg{To: r, Query: q})
+	}
+	c.queries[id] = qs
+	return out
+}
+
+// chooseReplicas picks k distinct replicas other than self, uniformly at
+// random (Section IV-B: random selection blunts performance attacks by a
+// faulty replica that always reports mismatches).
+func (c *Core) chooseReplicas(k int) []msg.NodeID {
+	others := make([]msg.NodeID, 0, c.cfg.N-1)
+	for i := 0; i < c.cfg.N; i++ {
+		if id := msg.NodeID(i); id != c.cfg.Self {
+			others = append(others, id)
+		}
+	}
+	c.rng.Shuffle(len(others), func(i, j int) { others[i], others[j] = others[j], others[i] })
+	if k > len(others) {
+		k = len(others)
+	}
+	return others[:k]
+}
+
+// AuthenticateReply is invoked by the local replica for every reply it is
+// about to emit: the Troxy authenticates it with the group secret bound to
+// this instance, and — crucially for consistency — invalidates the cache
+// entries a write outdates *before* the authenticated reply exists. Without
+// the tag the reply cannot count toward any voter's quorum, so every
+// completed write implies f+1 invalidated caches (Section IV-A).
+//
+// Read replies populate this Troxy's cache with the *local* execution
+// result, keyed by the operation digest. This only risks this replica's own
+// entry: a fast read counts an entry only when it matches the voting
+// Troxy's voted-correct local copy, so a faulty replica poisoning its own
+// cache can cause fallbacks (a performance attack the random selection and
+// the monitor blunt) but never wrong results.
+func (c *Core) AuthenticateReply(rep *msg.OrderedReply, read bool, opHash msg.Digest) error {
+	if !c.Provisioned() {
+		return ErrNotProvisioned
+	}
+	if read {
+		if c.cfg.FastReads {
+			c.cache.Put(opHash, rep.Result, rep.InvalidKeys)
+		}
+	} else {
+		for _, k := range rep.InvalidKeys {
+			c.cache.Invalidate(k)
+		}
+	}
+	rep.TroxyTag = c.tagger.Tag(c.cfg.Self, rep.TagInput())
+	return nil
+}
+
+// voteHash folds the reply's result and key set into the value replicas must
+// agree on. Including the keys prevents a faulty replica from matching the
+// result while lying about which cache entries to touch.
+func voteHash(rep *msg.OrderedReply) msg.Digest {
+	h := make([]byte, 0, len(rep.Result)+64)
+	h = append(h, rep.Result...)
+	for _, k := range rep.InvalidKeys {
+		h = append(h, 0)
+		h = append(h, k...)
+	}
+	return msg.DigestOf(h)
+}
+
+// HandleReply feeds one replica's reply into the voter (steps 4-5 of
+// Figure 3). When f+1 distinct replicas delivered Troxy-authenticated,
+// matching replies, the result is encrypted for the client.
+func (c *Core) HandleReply(now time.Duration, rep *msg.OrderedReply) (Actions, error) {
+	var out Actions
+	if !c.Provisioned() {
+		return out, ErrNotProvisioned
+	}
+	if rep.Executor < 0 || int(rep.Executor) >= c.cfg.N {
+		c.stats.BadReplies++
+		return out, nil
+	}
+	// Only replies authenticated by the executor's Troxy count: this is the
+	// voter modification that forces faulty replicas through their trusted
+	// subsystem (Section IV-A, change 1).
+	if !c.tagger.Verify(rep.Executor, rep.TagInput(), rep.TroxyTag) {
+		c.stats.BadReplies++
+		return out, nil
+	}
+
+	// Defense in depth: a verified write reply always invalidates, even if
+	// no vote is pending here.
+	key := voteKey{client: rep.Client, clientSeq: rep.ClientSeq}
+	vs, ok := c.votes[key]
+	if !ok {
+		return out, nil
+	}
+	if rep.ReqDigest != vs.reqDigest {
+		c.stats.BadReplies++
+		return out, nil
+	}
+
+	h := voteHash(rep)
+	vs.votes[rep.Executor] = h
+	if _, dup := vs.results[h]; !dup {
+		vs.results[h] = rep
+	}
+	matching := 0
+	for _, vh := range vs.votes {
+		if vh == h {
+			matching++
+		}
+	}
+	if matching < c.cfg.F+1 {
+		return out, nil
+	}
+
+	// Quorum reached: the result is correct.
+	winner := vs.results[h]
+	c.stats.VotesCompleted++
+	delete(c.votes, key)
+
+	if vs.read {
+		if c.cfg.FastReads {
+			c.cache.Put(vs.opHash, winner.Result, winner.InvalidKeys)
+		}
+	} else {
+		for _, k := range winner.InvalidKeys {
+			c.cache.Invalidate(k)
+		}
+	}
+
+	if rec, err := c.sealToClient(vs.connID, key.clientSeq, winner.Result); err == nil {
+		out.Client = append(out.Client, rec)
+	}
+	return out, nil
+}
+
+// sealToClient encrypts a result for the client connection. HTTP sessions
+// receive the raw response bytes; generic sessions a ChannelReply frame.
+func (c *Core) sealToClient(connID, clientSeq uint64, result []byte) (ClientRecord, error) {
+	sess, ok := c.sessions[connID]
+	if !ok || !sess.sc.Established() {
+		return ClientRecord{}, fmt.Errorf("%w: connection gone", ErrBadChannel)
+	}
+	plaintext := result
+	if !c.cfg.HTTP {
+		plaintext = msg.EncodeChannelReply(&msg.ChannelReply{
+			Seq:    clientSeq,
+			Status: msg.StatusOK,
+			Result: result,
+		})
+	}
+	record, err := sess.sc.Seal(plaintext)
+	if err != nil {
+		return ClientRecord{}, err
+	}
+	return ClientRecord{ConnID: connID, Node: sess.node, Frame: record}, nil
+}
+
+// HandleCacheQuery answers a remote Troxy's fast-read confirmation request
+// (get_remote_cache_entry in Figure 4). Only the digest of the cached reply
+// travels back (the paper's hash optimization).
+func (c *Core) HandleCacheQuery(q *msg.CacheQuery) (Actions, error) {
+	var out Actions
+	if !c.Provisioned() {
+		return out, ErrNotProvisioned
+	}
+	if q.From < 0 || int(q.From) >= c.cfg.N || !c.tagger.Verify(q.From, q.TagInput(), q.Tag) {
+		c.stats.BadQueries++
+		return out, nil
+	}
+	rep := &msg.CacheReply{From: c.cfg.Self, QueryID: q.QueryID, ReqDigest: q.ReqDigest}
+	if cached := c.cache.Get(q.ReqDigest); cached != nil {
+		rep.Found = true
+		rep.ReplyDigest = msg.DigestOf(cached)
+		if c.cfg.FullCacheReplies {
+			rep.ReplyData = cached
+		}
+	}
+	rep.Tag = c.tagger.Tag(c.cfg.Self, rep.TagInput())
+	out.Queries = append(out.Queries, PeerCacheMsg{To: q.From, Reply: rep})
+	return out, nil
+}
+
+// HandleCacheReply feeds a remote cache answer into a pending fast read. All
+// f remote entries must match the local one; any mismatch (concurrent
+// writes, stale replays by malicious replicas) falls back to ordering.
+func (c *Core) HandleCacheReply(now time.Duration, r *msg.CacheReply) (Actions, error) {
+	var out Actions
+	if !c.Provisioned() {
+		return out, ErrNotProvisioned
+	}
+	if r.From < 0 || int(r.From) >= c.cfg.N || !c.tagger.Verify(r.From, r.TagInput(), r.Tag) {
+		c.stats.BadQueries++
+		return out, nil
+	}
+	qs, ok := c.queries[r.QueryID]
+	if !ok {
+		return out, nil
+	}
+	if _, expected := qs.waiting[r.From]; !expected {
+		return out, nil
+	}
+
+	match := r.Found && r.ReqDigest == qs.opHash && r.ReplyDigest == qs.replyHash
+	if match && c.cfg.FullCacheReplies {
+		// Base variant: the full entry travelled; require byte equality,
+		// not just the digest (and reject a digest/data mismatch outright).
+		match = bytes.Equal(r.ReplyData, qs.reply)
+	}
+	if !match {
+		return c.fallbackQuery(now, r.QueryID, qs), nil
+	}
+	delete(qs.waiting, r.From)
+	if len(qs.waiting) > 0 {
+		return out, nil
+	}
+
+	// Fast read succeeded: local entry + f matching remote entries = f+1
+	// Troxies agree, and the write-invalidation quorum intersects this set.
+	delete(c.queries, r.QueryID)
+	c.stats.FastReadOK++
+	c.monitor.Record(now, false)
+	if rec, err := c.sealToClient(qs.connID, qs.key.clientSeq, qs.reply); err == nil {
+		out.Client = append(out.Client, rec)
+	}
+	return out, nil
+}
+
+// fallbackQuery abandons a fast read and orders the request instead.
+func (c *Core) fallbackQuery(now time.Duration, id uint64, qs *queryState) Actions {
+	var out Actions
+	delete(c.queries, id)
+	c.stats.FastReadFell++
+	c.monitor.Record(now, true)
+	sess, ok := c.sessions[qs.connID]
+	if !ok {
+		sess = &session{connID: qs.connID}
+	}
+	out.Submits = append(out.Submits, c.registerVote(sess, qs.key, qs.opHash, qs.fallback.Op, true))
+	return out
+}
+
+// Tick expires fast reads whose remote replicas stopped answering
+// ("timeouts might be used to detect unresponsive replicas", Section IV-A).
+func (c *Core) Tick(now time.Duration) Actions {
+	var out Actions
+	timeout := c.cfg.QueryTimeout
+	if timeout <= 0 {
+		timeout = 500 * time.Millisecond
+	}
+	var expired []uint64
+	for id, qs := range c.queries {
+		if now-qs.started >= timeout {
+			expired = append(expired, id)
+		}
+	}
+	// Deterministic expiry order keeps simulations reproducible.
+	sort.Slice(expired, func(i, j int) bool { return expired[i] < expired[j] })
+	for _, id := range expired {
+		qs := c.queries[id]
+		out.merge(c.fallbackQuery(now, id, qs))
+	}
+	return out
+}

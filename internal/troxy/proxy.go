@@ -1,0 +1,318 @@
+package troxy
+
+import (
+	"github.com/troxy-bft/troxy/internal/enclave"
+	"github.com/troxy-bft/troxy/internal/msg"
+	"github.com/troxy-bft/troxy/internal/node"
+	"github.com/troxy-bft/troxy/internal/wire"
+)
+
+// Proxy is how the untrusted replica part uses its Troxy. Two bindings
+// exist, matching the evaluation's configurations:
+//
+//   - DirectProxy ("ctroxy"): the native Troxy library invoked directly,
+//     outside SGX. It pays JNI crossing costs but no enclave transitions.
+//   - EnclaveProxy ("etroxy"): every call is an ecall into the enclave
+//     hosting the Troxy, paying JNI plus transition costs and copying all
+//     buffers across the boundary.
+//
+// Both charge the same inner crypto costs (record AEAD, group-tag HMACs) so
+// the simulated difference between them is exactly the trusted-subsystem
+// overhead — the quantity Figure 6 isolates.
+type Proxy interface {
+	// Profile identifies the implementation technology for cost accounting.
+	Profile() node.Profile
+
+	// AcceptConn, CloseConn, HandleClientData, AuthenticateReply,
+	// HandleReply, HandleCacheQuery, HandleCacheReply and Tick mirror the
+	// Core methods; see internal/troxy.Core.
+	AcceptConn(env node.Env, connID uint64, from msg.NodeID)
+	CloseConn(env node.Env, connID uint64)
+	HandleClientData(env node.Env, connID uint64, from msg.NodeID, payload []byte) (Actions, error)
+	AuthenticateReply(env node.Env, rep *msg.OrderedReply, read bool, opHash msg.Digest) error
+	HandleReply(env node.Env, rep *msg.OrderedReply) (Actions, error)
+	HandleCacheQuery(env node.Env, q *msg.CacheQuery) (Actions, error)
+	HandleCacheReply(env node.Env, r *msg.CacheReply) (Actions, error)
+	Tick(env node.Env) (Actions, error)
+
+	// Stats snapshots the Troxy counters.
+	Stats() (Stats, error)
+}
+
+// chargeCommon prices the work every binding performs for a call: the JNI
+// crossing from the Java replica host into native code.
+func chargeCommon(env node.Env, p node.Profile, bytes int) {
+	env.Charge(p, node.ChargeJNI, bytes)
+}
+
+// chargeClientData prices secure-channel record processing and per-action
+// output work, shared by both bindings.
+func chargeClientData(env node.Env, p node.Profile, payload []byte, acts *Actions) {
+	env.Charge(p, node.ChargeAEAD, len(payload))
+	chargeActions(env, p, acts)
+}
+
+func chargeActions(env node.Env, p node.Profile, acts *Actions) {
+	for _, cr := range acts.Client {
+		env.Charge(p, node.ChargeAEAD, len(cr.Frame))
+	}
+	for i := range acts.Submits {
+		env.Charge(p, node.ChargeHash, len(acts.Submits[i].Op))
+	}
+	for range acts.Queries {
+		env.Charge(p, node.ChargeMAC, 64)
+	}
+}
+
+// DirectProxy invokes the Core in-process ("ctroxy").
+type DirectProxy struct {
+	core    *Core
+	profile node.Profile
+}
+
+// NewDirectProxy wraps a core without an enclave boundary.
+func NewDirectProxy(core *Core) *DirectProxy {
+	return &DirectProxy{core: core, profile: node.ProfileCpp}
+}
+
+var _ Proxy = (*DirectProxy)(nil)
+
+// Profile implements Proxy.
+func (p *DirectProxy) Profile() node.Profile { return p.profile }
+
+// AcceptConn implements Proxy.
+func (p *DirectProxy) AcceptConn(env node.Env, connID uint64, from msg.NodeID) {
+	chargeCommon(env, p.profile, 16)
+	p.core.AcceptConn(connID, from)
+}
+
+// CloseConn implements Proxy.
+func (p *DirectProxy) CloseConn(env node.Env, connID uint64) {
+	chargeCommon(env, p.profile, 8)
+	p.core.CloseConn(connID)
+}
+
+// HandleClientData implements Proxy.
+func (p *DirectProxy) HandleClientData(env node.Env, connID uint64, from msg.NodeID, payload []byte) (Actions, error) {
+	chargeCommon(env, p.profile, len(payload))
+	acts, err := p.core.HandleClientData(env.Now(), connID, from, payload)
+	if err != nil {
+		return acts, err
+	}
+	chargeClientData(env, p.profile, payload, &acts)
+	return acts, nil
+}
+
+// AuthenticateReply implements Proxy.
+func (p *DirectProxy) AuthenticateReply(env node.Env, rep *msg.OrderedReply, read bool, opHash msg.Digest) error {
+	n := len(rep.Result) + 64
+	chargeCommon(env, p.profile, n)
+	env.Charge(p.profile, node.ChargeMAC, n)
+	return p.core.AuthenticateReply(rep, read, opHash)
+}
+
+// HandleReply implements Proxy.
+func (p *DirectProxy) HandleReply(env node.Env, rep *msg.OrderedReply) (Actions, error) {
+	n := len(rep.Result) + 64
+	chargeCommon(env, p.profile, n)
+	env.Charge(p.profile, node.ChargeMAC, n)  // tag verification
+	env.Charge(p.profile, node.ChargeHash, n) // vote hash
+	acts, err := p.core.HandleReply(env.Now(), rep)
+	if err != nil {
+		return acts, err
+	}
+	chargeActions(env, p.profile, &acts)
+	return acts, nil
+}
+
+// HandleCacheQuery implements Proxy.
+func (p *DirectProxy) HandleCacheQuery(env node.Env, q *msg.CacheQuery) (Actions, error) {
+	chargeCommon(env, p.profile, 64)
+	env.Charge(p.profile, node.ChargeMAC, 64) // tag verification
+	acts, err := p.core.HandleCacheQuery(q)
+	if err != nil {
+		return acts, err
+	}
+	chargeActions(env, p.profile, &acts)
+	return acts, nil
+}
+
+// HandleCacheReply implements Proxy.
+func (p *DirectProxy) HandleCacheReply(env node.Env, r *msg.CacheReply) (Actions, error) {
+	chargeCommon(env, p.profile, 96)
+	env.Charge(p.profile, node.ChargeMAC, 96)
+	acts, err := p.core.HandleCacheReply(env.Now(), r)
+	if err != nil {
+		return acts, err
+	}
+	chargeActions(env, p.profile, &acts)
+	return acts, nil
+}
+
+// Tick implements Proxy.
+func (p *DirectProxy) Tick(env node.Env) (Actions, error) {
+	acts := p.core.Tick(env.Now())
+	chargeActions(env, p.profile, &acts)
+	return acts, nil
+}
+
+// Stats implements Proxy.
+func (p *DirectProxy) Stats() (Stats, error) { return p.core.Stats(), nil }
+
+// EnclaveProxy routes every call through the enclave's ecall interface
+// ("etroxy"). Arguments are serialized, defensively copied by the boundary,
+// and results decoded back — the full cost of the paper's trusted subsystem.
+type EnclaveProxy struct {
+	enc     *enclave.Enclave
+	profile node.Profile
+}
+
+// NewEnclaveProxy wraps a launched Troxy enclave.
+func NewEnclaveProxy(enc *enclave.Enclave) *EnclaveProxy {
+	return &EnclaveProxy{enc: enc, profile: node.ProfileEnclave}
+}
+
+var _ Proxy = (*EnclaveProxy)(nil)
+
+// Profile implements Proxy.
+func (p *EnclaveProxy) Profile() node.Profile { return p.profile }
+
+// Enclave returns the underlying enclave (tests inspect its stats).
+func (p *EnclaveProxy) Enclave() *enclave.Enclave { return p.enc }
+
+func (p *EnclaveProxy) call(env node.Env, name string, arg []byte) ([]byte, error) {
+	chargeCommon(env, p.profile, len(arg))
+	out, err := p.enc.ECall(name, arg)
+	env.Charge(p.profile, node.ChargeTransition, len(arg)+len(out))
+	return out, err
+}
+
+// AcceptConn implements Proxy.
+func (p *EnclaveProxy) AcceptConn(env node.Env, connID uint64, from msg.NodeID) {
+	w := wire.NewWriter(16)
+	w.U64(connID)
+	w.U32(uint32(from))
+	_, _ = p.call(env, ECallAccept, w.Bytes())
+}
+
+// CloseConn implements Proxy.
+func (p *EnclaveProxy) CloseConn(env node.Env, connID uint64) {
+	w := wire.NewWriter(8)
+	w.U64(connID)
+	_, _ = p.call(env, ECallClose, w.Bytes())
+}
+
+// HandleClientData implements Proxy.
+func (p *EnclaveProxy) HandleClientData(env node.Env, connID uint64, from msg.NodeID, payload []byte) (Actions, error) {
+	w := wire.NewWriter(32 + len(payload))
+	w.I64(int64(env.Now()))
+	w.U64(connID)
+	w.U32(uint32(from))
+	w.Bytes32(payload)
+	out, err := p.call(env, ECallClientData, w.Bytes())
+	if err != nil {
+		return Actions{}, err
+	}
+	acts, err := decodeActions(out)
+	if err != nil {
+		return Actions{}, err
+	}
+	chargeClientData(env, p.profile, payload, &acts)
+	return acts, nil
+}
+
+// AuthenticateReply implements Proxy.
+func (p *EnclaveProxy) AuthenticateReply(env node.Env, rep *msg.OrderedReply, read bool, opHash msg.Digest) error {
+	w := wire.NewWriter(160 + len(rep.Result))
+	w.Bool(read)
+	w.Raw(opHash[:])
+	rep.MarshalWire(w)
+	out, err := p.call(env, ECallAuthReply, w.Bytes())
+	if err != nil {
+		return err
+	}
+	env.Charge(p.profile, node.ChargeMAC, len(rep.Result)+64)
+	r := wire.NewReader(out)
+	rep.TroxyTag = r.Bytes32()
+	return r.Finish()
+}
+
+// HandleReply implements Proxy.
+func (p *EnclaveProxy) HandleReply(env node.Env, rep *msg.OrderedReply) (Actions, error) {
+	w := wire.NewWriter(128 + len(rep.Result))
+	w.I64(int64(env.Now()))
+	rep.MarshalWire(w)
+	out, err := p.call(env, ECallHandleReply, w.Bytes())
+	if err != nil {
+		return Actions{}, err
+	}
+	n := len(rep.Result) + 64
+	env.Charge(p.profile, node.ChargeMAC, n)
+	env.Charge(p.profile, node.ChargeHash, n)
+	acts, err := decodeActions(out)
+	if err != nil {
+		return Actions{}, err
+	}
+	chargeActions(env, p.profile, &acts)
+	return acts, nil
+}
+
+// HandleCacheQuery implements Proxy.
+func (p *EnclaveProxy) HandleCacheQuery(env node.Env, q *msg.CacheQuery) (Actions, error) {
+	w := wire.NewWriter(96)
+	q.MarshalWire(w)
+	out, err := p.call(env, ECallCacheQuery, w.Bytes())
+	if err != nil {
+		return Actions{}, err
+	}
+	env.Charge(p.profile, node.ChargeMAC, 64)
+	acts, err := decodeActions(out)
+	if err != nil {
+		return Actions{}, err
+	}
+	chargeActions(env, p.profile, &acts)
+	return acts, nil
+}
+
+// HandleCacheReply implements Proxy.
+func (p *EnclaveProxy) HandleCacheReply(env node.Env, r *msg.CacheReply) (Actions, error) {
+	w := wire.NewWriter(128)
+	w.I64(int64(env.Now()))
+	r.MarshalWire(w)
+	out, err := p.call(env, ECallCacheReply, w.Bytes())
+	if err != nil {
+		return Actions{}, err
+	}
+	env.Charge(p.profile, node.ChargeMAC, 96)
+	acts, err := decodeActions(out)
+	if err != nil {
+		return Actions{}, err
+	}
+	chargeActions(env, p.profile, &acts)
+	return acts, nil
+}
+
+// Tick implements Proxy.
+func (p *EnclaveProxy) Tick(env node.Env) (Actions, error) {
+	w := wire.NewWriter(8)
+	w.I64(int64(env.Now()))
+	out, err := p.call(env, ECallTick, w.Bytes())
+	if err != nil {
+		return Actions{}, err
+	}
+	acts, err := decodeActions(out)
+	if err != nil {
+		return Actions{}, err
+	}
+	chargeActions(env, p.profile, &acts)
+	return acts, nil
+}
+
+// Stats implements Proxy.
+func (p *EnclaveProxy) Stats() (Stats, error) {
+	out, err := p.enc.ECall(ECallStats, nil)
+	if err != nil {
+		return Stats{}, err
+	}
+	return decodeStats(out)
+}

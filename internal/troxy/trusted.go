@@ -1,0 +1,364 @@
+package troxy
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/troxy-bft/troxy/internal/enclave"
+	"github.com/troxy-bft/troxy/internal/msg"
+	"github.com/troxy-bft/troxy/internal/tcounter"
+	"github.com/troxy-bft/troxy/internal/wire"
+)
+
+// The enclave interface. Like the paper's prototype, the Troxy "defines
+// only 16 ecalls and no ocalls" (Section V-A): ten Troxy entry points, two
+// trusted-counter entry points (the Hybster subsystem co-located in the
+// same enclave), and four lifecycle/attestation entry points.
+const (
+	ECallAccept       = "troxy_accept_connection"
+	ECallClose        = "troxy_close_connection"
+	ECallClientData   = "troxy_handle_client_data"
+	ECallAuthReply    = "troxy_authenticate_reply"
+	ECallHandleReply  = "troxy_handle_reply"
+	ECallCacheQuery   = "troxy_handle_cache_query"
+	ECallCacheReply   = "troxy_handle_cache_reply"
+	ECallTick         = "troxy_tick"
+	ECallStats        = "troxy_get_stats"
+	ECallReset        = "troxy_reset"
+	ECallSeal         = "troxy_seal_state"
+	ECallUnseal       = "troxy_unseal_state"
+	ECallReport       = "troxy_attest_report"
+	ECallProbeEnabled = "troxy_fast_reads_enabled"
+	// plus tcounter.ECallCertify and tcounter.ECallVerify = 16 entry points.
+)
+
+// CodeIdentity is the enclave measurement input for the Troxy enclave.
+const CodeIdentity = "troxy-enclave-v1"
+
+// Trusted hosts a Core and a trusted-counter subsystem behind the enclave
+// boundary, serializing every argument and result (the enclave copies both
+// directions; see internal/enclave).
+type Trusted struct {
+	core     *Core
+	counters *tcounter.Subsystem
+	sv       *enclave.Services
+
+	// epcReported is the cache footprint last reported to the EPC account.
+	epcReported int64
+}
+
+var _ enclave.Trusted = (*Trusted)(nil)
+
+// NewTrusted bundles a Troxy core and counter subsystem for enclave hosting.
+func NewTrusted(core *Core, counters *tcounter.Subsystem) *Trusted {
+	return &Trusted{core: core, counters: counters}
+}
+
+// OnStart implements enclave.Trusted: volatile state is wiped on every
+// (re)start, which is what makes rollback attacks yield only an empty cache.
+func (t *Trusted) OnStart(sv *enclave.Services) {
+	t.sv = sv
+	t.epcReported = 0 // a restart wiped trusted memory
+	t.core.Reset()
+	t.counters.Reset()
+}
+
+// Provision implements enclave.Trusted.
+func (t *Trusted) Provision(secrets map[string][]byte) error {
+	if key, ok := secrets[tcounter.SecretName]; ok {
+		t.counters.SetKey(key)
+	} else {
+		return errors.New("troxy: missing counter key")
+	}
+	return t.core.ProvisionSecrets(secrets)
+}
+
+// ECalls implements enclave.Trusted.
+func (t *Trusted) ECalls() map[string]func([]byte) ([]byte, error) {
+	table := map[string]func([]byte) ([]byte, error){
+		ECallAccept: func(arg []byte) ([]byte, error) {
+			r := wire.NewReader(arg)
+			connID := r.U64()
+			nodeID := msg.NodeID(int32(r.U32()))
+			if err := r.Finish(); err != nil {
+				return nil, err
+			}
+			t.core.AcceptConn(connID, nodeID)
+			return nil, nil
+		},
+		ECallClose: func(arg []byte) ([]byte, error) {
+			r := wire.NewReader(arg)
+			connID := r.U64()
+			if err := r.Finish(); err != nil {
+				return nil, err
+			}
+			t.core.CloseConn(connID)
+			return nil, nil
+		},
+		ECallClientData: func(arg []byte) ([]byte, error) {
+			r := wire.NewReader(arg)
+			now := time.Duration(r.I64())
+			connID := r.U64()
+			from := msg.NodeID(int32(r.U32()))
+			payload := r.Bytes32()
+			if err := r.Finish(); err != nil {
+				return nil, err
+			}
+			acts, err := t.core.HandleClientData(now, connID, from, payload)
+			if err != nil {
+				return nil, err
+			}
+			return encodeActions(&acts), nil
+		},
+		ECallAuthReply: func(arg []byte) ([]byte, error) {
+			r := wire.NewReader(arg)
+			read := r.Bool()
+			var opHash msg.Digest
+			copy(opHash[:], r.FixedBytes(len(opHash)))
+			var rep msg.OrderedReply
+			if err := rep.UnmarshalWire(r); err != nil {
+				return nil, err
+			}
+			if err := r.Finish(); err != nil {
+				return nil, err
+			}
+			if err := t.core.AuthenticateReply(&rep, read, opHash); err != nil {
+				return nil, err
+			}
+			w := wire.NewWriter(len(rep.TroxyTag) + 8)
+			w.Bytes32(rep.TroxyTag)
+			return w.Bytes(), nil
+		},
+		ECallHandleReply: func(arg []byte) ([]byte, error) {
+			r := wire.NewReader(arg)
+			now := time.Duration(r.I64())
+			var rep msg.OrderedReply
+			if err := rep.UnmarshalWire(r); err != nil {
+				return nil, err
+			}
+			if err := r.Finish(); err != nil {
+				return nil, err
+			}
+			acts, err := t.core.HandleReply(now, &rep)
+			if err != nil {
+				return nil, err
+			}
+			return encodeActions(&acts), nil
+		},
+		ECallCacheQuery: func(arg []byte) ([]byte, error) {
+			r := wire.NewReader(arg)
+			var q msg.CacheQuery
+			if err := q.UnmarshalWire(r); err != nil {
+				return nil, err
+			}
+			if err := r.Finish(); err != nil {
+				return nil, err
+			}
+			acts, err := t.core.HandleCacheQuery(&q)
+			if err != nil {
+				return nil, err
+			}
+			return encodeActions(&acts), nil
+		},
+		ECallCacheReply: func(arg []byte) ([]byte, error) {
+			r := wire.NewReader(arg)
+			now := time.Duration(r.I64())
+			var rep msg.CacheReply
+			if err := rep.UnmarshalWire(r); err != nil {
+				return nil, err
+			}
+			if err := r.Finish(); err != nil {
+				return nil, err
+			}
+			acts, err := t.core.HandleCacheReply(now, &rep)
+			if err != nil {
+				return nil, err
+			}
+			return encodeActions(&acts), nil
+		},
+		ECallTick: func(arg []byte) ([]byte, error) {
+			r := wire.NewReader(arg)
+			now := time.Duration(r.I64())
+			if err := r.Finish(); err != nil {
+				return nil, err
+			}
+			acts := t.core.Tick(now)
+			return encodeActions(&acts), nil
+		},
+		ECallStats: func([]byte) ([]byte, error) {
+			return encodeStats(t.core.Stats()), nil
+		},
+		ECallReset: func([]byte) ([]byte, error) {
+			t.core.Reset()
+			return nil, nil
+		},
+		ECallSeal: func(arg []byte) ([]byte, error) {
+			return t.sv.Seal(arg)
+		},
+		ECallUnseal: func(arg []byte) ([]byte, error) {
+			return t.sv.Unseal(arg)
+		},
+		ECallReport: func(arg []byte) ([]byte, error) {
+			// Report data for attestation: callers bind a challenge to the
+			// enclave identity (the platform quotes it; see enclave.QuoteFor).
+			m := enclave.MeasureCode(CodeIdentity)
+			out := make([]byte, 0, len(m)+len(arg))
+			out = append(out, m[:]...)
+			out = append(out, arg...)
+			return out, nil
+		},
+		ECallProbeEnabled: func([]byte) ([]byte, error) {
+			if t.core.cfg.FastReads {
+				return []byte{1}, nil
+			}
+			return []byte{0}, nil
+		},
+	}
+	for name, fn := range tcounter.ECallHandlers(t.counters) {
+		table[name] = fn
+	}
+	if len(table) != 16 {
+		panic(fmt.Sprintf("troxy: enclave interface has %d entry points, want 16", len(table)))
+	}
+	// Account the fast-read cache's trusted memory against the EPC budget
+	// after every boundary crossing: the prototype keeps its footprint small
+	// precisely because EPC overflow means paging (Section V-A).
+	for name, fn := range table {
+		inner := fn
+		table[name] = func(arg []byte) ([]byte, error) {
+			out, err := inner(arg)
+			t.syncEPC()
+			return out, err
+		}
+	}
+	return table
+}
+
+// syncEPC reports the cache's current footprint to the enclave's memory
+// accounting as an allocation delta.
+func (t *Trusted) syncEPC() {
+	if t.sv == nil {
+		return
+	}
+	used := t.core.cache.Stats().UsedBytes
+	switch {
+	case used > t.epcReported:
+		if err := t.sv.Alloc(used - t.epcReported); err == nil {
+			t.epcReported = used
+		}
+	case used < t.epcReported:
+		t.sv.Free(t.epcReported - used)
+		t.epcReported = used
+	}
+}
+
+// Actions and Stats codecs (boundary serialization).
+
+func encodeActions(a *Actions) []byte {
+	w := wire.NewWriter(256)
+	w.U32(uint32(len(a.Client)))
+	for _, cr := range a.Client {
+		w.U64(cr.ConnID)
+		w.U32(uint32(cr.Node))
+		w.Bytes32(cr.Frame)
+	}
+	w.U32(uint32(len(a.Submits)))
+	for i := range a.Submits {
+		a.Submits[i].MarshalWire(w)
+	}
+	w.U32(uint32(len(a.Queries)))
+	for _, pm := range a.Queries {
+		w.U32(uint32(pm.To))
+		if pm.Query != nil {
+			w.U8(1)
+			pm.Query.MarshalWire(w)
+		} else {
+			w.U8(2)
+			pm.Reply.MarshalWire(w)
+		}
+	}
+	out := make([]byte, w.Len())
+	copy(out, w.Bytes())
+	return out
+}
+
+func decodeActions(b []byte) (Actions, error) {
+	var a Actions
+	r := wire.NewReader(b)
+	nc := r.SliceLen()
+	for i := 0; i < nc; i++ {
+		cr := ClientRecord{ConnID: r.U64(), Node: msg.NodeID(int32(r.U32())), Frame: r.Bytes32()}
+		if r.Err() != nil {
+			return a, r.Err()
+		}
+		a.Client = append(a.Client, cr)
+	}
+	ns := r.SliceLen()
+	for i := 0; i < ns; i++ {
+		var req msg.OrderRequest
+		if err := req.UnmarshalWire(r); err != nil {
+			return a, err
+		}
+		a.Submits = append(a.Submits, req)
+	}
+	nq := r.SliceLen()
+	for i := 0; i < nq; i++ {
+		to := msg.NodeID(int32(r.U32()))
+		kind := r.U8()
+		switch kind {
+		case 1:
+			var q msg.CacheQuery
+			if err := q.UnmarshalWire(r); err != nil {
+				return a, err
+			}
+			a.Queries = append(a.Queries, PeerCacheMsg{To: to, Query: &q})
+		case 2:
+			var rep msg.CacheReply
+			if err := rep.UnmarshalWire(r); err != nil {
+				return a, err
+			}
+			a.Queries = append(a.Queries, PeerCacheMsg{To: to, Reply: &rep})
+		default:
+			return a, fmt.Errorf("troxy: bad peer message kind %d", kind)
+		}
+	}
+	if err := r.Finish(); err != nil {
+		return a, err
+	}
+	return a, nil
+}
+
+func encodeStats(s Stats) []byte {
+	w := wire.NewWriter(160)
+	for _, v := range []uint64{
+		s.Handshakes, s.Requests, s.Reads, s.Writes,
+		s.FastReadOK, s.FastReadFell, s.CacheMisses, s.VotesCompleted,
+		s.BadReplies, s.BadQueries, s.ModeSwitches,
+		s.Cache.Hits, s.Cache.Misses, s.Cache.Invalidations, s.Cache.Evictions,
+		uint64(s.Cache.Entries), uint64(s.Cache.UsedBytes),
+	} {
+		w.U64(v)
+	}
+	out := make([]byte, w.Len())
+	copy(out, w.Bytes())
+	return out
+}
+
+func decodeStats(b []byte) (Stats, error) {
+	r := wire.NewReader(b)
+	var s Stats
+	vals := make([]uint64, 17)
+	for i := range vals {
+		vals[i] = r.U64()
+	}
+	if err := r.Finish(); err != nil {
+		return s, err
+	}
+	s.Handshakes, s.Requests, s.Reads, s.Writes = vals[0], vals[1], vals[2], vals[3]
+	s.FastReadOK, s.FastReadFell, s.CacheMisses, s.VotesCompleted = vals[4], vals[5], vals[6], vals[7]
+	s.BadReplies, s.BadQueries, s.ModeSwitches = vals[8], vals[9], vals[10]
+	s.Cache.Hits, s.Cache.Misses, s.Cache.Invalidations, s.Cache.Evictions = vals[11], vals[12], vals[13], vals[14]
+	s.Cache.Entries, s.Cache.UsedBytes = int(vals[15]), int64(vals[16])
+	return s, nil
+}

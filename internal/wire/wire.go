@@ -1,0 +1,326 @@
+// Package wire provides small binary-encoding helpers used by all wire
+// messages in the system. The encoding is deliberately simple: fixed-width
+// little-endian integers and length-prefixed byte strings. Every message in
+// internal/msg is marshalled with a Writer and unmarshalled with a Reader so
+// that the exact same bytes flow through the real TCP transport and the
+// simulated network (message sizes in the simulator are the real encoded
+// sizes, not estimates).
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Encoding limits. They bound allocations when decoding data received from
+// untrusted peers; a correct component discards messages it cannot verify,
+// and it must not be crashable by a length field pointing at 2^32 bytes.
+const (
+	// MaxBytesLen is the maximum length of a single length-prefixed byte
+	// string. Large application payloads (HTTP pages, KV values) stay well
+	// below this.
+	MaxBytesLen = 64 << 20 // 64 MiB
+
+	// MaxSliceLen is the maximum element count of an encoded slice.
+	MaxSliceLen = 1 << 20
+)
+
+var (
+	// ErrTruncated reports that the buffer ended before a field was complete.
+	ErrTruncated = errors.New("wire: truncated input")
+
+	// ErrTooLarge reports a length field exceeding the configured limits.
+	ErrTooLarge = errors.New("wire: length exceeds limit")
+
+	// ErrTrailing reports unconsumed bytes after a complete decode.
+	ErrTrailing = errors.New("wire: trailing bytes after message")
+)
+
+// Writer accumulates an encoded message. The zero value is ready to use.
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter returns a Writer with the given initial capacity hint.
+func NewWriter(capacity int) *Writer {
+	return &Writer{buf: make([]byte, 0, capacity)}
+}
+
+// Bytes returns the encoded bytes. The returned slice aliases the writer's
+// internal buffer; callers must not retain it across further writes.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len returns the number of bytes written so far.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// U8 appends a single byte.
+func (w *Writer) U8(v uint8) { w.buf = append(w.buf, v) }
+
+// U16 appends a little-endian uint16.
+func (w *Writer) U16(v uint16) { w.buf = binary.LittleEndian.AppendUint16(w.buf, v) }
+
+// U32 appends a little-endian uint32.
+func (w *Writer) U32(v uint32) { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+
+// U64 appends a little-endian uint64.
+func (w *Writer) U64(v uint64) { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+
+// I64 appends a little-endian int64.
+func (w *Writer) I64(v int64) { w.U64(uint64(v)) }
+
+// Bool appends a boolean as one byte.
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+}
+
+// Bytes32 appends a length-prefixed byte string (uint32 length).
+func (w *Writer) Bytes32(b []byte) {
+	w.U32(uint32(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// String appends a length-prefixed string.
+func (w *Writer) String(s string) {
+	w.U32(uint32(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// Raw appends bytes verbatim with no length prefix.
+func (w *Writer) Raw(b []byte) { w.buf = append(w.buf, b...) }
+
+// Reader decodes a message from a byte slice. Methods record the first error
+// encountered; callers may check Err once after decoding all fields.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader returns a Reader over b. The reader does not copy b.
+func NewReader(b []byte) *Reader { return &Reader{buf: b} }
+
+// Err returns the first decoding error, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of undecoded bytes.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+// Finish returns an error if decoding failed or bytes remain unconsumed.
+func (r *Reader) Finish() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.buf) {
+		return fmt.Errorf("%w: %d bytes", ErrTrailing, len(r.buf)-r.off)
+	}
+	return nil
+}
+
+func (r *Reader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+n > len(r.buf) {
+		r.fail(ErrTruncated)
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+// U8 decodes a single byte.
+func (r *Reader) U8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// U16 decodes a little-endian uint16.
+func (r *Reader) U16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+// U32 decodes a little-endian uint32.
+func (r *Reader) U32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// U64 decodes a little-endian uint64.
+func (r *Reader) U64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// I64 decodes a little-endian int64.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// Bool decodes a one-byte boolean; any nonzero byte is true.
+func (r *Reader) Bool() bool { return r.U8() != 0 }
+
+// Bytes32 decodes a length-prefixed byte string. The result is a copy and is
+// safe to retain: decoded messages from untrusted peers must never alias
+// network buffers (the enclave copies buffers across its boundary for the
+// same reason).
+func (r *Reader) Bytes32() []byte {
+	n := r.U32()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	if n > MaxBytesLen {
+		r.fail(ErrTooLarge)
+		return nil
+	}
+	b := r.take(int(n))
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	return out
+}
+
+// String decodes a length-prefixed string.
+func (r *Reader) String() string {
+	n := r.U32()
+	if r.err != nil {
+		return ""
+	}
+	if n > MaxBytesLen {
+		r.fail(ErrTooLarge)
+		return ""
+	}
+	b := r.take(int(n))
+	return string(b)
+}
+
+// FixedBytes decodes exactly n bytes with no length prefix, returning a copy.
+func (r *Reader) FixedBytes(n int) []byte {
+	b := r.take(n)
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	return out
+}
+
+// SliceLen decodes and validates a slice length header.
+func (r *Reader) SliceLen() int {
+	n := r.U32()
+	if r.err != nil {
+		return 0
+	}
+	if n > MaxSliceLen {
+		r.fail(ErrTooLarge)
+		return 0
+	}
+	return int(n)
+}
+
+// Frame I/O: every TCP connection in realnet exchanges length-prefixed
+// frames. The 4-byte header holds the payload length.
+
+// MaxFrameLen bounds a single transport frame.
+const MaxFrameLen = MaxBytesLen + (1 << 16)
+
+// WriteFrame writes one length-prefixed frame to w.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrameLen {
+		return fmt.Errorf("%w: frame of %d bytes", ErrTooLarge, len(payload))
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("write frame header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("write frame payload: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one length-prefixed frame from r.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("read frame header: %w", err)
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > MaxFrameLen {
+		return nil, fmt.Errorf("%w: frame of %d bytes", ErrTooLarge, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("read frame payload: %w", err)
+	}
+	return payload, nil
+}
+
+// PutU64 encodes v into an 8-byte little-endian slice. It is a convenience
+// for building MAC inputs.
+func PutU64(v uint64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return b[:]
+}
+
+// CheckLen validates that an announced length n fits the remaining input and
+// the global limit; it exists for decoders that slice manually.
+func CheckLen(n, remaining int) error {
+	if n < 0 || n > MaxBytesLen {
+		return ErrTooLarge
+	}
+	if n > remaining {
+		return ErrTruncated
+	}
+	return nil
+}
+
+// Uvarint support for compact encodings inside cache digests.
+
+// AppendUvarint appends v in unsigned varint encoding.
+func AppendUvarint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
+
+// Uvarint decodes an unsigned varint from b, returning the value and the
+// number of bytes consumed, or an error.
+func Uvarint(b []byte) (uint64, int, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, 0, ErrTruncated
+	}
+	return v, n, nil
+}
+
+// SizeBytes32 returns the encoded size of a Bytes32 field.
+func SizeBytes32(b []byte) int { return 4 + len(b) }
+
+// SizeString returns the encoded size of a String field.
+func SizeString(s string) int { return 4 + len(s) }

@@ -1,0 +1,244 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripScalars(t *testing.T) {
+	w := NewWriter(64)
+	w.U8(0xab)
+	w.U16(0xbeef)
+	w.U32(0xdeadbeef)
+	w.U64(0x0123456789abcdef)
+	w.I64(-42)
+	w.Bool(true)
+	w.Bool(false)
+
+	r := NewReader(w.Bytes())
+	if got := r.U8(); got != 0xab {
+		t.Errorf("U8 = %#x, want 0xab", got)
+	}
+	if got := r.U16(); got != 0xbeef {
+		t.Errorf("U16 = %#x, want 0xbeef", got)
+	}
+	if got := r.U32(); got != 0xdeadbeef {
+		t.Errorf("U32 = %#x, want 0xdeadbeef", got)
+	}
+	if got := r.U64(); got != 0x0123456789abcdef {
+		t.Errorf("U64 = %#x", got)
+	}
+	if got := r.I64(); got != -42 {
+		t.Errorf("I64 = %d, want -42", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Error("Bool round trip failed")
+	}
+	if err := r.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+}
+
+func TestRoundTripBytesAndStrings(t *testing.T) {
+	cases := [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte{7}, 4096)}
+	for _, c := range cases {
+		w := NewWriter(16)
+		w.Bytes32(c)
+		w.String(string(c))
+		r := NewReader(w.Bytes())
+		if got := r.Bytes32(); !bytes.Equal(got, c) {
+			t.Errorf("Bytes32 round trip: got %d bytes, want %d", len(got), len(c))
+		}
+		if got := r.String(); got != string(c) {
+			t.Errorf("String round trip mismatch for len %d", len(c))
+		}
+		if err := r.Finish(); err != nil {
+			t.Fatalf("Finish: %v", err)
+		}
+	}
+}
+
+func TestBytes32Copies(t *testing.T) {
+	w := NewWriter(16)
+	w.Bytes32([]byte("hello"))
+	buf := w.Bytes()
+	r := NewReader(buf)
+	got := r.Bytes32()
+	buf[4] = 'X' // mutate underlying buffer after decode
+	if string(got) != "hello" {
+		t.Errorf("decoded bytes alias input buffer: %q", got)
+	}
+}
+
+func TestTruncated(t *testing.T) {
+	w := NewWriter(16)
+	w.U64(1)
+	full := w.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		r := NewReader(full[:cut])
+		r.U64()
+		if r.Err() == nil {
+			t.Errorf("cut=%d: expected truncation error", cut)
+		}
+	}
+}
+
+func TestOversizedLength(t *testing.T) {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(MaxBytesLen+1))
+	r := NewReader(hdr[:])
+	if got := r.Bytes32(); got != nil {
+		t.Errorf("Bytes32 on oversized length = %d bytes, want nil", len(got))
+	}
+	if r.Err() == nil {
+		t.Error("expected ErrTooLarge")
+	}
+}
+
+func TestTrailingBytes(t *testing.T) {
+	w := NewWriter(8)
+	w.U32(9)
+	w.U8(1)
+	r := NewReader(w.Bytes())
+	r.U32()
+	if err := r.Finish(); err == nil {
+		t.Error("Finish with trailing bytes should fail")
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{{}, []byte("a"), bytes.Repeat([]byte{3}, 100000)}
+	for _, p := range payloads {
+		if err := WriteFrame(&buf, p); err != nil {
+			t.Fatalf("WriteFrame: %v", err)
+		}
+	}
+	for _, p := range payloads {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("ReadFrame: %v", err)
+		}
+		if !bytes.Equal(got, p) {
+			t.Errorf("frame mismatch: got %d bytes, want %d", len(got), len(p))
+		}
+	}
+}
+
+func TestReadFrameRejectsHugeHeader(t *testing.T) {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(MaxFrameLen+1))
+	if _, err := ReadFrame(bytes.NewReader(hdr[:])); err == nil {
+		t.Error("expected error for oversized frame header")
+	}
+}
+
+func TestUvarint(t *testing.T) {
+	for _, v := range []uint64{0, 1, 127, 128, 1 << 20, 1<<63 - 1} {
+		b := AppendUvarint(nil, v)
+		got, n, err := Uvarint(b)
+		if err != nil || got != v || n != len(b) {
+			t.Errorf("Uvarint(%d): got %d, n=%d, err=%v", v, got, n, err)
+		}
+	}
+	if _, _, err := Uvarint(nil); err == nil {
+		t.Error("Uvarint(nil) should fail")
+	}
+}
+
+func TestQuickBytesRoundTrip(t *testing.T) {
+	f := func(a, b []byte, s string, x uint64) bool {
+		w := NewWriter(0)
+		w.Bytes32(a)
+		w.U64(x)
+		w.Bytes32(b)
+		w.String(s)
+		r := NewReader(w.Bytes())
+		ga := r.Bytes32()
+		gx := r.U64()
+		gb := r.Bytes32()
+		gs := r.String()
+		return r.Finish() == nil &&
+			bytes.Equal(ga, a) && gx == x && bytes.Equal(gb, b) && gs == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickReaderNeverPanics(t *testing.T) {
+	// Decoding arbitrary bytes must never panic, only error: decoders face
+	// untrusted peers.
+	f := func(b []byte) bool {
+		r := NewReader(b)
+		_ = r.U8()
+		_ = r.Bytes32()
+		_ = r.U32()
+		_ = r.String()
+		_ = r.SliceLen()
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSizeHelpers(t *testing.T) {
+	if got := SizeBytes32([]byte("abc")); got != 7 {
+		t.Errorf("SizeBytes32 = %d, want 7", got)
+	}
+	if got := SizeString("abcd"); got != 8 {
+		t.Errorf("SizeString = %d, want 8", got)
+	}
+}
+
+func TestPutU64(t *testing.T) {
+	b := PutU64(0x0102030405060708)
+	if len(b) != 8 || b[0] != 0x08 || b[7] != 0x01 {
+		t.Errorf("PutU64 = %v", b)
+	}
+}
+
+func TestCheckLen(t *testing.T) {
+	if err := CheckLen(10, 20); err != nil {
+		t.Errorf("valid length rejected: %v", err)
+	}
+	if err := CheckLen(-1, 20); err == nil {
+		t.Error("negative length accepted")
+	}
+	if err := CheckLen(MaxBytesLen+1, MaxBytesLen*2); err == nil {
+		t.Error("oversized length accepted")
+	}
+	if err := CheckLen(30, 20); err == nil {
+		t.Error("length beyond remaining accepted")
+	}
+}
+
+func TestFixedBytes(t *testing.T) {
+	r := NewReader([]byte{1, 2, 3, 4})
+	got := r.FixedBytes(3)
+	if len(got) != 3 || got[0] != 1 {
+		t.Errorf("FixedBytes = %v", got)
+	}
+	if r.FixedBytes(2) != nil || r.Err() == nil {
+		t.Error("overread not detected")
+	}
+}
+
+func TestWriterConveniences(t *testing.T) {
+	w := NewWriter(8)
+	w.Raw([]byte{1, 2})
+	w.String("ab")
+	if w.Len() != 8 {
+		t.Errorf("Len = %d", w.Len())
+	}
+	r := NewReader(w.Bytes())
+	if got := r.FixedBytes(2); got[1] != 2 {
+		t.Errorf("raw bytes = %v", got)
+	}
+	if got := r.String(); got != "ab" {
+		t.Errorf("string = %q", got)
+	}
+}

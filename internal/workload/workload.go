@@ -1,0 +1,257 @@
+// Package workload provides the load generators and measurement machinery of
+// the evaluation: operation generators matching the paper's microbenchmark
+// (configurable request/reply sizes, read/write mixes over a keyed state)
+// and its HTTP experiment (JMeter-like fixed-rate GET/POST traffic), plus a
+// latency/throughput recorder.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/troxy-bft/troxy/internal/app"
+)
+
+// Op is one generated client operation.
+type Op struct {
+	// Op is the operation payload handed to the service.
+	Op []byte
+	// Read reports whether the operation is read-only (drives client-side
+	// read optimizations and per-class statistics).
+	Read bool
+}
+
+// Generator produces operations. Implementations must be deterministic
+// given the caller's random source.
+type Generator interface {
+	Next(r *rand.Rand) Op
+}
+
+// BenchGen generates the microbenchmark workload of Section VI-C: requests
+// of RequestSize bytes against a key space of Keys keys, a fraction
+// ReadRatio of which are reads.
+type BenchGen struct {
+	// RequestSize is the operation payload size in bytes.
+	RequestSize int
+	// Keys is the key-space size (≥1).
+	Keys uint64
+	// ReadRatio is the fraction of reads in [0,1].
+	ReadRatio float64
+}
+
+var _ Generator = BenchGen{}
+
+// Next implements Generator.
+func (g BenchGen) Next(r *rand.Rand) Op {
+	keys := g.Keys
+	if keys == 0 {
+		keys = 1
+	}
+	key := uint64(r.Int63n(int64(keys)))
+	if r.Float64() < g.ReadRatio {
+		return Op{Op: app.BenchRead(key, g.RequestSize), Read: true}
+	}
+	return Op{Op: app.BenchWrite(key, g.RequestSize), Read: false}
+}
+
+// KVGen generates text-protocol operations against the KV store; used by
+// examples and integration tests.
+type KVGen struct {
+	Keys      int
+	ReadRatio float64
+	ValueSize int
+}
+
+var _ Generator = KVGen{}
+
+// Next implements Generator.
+func (g KVGen) Next(r *rand.Rand) Op {
+	keys := g.Keys
+	if keys <= 0 {
+		keys = 16
+	}
+	key := fmt.Sprintf("key-%d", r.Intn(keys))
+	if r.Float64() < g.ReadRatio {
+		return Op{Op: []byte("GET " + key), Read: true}
+	}
+	size := g.ValueSize
+	if size <= 0 {
+		size = 16
+	}
+	value := make([]byte, size)
+	for i := range value {
+		value[i] = byte('a' + r.Intn(26))
+	}
+	return Op{Op: []byte("PUT " + key + " " + string(value)), Read: false}
+}
+
+// HTTPGen generates raw HTTP/1.1 GET and POST requests against a set of
+// pages, as in the Fig. 11 experiment (200 B request payloads; the response
+// size is a property of the served pages).
+type HTTPGen struct {
+	// Paths are the page paths addressed.
+	Paths []string
+	// ReadRatio is the fraction of GETs.
+	ReadRatio float64
+	// PostSize is the POST body size in bytes.
+	PostSize int
+}
+
+var _ Generator = HTTPGen{}
+
+// Next implements Generator.
+func (g HTTPGen) Next(r *rand.Rand) Op {
+	path := "/index.html"
+	if len(g.Paths) > 0 {
+		path = g.Paths[r.Intn(len(g.Paths))]
+	}
+	if r.Float64() < g.ReadRatio {
+		return Op{
+			Op:   fmt.Appendf(nil, "GET %s HTTP/1.1\r\nHost: troxy\r\n\r\n", path),
+			Read: true,
+		}
+	}
+	body := make([]byte, g.PostSize)
+	for i := range body {
+		body[i] = byte('0' + r.Intn(10))
+	}
+	return Op{
+		Op: fmt.Appendf(nil, "POST %s HTTP/1.1\r\nHost: troxy\r\nContent-Length: %d\r\n\r\n%s",
+			path, len(body), body),
+		Read: false,
+	}
+}
+
+// Recorder accumulates per-operation measurements. It is safe for concurrent
+// use (realnet clients run on their own goroutines). Measurements before
+// Begin is called (the warm-up phase) are discarded.
+type Recorder struct {
+	mu        sync.Mutex
+	measuring bool
+	begin     time.Duration
+	end       time.Duration
+
+	count     uint64
+	readCount uint64
+	retries   uint64
+	sum       time.Duration
+	latencies []time.Duration
+}
+
+// maxSamples bounds the latency sample buffer; beyond it, reservoir
+// sampling keeps the percentile estimates unbiased.
+const maxSamples = 1 << 19
+
+// NewRecorder creates an idle recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Begin starts the measurement phase at the given (virtual or wall) time.
+func (r *Recorder) Begin(now time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.measuring = true
+	r.begin = now
+	r.end = now
+	r.count = 0
+	r.readCount = 0
+	r.retries = 0
+	r.sum = 0
+	r.latencies = r.latencies[:0]
+}
+
+// End stops the measurement phase.
+func (r *Recorder) End(now time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.measuring = false
+	r.end = now
+}
+
+// Record notes one completed operation.
+func (r *Recorder) Record(now, latency time.Duration, read bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.measuring {
+		return
+	}
+	r.count++
+	if read {
+		r.readCount++
+	}
+	r.sum += latency
+	if len(r.latencies) < maxSamples {
+		r.latencies = append(r.latencies, latency)
+	} else {
+		// Reservoir replacement keeps a uniform sample.
+		idx := int(r.count % uint64(maxSamples))
+		r.latencies[idx] = latency
+	}
+}
+
+// RecordRetry notes a client-level retry (e.g. a failed speculative read
+// that had to be re-issued as an ordered request).
+func (r *Recorder) RecordRetry() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.measuring {
+		r.retries++
+	}
+}
+
+// Result summarizes a measurement phase.
+type Result struct {
+	Count     uint64
+	Reads     uint64
+	Retries   uint64
+	Duration  time.Duration
+	Mean      time.Duration
+	P50       time.Duration
+	P90       time.Duration
+	P99       time.Duration
+	Max       time.Duration
+	OpsPerSec float64
+}
+
+// Snapshot computes the current result; now closes the interval for
+// throughput if End was not called.
+func (r *Recorder) Snapshot(now time.Duration) Result {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	end := r.end
+	if r.measuring {
+		end = now
+	}
+	res := Result{
+		Count:    r.count,
+		Reads:    r.readCount,
+		Retries:  r.retries,
+		Duration: end - r.begin,
+	}
+	if r.count > 0 {
+		res.Mean = r.sum / time.Duration(r.count)
+	}
+	if res.Duration > 0 {
+		res.OpsPerSec = float64(r.count) / res.Duration.Seconds()
+	}
+	if len(r.latencies) > 0 {
+		sorted := make([]time.Duration, len(r.latencies))
+		copy(sorted, r.latencies)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		res.P50 = sorted[len(sorted)*50/100]
+		res.P90 = sorted[len(sorted)*90/100]
+		res.P99 = sorted[len(sorted)*99/100]
+		res.Max = sorted[len(sorted)-1]
+	}
+	return res
+}
+
+// String renders a result for harness output.
+func (r Result) String() string {
+	return fmt.Sprintf("ops=%d thr=%.0f/s mean=%s p50=%s p90=%s p99=%s",
+		r.Count, r.OpsPerSec,
+		r.Mean.Round(time.Microsecond), r.P50.Round(time.Microsecond),
+		r.P90.Round(time.Microsecond), r.P99.Round(time.Microsecond))
+}

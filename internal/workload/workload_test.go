@@ -1,0 +1,158 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/troxy-bft/troxy/internal/app"
+	"github.com/troxy-bft/troxy/internal/httpfront"
+)
+
+func TestBenchGenRatioAndShape(t *testing.T) {
+	g := BenchGen{RequestSize: 128, Keys: 8, ReadRatio: 0.75}
+	r := rand.New(rand.NewSource(1))
+	reads := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		op := g.Next(r)
+		if len(op.Op) != 128 {
+			t.Fatalf("op size = %d", len(op.Op))
+		}
+		if op.Read != app.BenchIsRead(op.Op) {
+			t.Fatal("Read flag disagrees with the operation payload")
+		}
+		key, ok := app.BenchKey(op.Op)
+		if !ok || key >= 8 {
+			t.Fatalf("key = %d, ok=%v", key, ok)
+		}
+		if op.Read {
+			reads++
+		}
+	}
+	ratio := float64(reads) / n
+	if ratio < 0.72 || ratio > 0.78 {
+		t.Errorf("read ratio = %.3f, want ≈0.75", ratio)
+	}
+}
+
+func TestBenchGenZeroValues(t *testing.T) {
+	g := BenchGen{}
+	r := rand.New(rand.NewSource(2))
+	op := g.Next(r)
+	if len(op.Op) == 0 {
+		t.Error("zero-value generator produced empty op")
+	}
+}
+
+func TestKVGenProducesValidOps(t *testing.T) {
+	g := KVGen{Keys: 4, ReadRatio: 0.5, ValueSize: 8}
+	r := rand.New(rand.NewSource(3))
+	store := app.NewStore()
+	for i := 0; i < 1000; i++ {
+		op := g.Next(r)
+		res := store.Execute(op.Op)
+		if len(res) == 0 || string(res[:2]) == "ER" {
+			t.Fatalf("generated invalid op %q -> %q", op.Op, res)
+		}
+		if op.Read != store.IsRead(op.Op) {
+			t.Fatal("Read flag wrong")
+		}
+	}
+}
+
+func TestHTTPGenProducesParsableRequests(t *testing.T) {
+	g := HTTPGen{Paths: []string{"/a", "/b"}, ReadRatio: 0.5, PostSize: 64}
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 500; i++ {
+		op := g.Next(r)
+		req, n, err := httpfront.ExtractRequest(op.Op)
+		if err != nil || req == nil || n != len(op.Op) {
+			t.Fatalf("unparsable request: %q (%v)", op.Op, err)
+		}
+		if op.Read != httpfront.IsRead(op.Op) {
+			t.Fatal("Read flag disagrees with method")
+		}
+	}
+}
+
+func TestRecorderBasics(t *testing.T) {
+	r := NewRecorder()
+	// Measurements before Begin are dropped (warm-up).
+	r.Record(0, time.Millisecond, true)
+	r.Begin(time.Second)
+	for i := 1; i <= 100; i++ {
+		r.Record(time.Second, time.Duration(i)*time.Millisecond, i%2 == 0)
+	}
+	r.RecordRetry()
+	r.End(3 * time.Second)
+	// Measurements after End are dropped too.
+	r.Record(0, time.Hour, false)
+
+	res := r.Snapshot(4 * time.Second)
+	if res.Count != 100 || res.Reads != 50 || res.Retries != 1 {
+		t.Errorf("count=%d reads=%d retries=%d", res.Count, res.Reads, res.Retries)
+	}
+	if res.Duration != 2*time.Second {
+		t.Errorf("duration = %v", res.Duration)
+	}
+	if res.OpsPerSec != 50 {
+		t.Errorf("ops/s = %v", res.OpsPerSec)
+	}
+	if res.Mean != 50500*time.Microsecond {
+		t.Errorf("mean = %v", res.Mean)
+	}
+	if res.P50 != 51*time.Millisecond || res.P99 != 100*time.Millisecond {
+		t.Errorf("p50=%v p99=%v", res.P50, res.P99)
+	}
+	if res.Max != 100*time.Millisecond {
+		t.Errorf("max = %v", res.Max)
+	}
+}
+
+func TestRecorderSnapshotWhileMeasuring(t *testing.T) {
+	r := NewRecorder()
+	r.Begin(0)
+	r.Record(time.Second, time.Millisecond, false)
+	res := r.Snapshot(2 * time.Second)
+	if res.Duration != 2*time.Second || res.Count != 1 {
+		t.Errorf("open snapshot: %+v", res)
+	}
+}
+
+func TestRecorderReservoirBounded(t *testing.T) {
+	r := NewRecorder()
+	r.Begin(0)
+	for i := 0; i < maxSamples+1000; i++ {
+		r.Record(0, time.Microsecond, false)
+	}
+	res := r.Snapshot(time.Second)
+	if res.Count != uint64(maxSamples+1000) {
+		t.Errorf("count = %d", res.Count)
+	}
+	// The percentile buffer must not grow beyond the reservoir bound.
+	r.mu.Lock()
+	n := len(r.latencies)
+	r.mu.Unlock()
+	if n > maxSamples {
+		t.Errorf("latency buffer = %d > %d", n, maxSamples)
+	}
+}
+
+func TestRecorderBeginResets(t *testing.T) {
+	r := NewRecorder()
+	r.Begin(0)
+	r.Record(0, time.Second, false)
+	r.Begin(time.Second)
+	res := r.Snapshot(2 * time.Second)
+	if res.Count != 0 {
+		t.Errorf("count after re-Begin = %d", res.Count)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	res := Result{Count: 10, OpsPerSec: 100, Mean: time.Millisecond}
+	if s := res.String(); len(s) == 0 {
+		t.Error("empty String()")
+	}
+}

@@ -1,0 +1,109 @@
+package troxy
+
+// Tests at f=2 (five replicas): the protocol parameters generalize beyond
+// the paper's f=1 testbed.
+
+import (
+	"testing"
+	"time"
+
+	"github.com/troxy-bft/troxy/internal/app"
+	"github.com/troxy-bft/troxy/internal/legacyclient"
+	"github.com/troxy-bft/troxy/internal/msg"
+	"github.com/troxy-bft/troxy/internal/simnet"
+	"github.com/troxy-bft/troxy/internal/workload"
+)
+
+func newF2Cluster(t *testing.T) (*Cluster, *simnet.Network) {
+	t.Helper()
+	cl, err := NewCluster(ClusterConfig{
+		N: 5, F: 2,
+		Mode:               ETroxy,
+		App:                app.NewStoreFactory(),
+		Classify:           storeClassifier(),
+		FastReads:          true,
+		Seed:               17,
+		CheckpointInterval: 8,
+		ViewChangeTimeout:  800 * time.Millisecond,
+		TickInterval:       20 * time.Millisecond,
+		QueryTimeout:       200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := simnet.New(17, nil)
+	net.SetDefaultLink(simnet.FixedLatency(2 * time.Millisecond))
+	cl.Attach(net)
+	return cl, net
+}
+
+func TestF2EndToEnd(t *testing.T) {
+	cl, net := newF2Cluster(t)
+	ops := kvOps("PUT a 1", "GET a", "PUT b 2", "GET b", "GET a")
+	lc := legacyclient.New(legacyclient.Config{
+		Machine: 10, Clients: 1, FirstClientID: 1000,
+		Replicas: cl.ReplicaIDs(), ServerPub: cl.ServerPub,
+		Gen: &scriptGen{ops: ops}, MaxOps: len(ops), Timeout: time.Second,
+	})
+	net.Attach(10, lc)
+	net.Run(20 * time.Second)
+	if lc.Done() != len(ops) {
+		t.Fatalf("completed %d/%d at f=2", lc.Done(), len(ops))
+	}
+	for i := 1; i < 5; i++ {
+		if app.StateDigest(cl.App(i)) != app.StateDigest(cl.App(0)) {
+			t.Errorf("replica %d diverged", i)
+		}
+	}
+}
+
+func TestF2SurvivesTwoCrashes(t *testing.T) {
+	cl, net := newF2Cluster(t)
+	ops := kvOps("PUT a 1", "PUT a 2", "PUT a 3", "PUT a 4", "GET a")
+	lc := legacyclient.New(legacyclient.Config{
+		Machine: 10, Clients: 1, FirstClientID: 1000,
+		Replicas:  []msg.NodeID{3, 4}, // pinned away from the crash set
+		ServerPub: cl.ServerPub,
+		Gen:       &scriptGen{ops: ops}, MaxOps: len(ops), Timeout: 2 * time.Second,
+	})
+	net.Attach(10, lc)
+	net.Run(15 * time.Millisecond)
+	// Crash the leader AND a follower: f=2 must absorb both.
+	net.Crash(0)
+	net.Crash(2)
+	net.Run(120 * time.Second)
+	if lc.Done() != len(ops) {
+		t.Fatalf("completed %d/%d after two crashes", lc.Done(), len(ops))
+	}
+	if got := cl.App(3).Execute([]byte("GET a")); string(got) != "VALUE 4" {
+		t.Errorf("final value = %q", got)
+	}
+	if v := cl.Replicas[3].Core().View(); v == 0 {
+		t.Error("no view change happened")
+	}
+}
+
+func TestF2FastReadNeedsThreeMatchingCaches(t *testing.T) {
+	cl, net := newF2Cluster(t)
+	ops := []workload.Op{{Op: []byte("PUT hot v"), Read: false}}
+	for i := 0; i < 8; i++ {
+		ops = append(ops, workload.Op{Op: []byte("GET hot"), Read: true})
+	}
+	lc := legacyclient.New(legacyclient.Config{
+		Machine: 10, Clients: 1, FirstClientID: 1000,
+		Replicas: cl.ReplicaIDs(), ServerPub: cl.ServerPub,
+		Gen: &scriptGen{ops: ops}, MaxOps: len(ops), Timeout: time.Second,
+	})
+	net.Attach(10, lc)
+	net.Run(30 * time.Second)
+	if lc.Done() != len(ops) {
+		t.Fatalf("completed %d/%d", lc.Done(), len(ops))
+	}
+	var fast uint64
+	for i := 0; i < 5; i++ {
+		fast += cl.TroxyStats(i).FastReadOK
+	}
+	if fast == 0 {
+		t.Error("no fast reads at f=2 (each needs f=2 matching remote caches)")
+	}
+}
