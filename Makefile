@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build test check bench fuzz
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check is the pre-merge gate: static analysis plus the full test suite
+# under the race detector (the realnet runtime and the batching pipeline
+# are exercised with real goroutines).
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchmem ./...
+
+# Short fuzz smoke over the wire-facing decoders.
+fuzz:
+	$(GO) test -run xxx -fuzz 'FuzzDecode$$' -fuzztime 10s ./internal/msg/
+	$(GO) test -run xxx -fuzz 'FuzzBatch$$' -fuzztime 10s ./internal/msg/
+	$(GO) test -run xxx -fuzz 'FuzzDecodeEnvelope$$' -fuzztime 10s ./internal/msg/
+	$(GO) test -run xxx -fuzz 'FuzzDecodeChannelFrames$$' -fuzztime 10s ./internal/msg/

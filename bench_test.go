@@ -77,6 +77,11 @@ func BenchmarkFig10(b *testing.B) { benchExperiment(b, "fig10") }
 // BenchmarkFig11 regenerates Figure 11 (HTTP service latency).
 func BenchmarkFig11(b *testing.B) { benchExperiment(b, "fig11") }
 
+// BenchmarkBatching sweeps the leader's batch-size limit over ordered writes:
+// larger batches must show higher ops/s than unbatched ordering (run with -v
+// for the table, which also reports the certification amortization factor).
+func BenchmarkBatching(b *testing.B) { benchExperiment(b, "batching") }
+
 // Micro-benchmarks of the primitives underlying the simulation's cost model.
 
 func BenchmarkTransportMAC(b *testing.B) {

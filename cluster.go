@@ -94,6 +94,13 @@ type ClusterConfig struct {
 	TickInterval       time.Duration
 	QueryTimeout       time.Duration
 
+	// BatchSize and BatchDelay tune the leader's ordering batches: up to
+	// BatchSize requests share one trusted-counter certification and one
+	// PREPARE/COMMIT round, and an underfull batch is cut after BatchDelay.
+	// Zero BatchSize (or one) orders each request individually.
+	BatchSize  int
+	BatchDelay time.Duration
+
 	// MonitorWindow, MonitorThreshold and ProbeInterval tune the conflict
 	// monitor (zero values use package defaults).
 	MonitorWindow    int
@@ -250,6 +257,8 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			Hybster: hybster.Config{
 				CheckpointInterval: cfg.CheckpointInterval,
 				ViewChangeTimeout:  cfg.ViewChangeTimeout,
+				BatchSize:          cfg.BatchSize,
+				BatchDelay:         cfg.BatchDelay,
 				Profile:            node.ProfileJava,
 				Authority:          authority,
 				App:                application,

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	root "github.com/troxy-bft/troxy"
+)
+
+// batchSweep is the batch-size axis of the batching experiment.
+var batchSweep = []int{1, 4, 16, 64}
+
+// Batching measures the batched ordering pipeline: totally ordered writes at
+// a fixed payload while sweeping the leader's batch-size limit. Each batch
+// costs one trusted-counter certification and one PREPARE/COMMIT round
+// regardless of how many requests it carries, so throughput should rise and
+// the certification rate per request should fall as batches grow.
+func Batching(opt Options) []*Table {
+	warmup, measure := opt.measureDurations(false)
+	clients := 128
+	if opt.Quick {
+		clients /= 4
+	}
+
+	t := &Table{
+		ID:      "batching",
+		Title:   "leader batching: ordered writes vs batch-size limit",
+		Columns: []string{"batch", "system", "kops/s", "mean-lat(ms)", "p90(ms)", "rounds/req", "amortization", "vs b=1"},
+		Notes: []string{
+			"request size 1 KiB, reply 10 B; BatchDelay 1 ms; closed-loop clients on two machines",
+			"rounds/req = ordering rounds (certifications) per ordered request; amortization = requests per round",
+			"batches sized past the closed-loop depth trade latency for amortization: the cut waits on the slowest client",
+		},
+	}
+	var base float64
+	for _, bs := range batchSweep {
+		opt.progress("batching: batch=%d ...", bs)
+		res := runMicro(microConfig{
+			mode:           root.Baseline,
+			readRatio:      0,
+			reqSize:        1024,
+			replySize:      10,
+			clientsPerMach: clients,
+			warmup:         warmup,
+			measure:        measure,
+			seed:           opt.seed(),
+			batchSize:      bs,
+			batchDelay:     time.Millisecond,
+		})
+		if bs == 1 {
+			base = res.OpsPerSec
+		}
+		rounds, amort := "n/a", "n/a"
+		if res.proposed > 0 && res.batches > 0 {
+			rounds = fmt.Sprintf("%.3f", float64(res.batches)/float64(res.proposed))
+			amort = fmt.Sprintf("%.1fx", float64(res.proposed)/float64(res.batches))
+		}
+		t.AddRow(fmt.Sprintf("%d", bs), root.Baseline.String(), kops(res.OpsPerSec),
+			ms(res.Mean), ms(res.P90), rounds, amort, ratio(res.OpsPerSec, base))
+	}
+	return []*Table{t}
+}

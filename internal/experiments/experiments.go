@@ -122,6 +122,7 @@ func All() []Experiment {
 		{"fig10", "1% writes: conflicts, reference and optimized modes", Fig10},
 		{"fig11", "HTTP service latency: Jetty / BL / Prophecy / Troxy", Fig11},
 		{"ablation", "design-choice ablations (cache, monitor, client protocol)", Ablation},
+		{"batching", "leader batching sweep (counter-certification amortization)", Batching},
 	}
 }
 

@@ -10,7 +10,7 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	// Every table and figure of the paper's evaluation must have a target.
-	required := []string{"table1", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11"}
+	required := []string{"table1", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "batching"}
 	for _, name := range required {
 		if _, ok := ByName(name); !ok {
 			t.Errorf("missing experiment %q", name)
@@ -95,6 +95,40 @@ func TestRunMicroDeterministic(t *testing.T) {
 	a, b := run(), run()
 	if a.Count != b.Count || a.Mean != b.Mean || a.P99 != b.P99 {
 		t.Errorf("same seed diverged: %+v vs %+v", a.Result, b.Result)
+	}
+}
+
+func TestBatchingImprovesThroughput(t *testing.T) {
+	// The deterministic simulator makes this a stable comparison, not a
+	// flaky perf test: with enough closed-loop clients, batched ordering
+	// must beat per-request ordering, and the metrics must show one
+	// ordering round covering several requests.
+	run := func(batch int) microResult {
+		return runMicro(microConfig{
+			mode:           root.Baseline,
+			readRatio:      0,
+			reqSize:        1024,
+			replySize:      10,
+			clientsPerMach: 32,
+			warmup:         100 * time.Millisecond,
+			measure:        400 * time.Millisecond,
+			seed:           7,
+			batchSize:      batch,
+			batchDelay:     time.Millisecond,
+		})
+	}
+	unbatched, batched := run(1), run(4)
+	if unbatched.batches != unbatched.proposed {
+		t.Errorf("batch=1 cut %d batches for %d requests, want one per request",
+			unbatched.batches, unbatched.proposed)
+	}
+	if batched.batches == 0 || batched.proposed < 2*batched.batches {
+		t.Errorf("batch=4 amortization too low: %d batches for %d requests",
+			batched.batches, batched.proposed)
+	}
+	if batched.OpsPerSec <= unbatched.OpsPerSec {
+		t.Errorf("batched throughput %.0f ops/s not above unbatched %.0f ops/s",
+			batched.OpsPerSec, unbatched.OpsPerSec)
 	}
 }
 

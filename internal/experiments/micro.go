@@ -31,6 +31,10 @@ type microConfig struct {
 	warmup         time.Duration
 	measure        time.Duration
 	seed           int64
+
+	// Leader batching knobs (zero: order each request individually).
+	batchSize  int
+	batchDelay time.Duration
 }
 
 // microResult aggregates a run's measurements.
@@ -39,6 +43,10 @@ type microResult struct {
 
 	// Troxy-side counters (summed over replicas).
 	fastOK, fastFell, cacheMisses, modeSwitches uint64
+
+	// Ordering counters (summed over replicas; Proposed/Batches only ever
+	// advance on leaders, so the sums are the leader-side totals).
+	proposed, batches uint64
 
 	// Baseline client counters.
 	directOK, conflicts uint64
@@ -95,6 +103,8 @@ func runMicro(cfg microConfig) microResult {
 		MonitorThreshold:   threshold,
 		ProbeInterval:      500 * time.Millisecond,
 		FullCacheReplies:   cfg.fullReplies,
+		BatchSize:          cfg.batchSize,
+		BatchDelay:         cfg.batchDelay,
 	})
 	if err != nil {
 		panic(fmt.Sprintf("experiments: cluster: %v", err))
@@ -170,6 +180,9 @@ func runMicro(cfg microConfig) microResult {
 		res.fastFell += ts.FastReadFell
 		res.cacheMisses += ts.CacheMisses
 		res.modeSwitches += ts.ModeSwitches
+		hm := cluster.Replicas[i].Core().Metrics()
+		res.proposed += hm.Proposed
+		res.batches += hm.Batches
 	}
 	for _, bc := range bcms {
 		st := bc.Stats()

@@ -60,6 +60,18 @@ type Config struct {
 	// unexecuted before the replica suspects the leader. Zero means 2s.
 	ViewChangeTimeout time.Duration
 
+	// BatchSize is the maximum number of requests ordered per
+	// PREPARE/COMMIT round. The leader cuts a batch as soon as it holds
+	// BatchSize requests. Zero or one disables batching (each request is
+	// proposed individually, the seed behavior).
+	BatchSize int
+
+	// BatchDelay bounds how long the leader may hold an underfull batch
+	// before cutting it anyway. Zero means an underfull batch is cut
+	// immediately, so batches larger than one form only when several
+	// requests arrive within one handler invocation.
+	BatchDelay time.Duration
+
 	// Profile attributes the protocol host's CPU costs (Java for the
 	// original Hybster implementation).
 	Profile node.Profile
@@ -85,9 +97,12 @@ type Outbound interface {
 	Committed(env node.Env, seq uint64, req *msg.OrderRequest, result []byte, keys []string, read bool)
 }
 
-// Metrics counts protocol events for tests and experiments.
+// Metrics counts protocol events for tests and experiments. Proposed and
+// Executed count individual requests; Batches counts PREPARE/COMMIT rounds,
+// so Proposed/Batches is the achieved amortization factor.
 type Metrics struct {
 	Proposed       uint64
+	Batches        uint64
 	Committed      uint64
 	Executed       uint64
 	ViewChanges    uint64
@@ -97,14 +112,15 @@ type Metrics struct {
 }
 
 type entry struct {
-	view     uint64
-	seq      uint64
-	req      *msg.OrderRequest
-	digest   msg.Digest
-	hasPrep  bool
-	prepCert msg.CounterCert
-	vouchers map[msg.NodeID]struct{}
-	executed bool
+	view       uint64
+	seq        uint64
+	batch      *msg.Batch
+	digest     msg.Digest // combined batch digest
+	reqDigests []msg.Digest
+	hasPrep    bool
+	prepCert   msg.CounterCert
+	vouchers   map[msg.NodeID]struct{}
+	executed   bool
 }
 
 type clientRecord struct {
@@ -161,6 +177,11 @@ type Core struct {
 	// Requests queued while a view change is in progress.
 	queued []*msg.OrderRequest
 
+	// batchBuf accumulates requests on the leader until the batch is cut
+	// (full, or the BatchDelay timer fires). The hosting node.Handler
+	// serializes access, so no locking is needed.
+	batchBuf []msg.OrderRequest
+
 	// Locally submitted requests not yet executed (leader-progress watch,
 	// and re-submission after a view change).
 	pendingLocal map[msg.Digest]*msg.OrderRequest
@@ -195,6 +216,7 @@ const (
 // timer kinds
 const (
 	timerProgress = "hybster/progress"
+	timerBatch    = "hybster/batch"
 )
 
 // New creates a protocol core.
@@ -304,7 +326,7 @@ func (c *Core) Submit(env node.Env, req *msg.OrderRequest) {
 	env.Charge(c.cfg.Profile, node.ChargeHash, len(req.Op))
 	c.watchProgress(env, digest, req)
 	if c.IsLeader() {
-		c.propose(env, req, digest)
+		c.enqueue(env, req, digest)
 		return
 	}
 	c.out.Send(env, c.Leader(c.view), &msg.Forward{Req: *req})
@@ -344,6 +366,8 @@ func (c *Core) OnTimer(env node.Env, key node.TimerKey) {
 			env.Logf("hybster: leader %d suspected, moving to view %d", c.Leader(c.view), c.view+1)
 			c.startViewChange(env, c.view+1)
 		}
+	case timerBatch:
+		c.cutBatch(env)
 	case timerViewChange:
 		c.onViewChangeTimer(env, key.ID)
 	}
@@ -354,33 +378,90 @@ func OwnsTimer(key node.TimerKey) bool {
 	return len(key.Kind) >= 8 && key.Kind[:8] == "hybster/"
 }
 
-// propose assigns the next sequence number to a request (leader only).
-// Re-proposals of an in-flight digest are suppressed (retransmissions may
-// reach the leader through several forwarders).
-func (c *Core) propose(env node.Env, req *msg.OrderRequest, digest msg.Digest) {
+// batchSize returns the effective batch-size limit (at least one).
+func (c *Core) batchSize() int {
+	if c.cfg.BatchSize < 1 {
+		return 1
+	}
+	return c.cfg.BatchSize
+}
+
+// enqueue adds a request to the leader's batch accumulator and cuts the
+// batch per the cut policy (full, or delay expired). Re-submissions of an
+// in-flight digest are suppressed (retransmissions may reach the leader
+// through several forwarders).
+func (c *Core) enqueue(env node.Env, req *msg.OrderRequest, digest msg.Digest) {
 	if req.Origin != msg.NoNode {
 		if _, inFlight := c.proposed[digest]; inFlight {
 			return
 		}
 		c.proposed[digest] = struct{}{}
 	}
+	c.batchBuf = append(c.batchBuf, *req)
+	if len(c.batchBuf) >= c.batchSize() || c.cfg.BatchDelay <= 0 {
+		c.cutBatch(env)
+		return
+	}
+	if len(c.batchBuf) == 1 {
+		env.SetTimer(c.cfg.BatchDelay, node.TimerKey{Kind: timerBatch})
+	}
+}
+
+// cutBatch proposes whatever the accumulator holds as one batch.
+func (c *Core) cutBatch(env node.Env) {
+	if len(c.batchBuf) == 0 {
+		return
+	}
+	batch := &msg.Batch{Reqs: c.batchBuf}
+	c.batchBuf = nil
+	env.CancelTimer(node.TimerKey{Kind: timerBatch})
+	c.proposeBatch(env, batch)
+}
+
+// flushBatchBuf moves accumulated-but-unproposed requests back to the
+// queue (view change: the new view's leader must drive them).
+func (c *Core) flushBatchBuf(env node.Env) {
+	if len(c.batchBuf) == 0 {
+		return
+	}
+	env.CancelTimer(node.TimerKey{Kind: timerBatch})
+	for i := range c.batchBuf {
+		req := c.batchBuf[i]
+		c.queued = append(c.queued, &req)
+	}
+	c.batchBuf = nil
+}
+
+// proposeBatch assigns the next sequence number to a batch (leader only):
+// one trusted-counter certification and one PREPARE covers every request in
+// it. An empty batch is a view-change gap filler.
+func (c *Core) proposeBatch(env node.Env, batch *msg.Batch) {
 	seq := c.seqNext
 	c.seqNext++
+	reqDigests := batch.ReqDigests()
+	digest := msg.BatchDigestOf(reqDigests)
 	cert, err := c.cfg.Authority.Certify(tcounter.OrderCounter(c.view), seq, prepareDigest(c.view, seq, digest))
 	c.chargeCounterOp(env)
 	if err != nil {
 		env.Logf("hybster: certify prepare seq %d: %v", seq, err)
 		return
 	}
-	prep := &msg.Prepare{View: c.view, Seq: seq, Req: *req, Cert: cert}
+	for i := range batch.Reqs {
+		if batch.Reqs[i].Origin != msg.NoNode {
+			c.proposed[reqDigests[i]] = struct{}{}
+		}
+	}
+	prep := &msg.Prepare{View: c.view, Seq: seq, Batch: *batch, Cert: cert}
 	e := c.getEntry(seq)
 	e.view = c.view
-	e.req = req
+	e.batch = batch
 	e.digest = digest
+	e.reqDigests = reqDigests
 	e.hasPrep = true
 	e.prepCert = cert
 	e.vouchers[c.cfg.Self] = struct{}{}
-	c.metrics.Proposed++
+	c.metrics.Proposed += uint64(batch.Len())
+	c.metrics.Batches++
 	for i := 0; i < c.cfg.N; i++ {
 		if to := msg.NodeID(i); to != c.cfg.Self {
 			c.out.Send(env, to, prep)
@@ -417,7 +498,7 @@ func (c *Core) OnForward(env node.Env, from msg.NodeID, fwd *msg.Forward) {
 		return
 	}
 	env.Charge(c.cfg.Profile, node.ChargeHash, len(req.Op))
-	c.propose(env, &req, req.Digest())
+	c.enqueue(env, &req, req.Digest())
 }
 
 // deferToView parks a message for a view that has not been installed yet.
@@ -461,11 +542,15 @@ func (c *Core) OnPrepare(env node.Env, from msg.NodeID, prep *msg.Prepare) {
 		c.metrics.RejectedCerts++
 		return
 	}
-	reqDigest := prep.Req.Digest()
-	env.Charge(c.cfg.Profile, node.ChargeHash, len(prep.Req.Op))
-	// Verify the client's authenticator share over the request payload.
-	env.Charge(c.cfg.Profile, node.ChargeMAC, len(prep.Req.Op))
-	if !c.cfg.Authority.Verify(prep.Cert, prepareDigest(prep.View, prep.Seq, reqDigest)) {
+	reqDigests := prep.Batch.ReqDigests()
+	batchDigest := msg.BatchDigestOf(reqDigests)
+	for i := range prep.Batch.Reqs {
+		opLen := len(prep.Batch.Reqs[i].Op)
+		env.Charge(c.cfg.Profile, node.ChargeHash, opLen)
+		// Verify the client's authenticator share over the request payload.
+		env.Charge(c.cfg.Profile, node.ChargeMAC, opLen)
+	}
+	if !c.cfg.Authority.Verify(prep.Cert, prepareDigest(prep.View, prep.Seq, batchDigest)) {
 		c.metrics.RejectedCerts++
 		return
 	}
@@ -483,7 +568,7 @@ func (c *Core) OnPrepare(env node.Env, from msg.NodeID, prep *msg.Prepare) {
 	if prep.Cert.Value < c.nextPrepareValue {
 		return // stale duplicate
 	}
-	c.acceptPrepare(env, prep, reqDigest)
+	c.acceptPrepare(env, prep, reqDigests, batchDigest)
 	c.drainPrepares(env)
 }
 
@@ -495,31 +580,34 @@ func (c *Core) drainPrepares(env node.Env) {
 			return
 		}
 		delete(c.pendingPrepares, c.nextPrepareValue)
-		c.acceptPrepare(env, next, next.Req.Digest())
+		reqDigests := next.Batch.ReqDigests()
+		c.acceptPrepare(env, next, reqDigests, msg.BatchDigestOf(reqDigests))
 	}
 }
 
-func (c *Core) acceptPrepare(env node.Env, prep *msg.Prepare, reqDigest msg.Digest) {
+func (c *Core) acceptPrepare(env node.Env, prep *msg.Prepare, reqDigests []msg.Digest, batchDigest msg.Digest) {
 	c.nextPrepareValue = prep.Cert.Value + 1
 
 	e := c.getEntry(prep.Seq)
-	req := prep.Req
+	batch := prep.Batch
 	e.view = prep.View
-	e.req = &req
-	e.digest = reqDigest
+	e.batch = &batch
+	e.digest = batchDigest
+	e.reqDigests = reqDigests
 	e.hasPrep = true
 	e.prepCert = prep.Cert
 	e.vouchers[prep.Cert.Replica] = struct{}{}
 
-	// Certify and broadcast our commit.
+	// Certify and broadcast our commit: one certification acknowledges the
+	// whole batch.
 	cert, err := c.cfg.Authority.Certify(tcounter.OrderCounter(c.view), prep.Seq,
-		commitDigest(prep.View, prep.Seq, reqDigest))
+		commitDigest(prep.View, prep.Seq, batchDigest))
 	c.chargeCounterOp(env)
 	if err != nil {
 		env.Logf("hybster: certify commit seq %d: %v", prep.Seq, err)
 		return
 	}
-	com := &msg.Commit{View: prep.View, Seq: prep.Seq, ReqDigest: reqDigest, Cert: cert}
+	com := &msg.Commit{View: prep.View, Seq: prep.Seq, BatchDigest: batchDigest, Cert: cert}
 	for i := 0; i < c.cfg.N; i++ {
 		if to := msg.NodeID(i); to != c.cfg.Self {
 			c.out.Send(env, to, com)
@@ -542,7 +630,7 @@ func (c *Core) OnCommit(env node.Env, from msg.NodeID, com *msg.Commit) {
 		c.metrics.RejectedCerts++
 		return
 	}
-	if !c.cfg.Authority.Verify(com.Cert, commitDigest(com.View, com.Seq, com.ReqDigest)) {
+	if !c.cfg.Authority.Verify(com.Cert, commitDigest(com.View, com.Seq, com.BatchDigest)) {
 		c.metrics.RejectedCerts++
 		return
 	}
@@ -585,7 +673,7 @@ func (c *Core) drainCommits(env node.Env, from msg.NodeID) {
 func (c *Core) acceptCommit(env node.Env, from msg.NodeID, com *msg.Commit) {
 	c.nextCommitValue[from] = com.Cert.Value + 1
 	e := c.getEntry(com.Seq)
-	if e.hasPrep && e.digest != com.ReqDigest {
+	if e.hasPrep && e.digest != com.BatchDigest {
 		// A conflicting commit for a certified prepare can only come from a
 		// faulty replica; the certificate pins it to its counter, so just
 		// ignore it.
@@ -618,43 +706,48 @@ func (c *Core) executeReady(env node.Env) {
 func (c *Core) execute(env node.Env, e *entry) {
 	e.executed = true
 	c.lastExec = e.seq
-	c.metrics.Executed++
-	c.clearProgress(env, e.digest)
-	delete(c.proposed, e.digest)
 
-	req := e.req
-	if req.Origin == msg.NoNode && len(req.Op) == 0 {
-		// Gap-filling no-op from a view change.
-		c.maybeCheckpoint(env)
-		return
+	// Per-request fan-out: each request in the batch is executed, recorded
+	// in the client table, and reported individually, so the Troxy voter
+	// and fast-read cache invalidation see the same replies as before.
+	for i := range e.batch.Reqs {
+		req := &e.batch.Reqs[i]
+		reqDigest := e.reqDigests[i]
+		c.clearProgress(env, reqDigest)
+		delete(c.proposed, reqDigest)
+
+		if req.Origin == msg.NoNode && len(req.Op) == 0 {
+			// Gap-filling no-op from a view change.
+			continue
+		}
+		if rec, ok := c.clients[req.Client]; ok && req.ClientSeq <= rec.lastSeq {
+			// The request was already executed at an earlier sequence
+			// number (it can be proposed twice across a view change).
+			// Skipping is deterministic: every replica's client table is
+			// identical at this point in the log.
+			continue
+		}
+
+		result := c.cfg.App.Execute(req.Op)
+		env.Charge(c.cfg.Profile, node.ChargeExec, len(req.Op)+len(result))
+		keys := c.cfg.App.Keys(req.Op)
+		read := c.cfg.App.IsRead(req.Op)
+
+		rec, ok := c.clients[req.Client]
+		if !ok {
+			rec = &clientRecord{}
+			c.clients[req.Client] = rec
+		}
+		rec.lastSeq = req.ClientSeq
+		rec.result = result
+		rec.keys = keys
+		rec.read = read
+		rec.reqDigest = reqDigest
+		rec.seq = e.seq
+
+		c.metrics.Executed++
+		c.out.Committed(env, e.seq, req, result, keys, read)
 	}
-	if rec, ok := c.clients[req.Client]; ok && req.ClientSeq <= rec.lastSeq {
-		// The request was already executed at an earlier sequence number
-		// (it can be proposed twice across a view change). Skipping is
-		// deterministic: every replica's client table is identical at this
-		// point in the log.
-		c.maybeCheckpoint(env)
-		return
-	}
-
-	result := c.cfg.App.Execute(req.Op)
-	env.Charge(c.cfg.Profile, node.ChargeExec, len(req.Op)+len(result))
-	keys := c.cfg.App.Keys(req.Op)
-	read := c.cfg.App.IsRead(req.Op)
-
-	rec, ok := c.clients[req.Client]
-	if !ok {
-		rec = &clientRecord{}
-		c.clients[req.Client] = rec
-	}
-	rec.lastSeq = req.ClientSeq
-	rec.result = result
-	rec.keys = keys
-	rec.read = read
-	rec.reqDigest = e.digest
-	rec.seq = e.seq
-
-	c.out.Committed(env, e.seq, req, result, keys, read)
 	c.maybeCheckpoint(env)
 }
 

@@ -407,7 +407,7 @@ func TestForgedPrepareRejected(t *testing.T) {
 	cl := newCluster(t, 3, nil)
 	req := &msg.OrderRequest{Origin: 3, Client: 9, ClientSeq: 1, Op: []byte("PUT x 1")}
 	forged := &msg.Prepare{
-		View: 0, Seq: 1, Req: *req,
+		View: 0, Seq: 1, Batch: msg.Batch{Reqs: []msg.OrderRequest{*req}},
 		Cert: msg.CounterCert{Replica: 0, Counter: 0, Value: 1, MAC: []byte("forged-mac-bytes")},
 	}
 	// Inject the forged prepare as if it came from the leader.
@@ -450,11 +450,12 @@ func TestWrongSenderPrepareRejected(t *testing.T) {
 	req := &msg.OrderRequest{Origin: 3, Client: 9, ClientSeq: 1, Op: []byte("PUT x 1")}
 	sub := tcounter.NewSubsystem(2)
 	sub.SetKey([]byte("test-counter-key"))
-	cert, err := sub.Certify(tcounter.OrderCounter(0), 1, prepareDigest(0, 1, req.Digest()))
+	batch := msg.Batch{Reqs: []msg.OrderRequest{*req}}
+	cert, err := sub.Certify(tcounter.OrderCounter(0), 1, prepareDigest(0, 1, batch.Digest()))
 	if err != nil {
 		t.Fatal(err)
 	}
-	evil := &msg.Prepare{View: 0, Seq: 1, Req: *req, Cert: cert}
+	evil := &msg.Prepare{View: 0, Seq: 1, Batch: batch, Cert: cert}
 	cl.net.AttachConfig(50, &injector{to: 1, m: evil}, simnet.NodeConfig{})
 	cl.net.Run(time.Second)
 	if cl.replicas[1].core.LastExecuted() != 0 {

@@ -22,6 +22,9 @@ func (c *Core) startViewChange(env node.Env, newView uint64) {
 	}
 	c.inVC = true
 	c.metrics.ViewChanges++
+	// Requests sitting in the batch accumulator have no PREPARE yet, so no
+	// view change will carry them; requeue them for the new view's leader.
+	c.flushBatchBuf(env)
 
 	vc := &msg.ViewChange{
 		Replica:      c.cfg.Self,
@@ -65,7 +68,7 @@ func (c *Core) preparedAbove(seq uint64) []msg.PreparedEntry {
 		out = append(out, msg.PreparedEntry{
 			View:        e.view,
 			Seq:         s,
-			Req:         *e.req,
+			Batch:       *e.batch,
 			PrepareCert: e.prepCert,
 		})
 	}
@@ -89,7 +92,7 @@ func (c *Core) verifyViewChange(env node.Env, vc *msg.ViewChange) bool {
 		if pe.PrepareCert.Replica != leader ||
 			pe.PrepareCert.Counter != tcounter.OrderCounter(pe.View) ||
 			pe.PrepareCert.Value != pe.Seq ||
-			!c.cfg.Authority.Verify(pe.PrepareCert, prepareDigest(pe.View, pe.Seq, pe.Req.Digest())) {
+			!c.cfg.Authority.Verify(pe.PrepareCert, prepareDigest(pe.View, pe.Seq, pe.Batch.Digest())) {
 			return false
 		}
 		c.chargeCounterOp(env)
@@ -221,6 +224,9 @@ func (c *Core) installView(env node.Env, nv *msg.NewView) {
 	c.view = nv.View
 	c.inVC = false
 	env.CancelTimer(node.TimerKey{Kind: timerViewChange, ID: nv.View})
+	// A replica can install a view straight from a NEW-VIEW without having
+	// voted; anything still in its accumulator must be re-driven below.
+	c.flushBatchBuf(env)
 
 	// Reset per-view ordering state. Entries that were not executed are
 	// dropped; the new leader's re-proposals will recreate them.
@@ -251,19 +257,21 @@ func (c *Core) installView(env node.Env, nv *msg.NewView) {
 		c.seqNext = startSeq
 		for seq := startSeq; seq <= maxPrepared; seq++ {
 			if pe, ok := reproposals[seq]; ok {
-				req := pe.Req
-				digest := req.Digest()
-				reproposed[digest] = struct{}{}
-				c.propose(env, &req, digest)
+				batch := pe.Batch
+				for _, d := range batch.ReqDigests() {
+					reproposed[d] = struct{}{}
+				}
+				c.proposeBatch(env, &batch)
 				continue
 			}
-			// Fill the hole so counter continuity holds.
-			noop := &msg.OrderRequest{Origin: msg.NoNode}
-			c.propose(env, noop, noop.Digest())
+			// Fill the hole with an empty batch so counter continuity holds.
+			c.proposeBatch(env, &msg.Batch{})
 		}
 	} else {
 		for _, pe := range reproposals {
-			reproposed[pe.Req.Digest()] = struct{}{}
+			for _, d := range pe.Batch.ReqDigests() {
+				reproposed[d] = struct{}{}
+			}
 		}
 	}
 
@@ -281,7 +289,7 @@ func (c *Core) installView(env node.Env, nv *msg.NewView) {
 	}
 	for _, req := range pending {
 		if c.IsLeader() {
-			c.propose(env, req, req.Digest())
+			c.enqueue(env, req, req.Digest())
 		} else {
 			c.out.Send(env, c.Leader(c.view), &msg.Forward{Req: *req})
 		}

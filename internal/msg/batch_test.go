@@ -1,0 +1,66 @@
+package msg
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestBatchRoundTrip(t *testing.T) {
+	cases := []*Batch{
+		{}, // empty batch: the view-change no-op filler
+		{Reqs: []OrderRequest{sampleRequest()}}, // degenerate single-request batch
+		{Reqs: []OrderRequest{
+			sampleRequest(),
+			{Origin: 4, Client: 78, ClientSeq: 5, Flags: FlagReadOnly, Op: []byte("GET other")},
+			{Origin: NoNode}, // embedded no-op
+		}},
+	}
+	for _, b := range cases {
+		got := roundTrip(t, b)
+		if !reflect.DeepEqual(got, b) {
+			t.Errorf("batch round trip mismatch:\n got  %#v\n want %#v", got, b)
+		}
+	}
+}
+
+func TestBatchDigest(t *testing.T) {
+	req := sampleRequest()
+	single := &Batch{Reqs: []OrderRequest{req}}
+
+	// A single-request batch digest must differ from the bare request digest
+	// (domain separation), and the empty batch must have a defined digest
+	// distinct from everything else.
+	if single.Digest() == req.Digest() {
+		t.Error("single-request batch digest must not equal the request digest")
+	}
+	empty := &Batch{}
+	if empty.Digest() == single.Digest() {
+		t.Error("empty batch digest must differ from non-empty batch digest")
+	}
+	if empty.Digest() != BatchDigestOf(nil) {
+		t.Error("empty batch digest must equal BatchDigestOf(nil)")
+	}
+
+	// Order matters: [a,b] and [b,a] are different proposals.
+	other := OrderRequest{Origin: 4, Client: 78, ClientSeq: 5, Op: []byte("PUT b 2")}
+	ab := &Batch{Reqs: []OrderRequest{req, other}}
+	ba := &Batch{Reqs: []OrderRequest{other, req}}
+	if ab.Digest() == ba.Digest() {
+		t.Error("batch digest must depend on request order")
+	}
+
+	// Digest is consistent with the per-request digests it is built from.
+	if BatchDigestOf(ab.ReqDigests()) != ab.Digest() {
+		t.Error("Digest() must equal BatchDigestOf(ReqDigests())")
+	}
+	if len(ab.ReqDigests()) != 2 || ab.ReqDigests()[0] != req.Digest() {
+		t.Error("ReqDigests must return per-request digests in batch order")
+	}
+}
+
+func TestBatchDecodeRejectsGarbage(t *testing.T) {
+	// A length header promising more requests than the buffer holds.
+	if _, err := Decode([]byte{byte(KindBatch), 0xff, 0xff, 0xff, 0x00}); err == nil {
+		t.Error("expected error for truncated batch")
+	}
+}

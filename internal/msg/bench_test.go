@@ -1,0 +1,61 @@
+package msg
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Allocation benchmarks for the encode hot path. The pooled writers in
+// internal/wire should keep steady-state encoding at one allocation per call
+// (the returned copy); run with -benchmem to see it.
+
+func benchBatch(n int) *Batch {
+	b := &Batch{Reqs: make([]OrderRequest, n)}
+	for i := range b.Reqs {
+		b.Reqs[i] = OrderRequest{
+			Origin:    NodeID(i % 3),
+			Client:    uint64(100 + i),
+			ClientSeq: uint64(i + 1),
+			Op:        []byte(fmt.Sprintf("PUT key-%d value-%d", i, i)),
+		}
+	}
+	return b
+}
+
+func BenchmarkEncodeForward(b *testing.B) {
+	fwd := &Forward{Req: benchBatch(1).Reqs[0]}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Encode(fwd)
+	}
+}
+
+func BenchmarkEncodePrepareBatch16(b *testing.B) {
+	prep := &Prepare{View: 1, Seq: 7, Batch: *benchBatch(16),
+		Cert: CounterCert{Replica: 0, Counter: 1, Value: 7, MAC: make([]byte, 32)}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Encode(prep)
+	}
+}
+
+func BenchmarkEncodeEnvelope(b *testing.B) {
+	env := Seal(0, 1, &Commit{View: 1, Seq: 7,
+		Cert: CounterCert{Replica: 1, Counter: 1, Value: 7, MAC: make([]byte, 32)}})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EncodeEnvelope(env)
+	}
+}
+
+func BenchmarkBatchDigest16(b *testing.B) {
+	batch := benchBatch(16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batch.Digest()
+	}
+}

@@ -81,6 +81,13 @@ const (
 
 	// KindStateReply answers a StateRequest.
 	KindStateReply
+
+	// KindBatch is an ordered group of client requests certified and agreed
+	// on as one unit (one trusted-counter certification and one
+	// PREPARE/COMMIT round per batch). It travels embedded in Prepare and
+	// ViewChange messages but is registered as a wire kind of its own so
+	// tooling and fuzzers can round-trip it standalone.
+	KindBatch
 )
 
 var kindNames = map[Kind]string{
@@ -98,6 +105,7 @@ var kindNames = map[Kind]string{
 	KindCacheReply:   "CacheReply",
 	KindStateRequest: "StateRequest",
 	KindStateReply:   "StateReply",
+	KindBatch:        "Batch",
 }
 
 // String returns the kind's protocol name.
@@ -144,22 +152,20 @@ func readDigest(r *wire.Reader, d *Digest) {
 
 // Encode marshals m with its kind prefix.
 func Encode(m Message) []byte {
-	w := wire.NewWriter(128)
+	w := wire.GetWriter()
+	defer wire.PutWriter(w)
 	w.U8(uint8(m.Kind()))
 	m.MarshalWire(w)
-	out := make([]byte, w.Len())
-	copy(out, w.Bytes())
-	return out
+	return w.CopyBytes()
 }
 
 // EncodeBody marshals m without the kind prefix. MACs and digests are
 // computed over this form together with the kind passed separately.
 func EncodeBody(m Message) []byte {
-	w := wire.NewWriter(128)
+	w := wire.GetWriter()
+	defer wire.PutWriter(w)
 	m.MarshalWire(w)
-	out := make([]byte, w.Len())
-	copy(out, w.Bytes())
-	return out
+	return w.CopyBytes()
 }
 
 // Decode parses a message encoded by Encode.
@@ -212,6 +218,8 @@ func New(k Kind) (Message, error) {
 		return &StateRequest{}, nil
 	case KindStateReply:
 		return &StateReply{}, nil
+	case KindBatch:
+		return &Batch{}, nil
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownKind, uint8(k))
 	}
@@ -230,15 +238,14 @@ type Envelope struct {
 
 // EncodeEnvelope marshals e for the transport.
 func EncodeEnvelope(e *Envelope) []byte {
-	w := wire.NewWriter(16 + len(e.Body) + len(e.MAC))
+	w := wire.GetWriter()
+	defer wire.PutWriter(w)
 	w.U32(uint32(e.From))
 	w.U32(uint32(e.To))
 	w.U8(uint8(e.Kind))
 	w.Bytes32(e.Body)
 	w.Bytes32(e.MAC)
-	out := make([]byte, w.Len())
-	copy(out, w.Bytes())
-	return out
+	return w.CopyBytes()
 }
 
 // DecodeEnvelope parses a transport frame into an Envelope.

@@ -42,8 +42,9 @@ func TestRoundTripAllKinds(t *testing.T) {
 		&BFTReply{Executor: 2, Client: 1, ClientSeq: 2, ReqDigest: DigestOf([]byte("r")),
 			Direct: true, Conflict: false, Result: []byte("res")},
 		&Forward{Req: req},
-		&Prepare{View: 1, Seq: 10, Req: req, Cert: sampleCert()},
-		&Commit{View: 1, Seq: 10, ReqDigest: req.Digest(), Cert: sampleCert()},
+		&Batch{Reqs: []OrderRequest{req, {Origin: 3, Client: 78, ClientSeq: 1, Op: []byte("PUT k v")}}},
+		&Prepare{View: 1, Seq: 10, Batch: Batch{Reqs: []OrderRequest{req}}, Cert: sampleCert()},
+		&Commit{View: 1, Seq: 10, BatchDigest: (&Batch{Reqs: []OrderRequest{req}}).Digest(), Cert: sampleCert()},
 		&OrderedReply{Executor: 0, Seq: 10, Client: 77, ClientSeq: 1234,
 			ReqDigest: req.Digest(), Result: []byte("result"),
 			InvalidKeys: []string{"a", "b"}, TroxyTag: []byte("tag")},
@@ -51,7 +52,7 @@ func TestRoundTripAllKinds(t *testing.T) {
 		&ViewChange{Replica: 1, NewView: 2, StableSeq: 128,
 			StableDigest: DigestOf([]byte("s")),
 			Prepared: []PreparedEntry{
-				{View: 1, Seq: 129, Req: req, PrepareCert: sampleCert()},
+				{View: 1, Seq: 129, Batch: Batch{Reqs: []OrderRequest{req}}, PrepareCert: sampleCert()},
 			},
 			Cert: sampleCert()},
 		&NewView{Leader: 2, View: 2, ViewChanges: []ViewChange{

@@ -155,7 +155,8 @@ func (m *OrderRequest) ReadOnly() bool { return m.Flags&FlagReadOnly != 0 }
 // Digest returns the SHA-256 digest of the canonical encoding. Replicas vote
 // and invalidate caches by this digest.
 func (m *OrderRequest) Digest() Digest {
-	w := wire.NewWriter(64 + len(m.Op))
+	w := wire.GetWriter()
+	defer wire.PutWriter(w)
 	m.MarshalWire(w)
 	return DigestOf(w.Bytes())
 }
@@ -165,6 +166,82 @@ func (m *OrderRequest) String() string {
 	return fmt.Sprintf("req{c=%d s=%d origin=%d flags=%#x op=%dB}",
 		m.Client, m.ClientSeq, m.Origin, m.Flags, len(m.Op))
 }
+
+// Batch groups client requests that are ordered as a single unit: one
+// trusted-counter certification and one PREPARE/COMMIT round covers the whole
+// batch, amortizing the protocol's fixed per-slot cost over Len() requests.
+// An empty batch is a valid no-op proposal; the new leader uses it to fill
+// sequence gaps during a view change.
+type Batch struct {
+	Reqs []OrderRequest
+}
+
+// Kind implements Message.
+func (*Batch) Kind() Kind { return KindBatch }
+
+// MarshalWire implements Message.
+func (m *Batch) MarshalWire(w *wire.Writer) {
+	w.U32(uint32(len(m.Reqs)))
+	for i := range m.Reqs {
+		m.Reqs[i].MarshalWire(w)
+	}
+}
+
+// UnmarshalWire implements Message.
+func (m *Batch) UnmarshalWire(r *wire.Reader) error {
+	n := r.SliceLen()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	m.Reqs = nil
+	if n > 0 {
+		m.Reqs = make([]OrderRequest, 0, min(n, 64))
+	}
+	for i := 0; i < n; i++ {
+		var req OrderRequest
+		if err := req.UnmarshalWire(r); err != nil {
+			return err
+		}
+		m.Reqs = append(m.Reqs, req)
+	}
+	return r.Err()
+}
+
+// Len returns the number of requests in the batch.
+func (m *Batch) Len() int { return len(m.Reqs) }
+
+// ReqDigests returns the digest of every request, in batch order.
+func (m *Batch) ReqDigests() []Digest {
+	if len(m.Reqs) == 0 {
+		return nil
+	}
+	out := make([]Digest, len(m.Reqs))
+	for i := range m.Reqs {
+		out[i] = m.Reqs[i].Digest()
+	}
+	return out
+}
+
+// BatchDigestOf combines per-request digests into the digest that the batch's
+// PREPARE/COMMIT certificates bind. The "troxy-batch" marker and the request
+// count domain-separate it from single-request digests and from concatenation
+// ambiguities between adjacent batches.
+func BatchDigestOf(reqDigests []Digest) Digest {
+	w := wire.GetWriter()
+	defer wire.PutWriter(w)
+	w.String("troxy-batch")
+	w.U32(uint32(len(reqDigests)))
+	for i := range reqDigests {
+		writeDigest(w, reqDigests[i])
+	}
+	return DigestOf(w.Bytes())
+}
+
+// Digest returns the combined batch digest (see BatchDigestOf).
+func (m *Batch) Digest() Digest { return BatchDigestOf(m.ReqDigests()) }
+
+// String implements fmt.Stringer for log lines.
+func (m *Batch) String() string { return fmt.Sprintf("batch{%d reqs}", len(m.Reqs)) }
 
 // CounterCert is a trusted-counter certificate binding a message digest to
 // the (ID, Value) pair of a trusted monotonic counter. Produced and verified
@@ -210,14 +287,14 @@ func (m *Forward) MarshalWire(w *wire.Writer) { m.Req.MarshalWire(w) }
 func (m *Forward) UnmarshalWire(r *wire.Reader) error { return m.Req.UnmarshalWire(r) }
 
 // Prepare is the leader's ordering proposal for sequence number Seq in View.
-// The certificate binds (View, Seq, request digest) to the leader's ordering
+// The certificate binds (View, Seq, batch digest) to the leader's ordering
 // counter, which makes equivocation impossible: the counter can certify each
 // value exactly once, and followers require consecutive values.
 type Prepare struct {
-	View uint64
-	Seq  uint64
-	Req  OrderRequest
-	Cert CounterCert
+	View  uint64
+	Seq   uint64
+	Batch Batch
+	Cert  CounterCert
 }
 
 // Kind implements Message.
@@ -227,7 +304,7 @@ func (*Prepare) Kind() Kind { return KindPrepare }
 func (m *Prepare) MarshalWire(w *wire.Writer) {
 	w.U64(m.View)
 	w.U64(m.Seq)
-	m.Req.MarshalWire(w)
+	m.Batch.MarshalWire(w)
 	m.Cert.MarshalWire(w)
 }
 
@@ -235,7 +312,7 @@ func (m *Prepare) MarshalWire(w *wire.Writer) {
 func (m *Prepare) UnmarshalWire(r *wire.Reader) error {
 	m.View = r.U64()
 	m.Seq = r.U64()
-	if err := m.Req.UnmarshalWire(r); err != nil {
+	if err := m.Batch.UnmarshalWire(r); err != nil {
 		return err
 	}
 	return m.Cert.UnmarshalWire(r)
@@ -244,10 +321,10 @@ func (m *Prepare) UnmarshalWire(r *wire.Reader) error {
 // Commit acknowledges a Prepare. It is certified by the sender's trusted
 // counter so a Byzantine replica cannot send conflicting commits.
 type Commit struct {
-	View      uint64
-	Seq       uint64
-	ReqDigest Digest
-	Cert      CounterCert
+	View        uint64
+	Seq         uint64
+	BatchDigest Digest
+	Cert        CounterCert
 }
 
 // Kind implements Message.
@@ -257,7 +334,7 @@ func (*Commit) Kind() Kind { return KindCommit }
 func (m *Commit) MarshalWire(w *wire.Writer) {
 	w.U64(m.View)
 	w.U64(m.Seq)
-	writeDigest(w, m.ReqDigest)
+	writeDigest(w, m.BatchDigest)
 	m.Cert.MarshalWire(w)
 }
 
@@ -265,7 +342,7 @@ func (m *Commit) MarshalWire(w *wire.Writer) {
 func (m *Commit) UnmarshalWire(r *wire.Reader) error {
 	m.View = r.U64()
 	m.Seq = r.U64()
-	readDigest(r, &m.ReqDigest)
+	readDigest(r, &m.BatchDigest)
 	return m.Cert.UnmarshalWire(r)
 }
 
@@ -371,15 +448,15 @@ func (m *Checkpoint) UnmarshalWire(r *wire.Reader) error {
 	return r.Err()
 }
 
-// PreparedEntry is a request a replica has prepared (verified the leader's
+// PreparedEntry is a batch a replica has prepared (verified the leader's
 // Prepare for) but that may not yet be stable. View changes carry these so
-// the new leader can re-propose them.
+// the new leader can re-propose them and no in-flight batch is lost.
 type PreparedEntry struct {
-	View uint64
-	Seq  uint64
-	Req  OrderRequest
+	View  uint64
+	Seq   uint64
+	Batch Batch
 	// PrepareCert is the certificate from the original Prepare, proving the
-	// old leader proposed this request at this sequence number.
+	// old leader proposed this batch at this sequence number.
 	PrepareCert CounterCert
 }
 
@@ -387,7 +464,7 @@ type PreparedEntry struct {
 func (m *PreparedEntry) MarshalWire(w *wire.Writer) {
 	w.U64(m.View)
 	w.U64(m.Seq)
-	m.Req.MarshalWire(w)
+	m.Batch.MarshalWire(w)
 	m.PrepareCert.MarshalWire(w)
 }
 
@@ -395,7 +472,7 @@ func (m *PreparedEntry) MarshalWire(w *wire.Writer) {
 func (m *PreparedEntry) UnmarshalWire(r *wire.Reader) error {
 	m.View = r.U64()
 	m.Seq = r.U64()
-	if err := m.Req.UnmarshalWire(r); err != nil {
+	if err := m.Batch.UnmarshalWire(r); err != nil {
 		return err
 	}
 	return m.PrepareCert.UnmarshalWire(r)
@@ -683,4 +760,5 @@ var (
 	_ Message = (*CacheReply)(nil)
 	_ Message = (*StateRequest)(nil)
 	_ Message = (*StateReply)(nil)
+	_ Message = (*Batch)(nil)
 )

@@ -1,9 +1,11 @@
 package realnet
 
 import (
+	"bufio"
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/troxy-bft/troxy/internal/msg"
@@ -30,9 +32,96 @@ type Bridge struct {
 	wg sync.WaitGroup
 }
 
+// bridgeQueueLen bounds the per-peer outbound queue; a full queue drops the
+// envelope (the network is unreliable by assumption).
+const bridgeQueueLen = 4096
+
+// bridgeBufSize is the bufio buffer on each outbound connection. Frames are
+// coalesced into it and flushed only when the queue momentarily drains, so a
+// burst (a cut batch's PREPARE plus the commits behind it) goes out in one
+// write instead of one syscall per envelope.
+const bridgeBufSize = 64 << 10
+
+// bridgeConn is one outbound peer connection. Senders enqueue encoded
+// frames; a dedicated writer goroutine owns the socket, writes frames
+// through a bufio.Writer, and flushes when idle.
 type bridgeConn struct {
-	mu   sync.Mutex
-	conn net.Conn
+	mu     sync.Mutex
+	closed bool
+	out    chan []byte
+}
+
+func (bc *bridgeConn) enqueue(frame []byte) {
+	bc.mu.Lock()
+	defer bc.mu.Unlock()
+	if bc.closed {
+		return
+	}
+	select {
+	case bc.out <- frame:
+	default: // queue full: drop
+	}
+}
+
+func (bc *bridgeConn) close() {
+	bc.mu.Lock()
+	defer bc.mu.Unlock()
+	if !bc.closed {
+		bc.closed = true
+		close(bc.out)
+	}
+}
+
+// writeLoop drains the outbound queue onto a lazily dialed connection,
+// flushing the buffered writer only when no more frames are immediately
+// available (flush-on-idle write coalescing).
+func (bc *bridgeConn) writeLoop(addr string) {
+	var conn net.Conn
+	var bw *bufio.Writer
+	fail := func() {
+		conn.Close()
+		conn, bw = nil, nil
+	}
+	defer func() {
+		if conn != nil {
+			bw.Flush()
+			conn.Close()
+		}
+	}()
+	for frame := range bc.out {
+		if conn == nil {
+			c, err := net.DialTimeout("tcp", addr, 3*time.Second)
+			if err != nil {
+				continue // drop frame; retry dial on the next one
+			}
+			conn = c
+			bw = bufio.NewWriterSize(conn, bridgeBufSize)
+		}
+		if err := wire.WriteFrame(bw, frame); err != nil {
+			fail()
+			continue
+		}
+	drain:
+		for {
+			select {
+			case more, ok := <-bc.out:
+				if !ok {
+					return // deferred flush+close
+				}
+				if err := wire.WriteFrame(bw, more); err != nil {
+					fail()
+					break drain
+				}
+			default:
+				break drain
+			}
+		}
+		if conn != nil {
+			if err := bw.Flush(); err != nil {
+				fail()
+			}
+		}
+	}
 }
 
 // NewBridge creates a bridge for router with the given address book and
@@ -119,24 +208,17 @@ func (b *Bridge) send(e *msg.Envelope) {
 	}
 	bc, ok := b.conns[addr]
 	if !ok {
-		bc = &bridgeConn{}
+		bc = &bridgeConn{out: make(chan []byte, bridgeQueueLen)}
 		b.conns[addr] = bc
+		b.wg.Add(1)
+		go func() {
+			defer b.wg.Done()
+			bc.writeLoop(addr)
+		}()
 	}
 	b.mu.Unlock()
 
-	bc.mu.Lock()
-	defer bc.mu.Unlock()
-	if bc.conn == nil {
-		conn, err := net.DialTimeout("tcp", addr, 3*time.Second)
-		if err != nil {
-			return
-		}
-		bc.conn = conn
-	}
-	if err := wire.WriteFrame(bc.conn, msg.EncodeEnvelope(e)); err != nil {
-		bc.conn.Close()
-		bc.conn = nil
-	}
+	bc.enqueue(msg.EncodeEnvelope(e))
 }
 
 // Close shuts the bridge down and waits for its goroutines.
@@ -156,12 +238,7 @@ func (b *Bridge) Close() {
 		l.Close()
 	}
 	for _, bc := range conns {
-		bc.mu.Lock()
-		if bc.conn != nil {
-			bc.conn.Close()
-			bc.conn = nil
-		}
-		bc.mu.Unlock()
+		bc.close()
 	}
 	b.wg.Wait()
 }
@@ -181,9 +258,17 @@ type Gateway struct {
 	closed bool
 	active map[net.Conn]struct{}
 
+	// sendFailures counts replies that could not be written back to a client
+	// socket. They used to be dropped silently; now every drop is counted
+	// and logged so a misbehaving client or a saturated link is visible.
+	sendFailures atomic.Uint64
+
 	wg       sync.WaitGroup
 	listener net.Listener
 }
+
+// SendFailures returns how many client-bound frames failed to send.
+func (g *Gateway) SendFailures() uint64 { return g.sendFailures.Load() }
 
 // NewGateway creates a gateway that forwards client connections to replica,
 // assigning synthetic node IDs starting at firstClientID.
@@ -233,11 +318,12 @@ func (g *Gateway) Serve(l net.Listener) {
 // envelopes from the replica back to the client socket.
 type gatewayHandler struct {
 	conn net.Conn
+	gw   *Gateway
 }
 
 func (gatewayHandler) OnStart(node.Env) {}
 
-func (h gatewayHandler) OnEnvelope(_ node.Env, e *msg.Envelope) {
+func (h gatewayHandler) OnEnvelope(env node.Env, e *msg.Envelope) {
 	if e.Kind != msg.KindChannelData {
 		return
 	}
@@ -249,9 +335,13 @@ func (h gatewayHandler) OnEnvelope(_ node.Env, e *msg.Envelope) {
 	if !ok {
 		return
 	}
-	// A write failure means the client hung up; the read loop will notice
-	// and tear the connection node down.
-	_ = wire.WriteFrame(h.conn, cd.Payload)
+	if err := wire.WriteFrame(h.conn, cd.Payload); err != nil {
+		// Usually the client hung up; the read loop will notice and tear the
+		// connection node down. Count and log the drop either way.
+		n := h.gw.sendFailures.Add(1)
+		env.Logf("realnet: gateway send to %v failed (%d dropped total): %v",
+			h.conn.RemoteAddr(), n, err)
+	}
 }
 
 func (gatewayHandler) OnTimer(node.Env, node.TimerKey) {}
@@ -260,7 +350,7 @@ var _ node.Handler = gatewayHandler{}
 
 func (g *Gateway) handle(conn net.Conn, id msg.NodeID) {
 	defer conn.Close()
-	g.router.Attach(id, gatewayHandler{conn: conn})
+	g.router.Attach(id, gatewayHandler{conn: conn, gw: g})
 	defer g.router.Detach(id)
 
 	for {

@@ -62,6 +62,7 @@ type Subsystem struct {
 	key      []byte
 	mac      hash.Hash
 	counters map[uint32]uint64
+	certs    uint64
 }
 
 // NewSubsystem creates the (unprovisioned) subsystem for a replica.
@@ -76,6 +77,7 @@ func (s *Subsystem) Reset() {
 	s.key = nil
 	s.mac = nil
 	s.counters = make(map[uint32]uint64)
+	s.certs = 0
 }
 
 // SetKey installs the certification secret (from provisioning).
@@ -121,6 +123,7 @@ func (s *Subsystem) Certify(counter uint32, value uint64, digest msg.Digest) (ms
 		return msg.CounterCert{}, fmt.Errorf("%w: first value must be positive", ErrNotMonotonic)
 	}
 	s.counters[counter] = value
+	s.certs++
 
 	s.mac.Reset()
 	s.mac.Write(certInput(s.owner, counter, value, digest))
@@ -150,6 +153,15 @@ func (s *Subsystem) Value(counter uint32) uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.counters[counter]
+}
+
+// Certifications returns the number of successful Certify calls since the
+// last Reset. Batching tests assert amortization against this counter: one
+// certification must cover a whole batch.
+func (s *Subsystem) Certifications() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.certs
 }
 
 // Authority is the interface through which protocol code (which runs in the

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // Encoding limits. They bound allocations when decoding data received from
@@ -51,6 +52,44 @@ func NewWriter(capacity int) *Writer {
 // Bytes returns the encoded bytes. The returned slice aliases the writer's
 // internal buffer; callers must not retain it across further writes.
 func (w *Writer) Bytes() []byte { return w.buf }
+
+// Reset truncates the writer for reuse, keeping the allocated buffer.
+func (w *Writer) Reset() { w.buf = w.buf[:0] }
+
+// CopyBytes returns a copy of the encoded bytes, safe to retain after the
+// writer is reset or returned to the pool.
+func (w *Writer) CopyBytes() []byte {
+	out := make([]byte, len(w.buf))
+	copy(out, w.buf)
+	return out
+}
+
+// Encoder-buffer pool. Every message encode on the hot path (transport
+// framing, digests, MAC inputs) runs through a Writer; pooling the buffers
+// removes one allocation plus the append-growth garbage per encode. Writers
+// whose buffer grew beyond pooledWriterCap are dropped instead of pooled so
+// a rare giant message (e.g. a state-transfer snapshot) cannot pin memory.
+const pooledWriterCap = 64 << 10
+
+var writerPool = sync.Pool{
+	New: func() any { return &Writer{buf: make([]byte, 0, 512)} },
+}
+
+// GetWriter returns an empty pooled Writer. Release it with PutWriter after
+// copying out any bytes still needed (Bytes aliases the pooled buffer).
+func GetWriter() *Writer {
+	w := writerPool.Get().(*Writer)
+	w.Reset()
+	return w
+}
+
+// PutWriter returns a Writer obtained from GetWriter to the pool.
+func PutWriter(w *Writer) {
+	if w == nil || cap(w.buf) > pooledWriterCap {
+		return
+	}
+	writerPool.Put(w)
+}
 
 // Len returns the number of bytes written so far.
 func (w *Writer) Len() int { return len(w.buf) }
