@@ -1,0 +1,33 @@
+// Command troxy-lint is the repository's static-analysis gate. It enforces
+// the paper's trust-boundary and determinism invariants mechanically:
+//
+//	boundarycheck   untrusted code enters the enclave only via the declared
+//	                ecall surface; trusted code performs no ocalls
+//	copydiscipline  buffers crossing the ecall boundary are defensively
+//	                copied, never stored or returned by reference
+//	determinism     no wall clocks, global randomness, or protocol-visible
+//	                map iteration in the replicated core
+//	senderr         no silently dropped errors on wire encode/send paths
+//
+// Run it either standalone (`go run ./cmd/troxy-lint ./...`) or as a
+// vettool (`go vet -vettool=$(pwd)/bin/troxy-lint ./...`); `make lint` does
+// the latter. Suppress a finding with a trailing or preceding
+// `//lint:allow <analyzer> <reason>` comment — see DESIGN.md.
+package main
+
+import (
+	"github.com/troxy-bft/troxy/internal/analysis"
+	"github.com/troxy-bft/troxy/internal/analysis/boundarycheck"
+	"github.com/troxy-bft/troxy/internal/analysis/copydiscipline"
+	"github.com/troxy-bft/troxy/internal/analysis/determinism"
+	"github.com/troxy-bft/troxy/internal/analysis/senderr"
+)
+
+func main() {
+	analysis.Main(
+		boundarycheck.Analyzer,
+		copydiscipline.Analyzer,
+		determinism.Analyzer,
+		senderr.Analyzer,
+	)
+}

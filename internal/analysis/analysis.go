@@ -1,0 +1,236 @@
+// Package analysis is a self-contained static-analysis framework for the
+// troxy-lint suite. It mirrors the shape of golang.org/x/tools/go/analysis
+// (Analyzer, Pass, Diagnostic) but is built entirely on the standard
+// library's go/ast and go/types, because this repository vendors no
+// third-party code.
+//
+// Two drivers run the analyzers (see cmd/troxy-lint):
+//
+//   - a unitchecker-compatible driver speaking the `go vet -vettool`
+//     protocol (one process per compilation unit, imports resolved from the
+//     build cache's gc export data), and
+//   - a standalone driver that loads whole package patterns via
+//     `go list -export -deps -json`.
+//
+// Suppression: a diagnostic is dropped when the offending line, or the line
+// immediately above it, carries a comment of the form
+//
+//	//lint:allow <analyzer> <reason...>
+//
+// The reason is mandatory by convention (reviewed, not machine-checked):
+// every allow marks a deliberate, documented exception to a trust-boundary
+// or determinism invariant. Test files (*_test.go) are never reported
+// against; the analyzers guard production code.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ModulePath is the import path of this repository's module; the analyzers
+// classify packages by their path relative to it.
+const ModulePath = "github.com/troxy-bft/troxy"
+
+// An Analyzer describes one static check of the suite.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and //lint:allow comments.
+	Name string
+
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+
+	// Run performs the check on one package, reporting findings through the
+	// pass.
+	Run func(*Pass) error
+}
+
+// A Pass provides one analyzer run with a single type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// path is the normalized import path (test-variant decorations removed).
+	path   string
+	report func(Diagnostic)
+}
+
+// Path returns the package's import path, normalized for classification:
+// the vet test-variant suffix ("pkg [pkg.test]") and the external-test
+// "_test" suffix are stripped.
+func (p *Pass) Path() string { return p.path }
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding, with its position resolved.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+}
+
+// Package is a loaded, type-checked package ready for analysis.
+type Package struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	// Path is the normalized import path (see NormalizePath).
+	Path string
+}
+
+// NormalizePath strips the decorations cmd/go puts on test compilation
+// units: "pkg [pkg.test]" (in-package test variant) becomes "pkg", and the
+// external test package "pkg_test" becomes "pkg".
+func NormalizePath(importPath string) string {
+	if i := strings.Index(importPath, " ["); i >= 0 {
+		importPath = importPath[:i]
+	}
+	return strings.TrimSuffix(importPath, "_test")
+}
+
+// RelPath returns the path relative to ModulePath ("" for the module root,
+// "internal/hybster" for a package below it) and whether the package is part
+// of the module at all.
+func RelPath(path string) (string, bool) {
+	if path == ModulePath {
+		return "", true
+	}
+	if rest, ok := strings.CutPrefix(path, ModulePath+"/"); ok {
+		return rest, true
+	}
+	return "", false
+}
+
+// Under reports whether rel (a module-relative path) equals root or lies in
+// a subdirectory of it.
+func Under(rel, root string) bool {
+	return rel == root || strings.HasPrefix(rel, root+"/")
+}
+
+// Analyze runs the analyzers over pkg and returns the surviving diagnostics
+// in file/line order: findings in _test.go files and findings suppressed by
+// //lint:allow comments are dropped.
+func Analyze(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			path:      pkg.Path,
+			report:    func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			diags = append(diags, Diagnostic{
+				Analyzer: a.Name,
+				Message:  fmt.Sprintf("internal error: %v", err),
+			})
+		}
+	}
+	diags = filterTestFiles(diags)
+	diags = filterAllowed(pkg, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+func filterTestFiles(diags []Diagnostic) []Diagnostic {
+	out := diags[:0]
+	for _, d := range diags {
+		if strings.HasSuffix(d.Pos.Filename, "_test.go") {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// allowKey identifies one //lint:allow site.
+type allowKey struct {
+	file string
+	line int
+	name string
+}
+
+// filterAllowed drops diagnostics covered by a //lint:allow comment on the
+// same line or the line immediately above.
+func filterAllowed(pkg *Package, diags []Diagnostic) []Diagnostic {
+	allows := make(map[allowKey]bool)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, "lint:allow")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, name := range strings.Split(fields[0], ",") {
+					allows[allowKey{pos.Filename, pos.Line, name}] = true
+				}
+			}
+		}
+	}
+	if len(allows) == 0 {
+		return diags
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		if allows[allowKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] ||
+			allows[allowKey{d.Pos.Filename, d.Pos.Line - 1, d.Analyzer}] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// NewInfo returns a types.Info with all maps the analyzers rely on.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}

@@ -1,0 +1,18 @@
+package boundarycheck_test
+
+import (
+	"testing"
+
+	"github.com/troxy-bft/troxy/internal/analysis/analysistest"
+	"github.com/troxy-bft/troxy/internal/analysis/boundarycheck"
+)
+
+func TestBoundaryCheck(t *testing.T) {
+	analysistest.Run(t, boundarycheck.Analyzer,
+		"github.com/troxy-bft/troxy/internal/realnet/bcpos",
+		"github.com/troxy-bft/troxy/internal/legacyclient/lcpos",
+		"github.com/troxy-bft/troxy/internal/troxy/tpos",
+		"github.com/troxy-bft/troxy/internal/troxy/tneg",
+		"github.com/troxy-bft/troxy/internal/realnet/rneg",
+	)
+}

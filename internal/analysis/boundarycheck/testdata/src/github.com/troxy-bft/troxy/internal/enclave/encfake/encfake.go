@@ -1,0 +1,6 @@
+// Package encfake stands in for the trusted enclave substrate in
+// boundarycheck fixtures.
+package encfake
+
+// Launch pretends to start an enclave.
+func Launch() {}

@@ -1,0 +1,6 @@
+// Package hffake stands in for the passive HTTP codec in boundarycheck
+// fixtures.
+package hffake
+
+// Parse pretends to parse a request.
+func Parse() {}

@@ -1,0 +1,16 @@
+// Package lcpos exercises the symbol-level check: legacyclient may import
+// securechannel (a declared edge), but only its client surface.
+package lcpos
+
+import (
+	sc "github.com/troxy-bft/troxy/internal/securechannel/scfake"
+)
+
+// Dial uses the declared client surface (allowed) and then reaches for the
+// enclave-only server side (flagged).
+func Dial() {
+	h := sc.NewClientHandshake()
+	h.Finish()
+	var s sc.ServerHandshake // want "reaches trusted symbol internal/securechannel.ServerHandshake outside the declared ecall surface"
+	_ = s
+}

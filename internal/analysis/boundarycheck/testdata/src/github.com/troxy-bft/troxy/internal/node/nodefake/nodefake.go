@@ -1,0 +1,6 @@
+// Package nodefake stands in for the passive node interfaces in
+// boundarycheck fixtures.
+package nodefake
+
+// Now pretends to read logical time.
+func Now() int64 { return 0 }

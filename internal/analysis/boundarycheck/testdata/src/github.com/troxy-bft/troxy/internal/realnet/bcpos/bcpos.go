@@ -1,0 +1,12 @@
+// Package bcpos must trigger boundarycheck: an untrusted runtime package
+// importing the trusted enclave substrate directly.
+package bcpos
+
+import (
+	enclave "github.com/troxy-bft/troxy/internal/enclave/encfake" // want "untrusted package internal/realnet must not import trusted package internal/enclave"
+)
+
+// Boot bypasses the ecall surface.
+func Boot() {
+	enclave.Launch() // want "reaches trusted symbol internal/enclave.Launch outside the declared ecall surface"
+}

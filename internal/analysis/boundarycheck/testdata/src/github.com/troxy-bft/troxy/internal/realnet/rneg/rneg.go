@@ -1,0 +1,11 @@
+// Package rneg is the boundary-adjacent negative for the ecall-surface
+// rule: untrusted-to-untrusted imports are outside the boundary and must
+// not trigger.
+package rneg
+
+import (
+	nd "github.com/troxy-bft/troxy/internal/node/nodefake"
+)
+
+// Tick stays on the untrusted side.
+func Tick() int64 { return nd.Now() }

@@ -1,0 +1,6 @@
+// Package rtfake stands in for the active untrusted network runtime in
+// boundarycheck fixtures.
+package rtfake
+
+// Listen pretends to open a socket.
+func Listen() {}

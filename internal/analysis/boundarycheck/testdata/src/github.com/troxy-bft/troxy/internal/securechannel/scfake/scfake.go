@@ -1,0 +1,16 @@
+// Package scfake stands in for the secure-channel package in boundarycheck
+// fixtures: a declared client surface plus an enclave-only server side.
+package scfake
+
+// ClientHandshake is part of the declared client surface.
+type ClientHandshake struct{}
+
+// NewClientHandshake is part of the declared client surface.
+func NewClientHandshake() *ClientHandshake { return &ClientHandshake{} }
+
+// Finish is covered by the ClientHandshake.* wildcard.
+func (*ClientHandshake) Finish() {}
+
+// ServerHandshake holds the service identity key; it exists only inside the
+// enclave and is not part of the declared surface.
+type ServerHandshake struct{}

@@ -1,0 +1,16 @@
+// Package tneg is the boundary-adjacent negative for the no-ocall rule:
+// trusted code importing the PASSIVE untrusted packages (the node
+// interfaces and the HTTP codec the enclave's reply voting needs) is
+// explicitly permitted and must not trigger.
+package tneg
+
+import (
+	hf "github.com/troxy-bft/troxy/internal/httpfront/hffake"
+	nd "github.com/troxy-bft/troxy/internal/node/nodefake"
+)
+
+// Wire composes the permitted passive dependencies.
+func Wire() {
+	hf.Parse()
+	_ = nd.Now()
+}

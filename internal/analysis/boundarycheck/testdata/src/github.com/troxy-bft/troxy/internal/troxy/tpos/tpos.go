@@ -1,0 +1,10 @@
+// Package tpos must trigger boundarycheck's no-ocall rule: a trusted
+// package importing an active untrusted runtime.
+package tpos
+
+import (
+	rn "github.com/troxy-bft/troxy/internal/realnet/rtfake" // want "trusted package internal/troxy must not import the untrusted runtime internal/realnet"
+)
+
+// Boot would give enclave code a socket.
+func Boot() { rn.Listen() }

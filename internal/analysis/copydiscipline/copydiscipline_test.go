@@ -1,0 +1,15 @@
+package copydiscipline_test
+
+import (
+	"testing"
+
+	"github.com/troxy-bft/troxy/internal/analysis/analysistest"
+	"github.com/troxy-bft/troxy/internal/analysis/copydiscipline"
+)
+
+func TestCopyDiscipline(t *testing.T) {
+	analysistest.Run(t, copydiscipline.Analyzer,
+		"github.com/troxy-bft/troxy/internal/troxy/cdpos",
+		"github.com/troxy-bft/troxy/internal/troxy/cdneg",
+	)
+}

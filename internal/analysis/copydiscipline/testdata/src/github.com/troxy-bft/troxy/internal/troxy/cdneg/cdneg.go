@@ -1,0 +1,30 @@
+// Package cdneg is the boundary-adjacent negative for copydiscipline: the
+// same storing patterns in functions that are NOT boundary crossings (not
+// registered in an ecall table, not a Provision method) are callee-internal
+// policy and must not trigger.
+package cdneg
+
+// T is a trusted component with internal state.
+type T struct{ stash []byte }
+
+// retain stores its argument, but its signature is not the handler shape.
+func (t *T) retain(b []byte) {
+	t.stash = b
+}
+
+// handle has the handler signature but is never registered in an ecall
+// table; it does not cross the boundary.
+func (t *T) handle(arg []byte) ([]byte, error) {
+	t.stash = arg
+	return nil, nil
+}
+
+// Provision without a secrets-map parameter is not the provisioning entry
+// point.
+func (t *T) Provision(b []byte) error {
+	t.stash = b
+	return nil
+}
+
+var _ = (&T{}).retain
+var _ = (&T{}).handle

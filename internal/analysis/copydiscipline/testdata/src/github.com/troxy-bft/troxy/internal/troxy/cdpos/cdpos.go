@@ -1,0 +1,61 @@
+// Package cdpos must trigger copydiscipline: ecall handlers and a
+// Provision method that leak boundary buffers by reference.
+package cdpos
+
+type handlers = map[string]func(arg []byte) ([]byte, error)
+
+// T is a trusted component with internal state.
+type T struct {
+	stash []byte
+	buf   []byte
+}
+
+// ECalls registers handlers with every flavor of violation plus one clean
+// handler proving the sanctioned pattern passes.
+func (t *T) ECalls() handlers {
+	return handlers{
+		"store": func(arg []byte) ([]byte, error) {
+			t.stash = arg // want "stores the boundary buffer"
+			return nil, nil
+		},
+		"store-alias": func(arg []byte) ([]byte, error) {
+			p := arg[4:]
+			t.stash = p // want "stores the boundary buffer"
+			return nil, nil
+		},
+		"ret": func(arg []byte) ([]byte, error) {
+			return arg, nil // want "returns the boundary buffer by reference"
+		},
+		"ret-slice": func(arg []byte) ([]byte, error) {
+			return arg[1:], nil // want "returns the boundary buffer by reference"
+		},
+		"ret-internal": func(arg []byte) ([]byte, error) {
+			return t.buf, nil // want "returns an enclave-internal buffer by reference"
+		},
+		"ok": func(arg []byte) ([]byte, error) {
+			c := make([]byte, len(arg))
+			copy(c, arg)
+			t.stash = c
+			out := make([]byte, 0, len(t.buf))
+			out = append(out, t.buf...)
+			return out, nil
+		},
+	}
+}
+
+var global []byte
+
+// Register exercises the table-assignment registration form.
+func Register(tbl handlers) {
+	tbl["leak"] = func(arg []byte) ([]byte, error) {
+		global = arg // want "stores the boundary buffer"
+		return nil, nil
+	}
+}
+
+// Provision is the post-attestation secret path; storing a map value by
+// reference retains untrusted memory inside the enclave.
+func (t *T) Provision(secrets map[string][]byte) error {
+	t.stash = secrets["k"] // want "stores the boundary buffer"
+	return nil
+}

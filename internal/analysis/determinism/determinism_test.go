@@ -1,0 +1,15 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"github.com/troxy-bft/troxy/internal/analysis/analysistest"
+	"github.com/troxy-bft/troxy/internal/analysis/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, determinism.Analyzer,
+		"github.com/troxy-bft/troxy/internal/hybster/detpos",
+		"github.com/troxy-bft/troxy/internal/realnet/detneg",
+	)
+}

@@ -1,0 +1,65 @@
+// Package detpos must trigger determinism: wall clocks, the global
+// math/rand source, and protocol-visible map iteration inside the ordering
+// core's scope.
+package detpos
+
+import (
+	"math/rand"
+	"time"
+)
+
+type out struct{}
+
+// Send is protocol-visible: its name matches the effect set.
+func (out) Send(to uint64, m any) {}
+
+type core struct {
+	pending map[uint64]string
+	o       out
+}
+
+func (c *core) tick() time.Time {
+	return time.Now() // want "wall clock"
+}
+
+func (c *core) pick() int {
+	return rand.Intn(10) // want "global math/rand source"
+}
+
+// seeded draws from an explicitly constructed source: the sanctioned
+// pattern, must not trigger.
+func (c *core) seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+func (c *core) flush() {
+	for to, m := range c.pending { // want "map iteration order is randomized but this loop calls Send"
+		c.o.Send(to, m)
+	}
+}
+
+// collect gathers keys for later sorting: order-insensitive, must not
+// trigger.
+func (c *core) collect() []uint64 {
+	keys := make([]uint64, 0, len(c.pending))
+	for k := range c.pending {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func (c *core) values() []string {
+	var vals []string
+	for _, v := range c.pending { // want "appends the map's values"
+		vals = append(vals, v)
+	}
+	return vals
+}
+
+// gc only deletes during iteration: order-insensitive, must not trigger.
+func (c *core) gc() {
+	for k := range c.pending {
+		delete(c.pending, k)
+	}
+}

@@ -1,0 +1,15 @@
+// Package detneg is the boundary-adjacent negative for determinism: the
+// untrusted network runtime legitimately owns wall clocks and real
+// randomness, and sits outside the analyzer's scope — nothing here may
+// trigger.
+package detneg
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Jitter uses time and global randomness on the untrusted side.
+func Jitter() time.Duration {
+	return time.Duration(rand.Intn(int(time.Since(time.Unix(0, 0)))))
+}

@@ -1,0 +1,14 @@
+package senderr_test
+
+import (
+	"testing"
+
+	"github.com/troxy-bft/troxy/internal/analysis/analysistest"
+	"github.com/troxy-bft/troxy/internal/analysis/senderr"
+)
+
+func TestSendErr(t *testing.T) {
+	analysistest.Run(t, senderr.Analyzer,
+		"github.com/troxy-bft/troxy/internal/realnet/sepos",
+	)
+}

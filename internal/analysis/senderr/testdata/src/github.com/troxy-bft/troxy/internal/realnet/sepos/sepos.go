@@ -1,0 +1,43 @@
+// Package sepos must trigger senderr: dropped errors on every scoped wire
+// path, next to checked (negative) counterparts that must not trigger.
+package sepos
+
+import (
+	"bufio"
+	"net"
+	"time"
+
+	wire "github.com/troxy-bft/troxy/internal/wire/wfake"
+)
+
+func send(conn net.Conn, bw *bufio.Writer, frame []byte) {
+	wire.WriteFrame(bw, frame)    // want "error from wfake.WriteFrame dropped on the wire encode path"
+	defer bw.Flush()              // want "deferred error from Writer.Flush dropped on the buffered send path"
+	conn.SetDeadline(time.Time{}) // want "error from Conn.SetDeadline dropped on the connection send path"
+	n, _ := conn.Write(frame)     // want "error from Conn.Write assigned to _ on the connection send path"
+	_ = n
+}
+
+// sendChecked handles every error: must not trigger.
+func sendChecked(conn net.Conn, bw *bufio.Writer, frame []byte) error {
+	if err := wire.WriteFrame(bw, frame); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	// Close is deliberately out of scope: dropping its error is idiomatic.
+	conn.Close()
+	return nil
+}
+
+// teardown documents a reviewed exception: the allow comment suppresses the
+// finding, so no diagnostic may surface.
+func teardown(bw *bufio.Writer) {
+	//lint:allow senderr best-effort teardown flush with no caller to report to
+	bw.Flush()
+}
+
+var _ = send
+var _ = sendChecked
+var _ = teardown

@@ -1,0 +1,13 @@
+// Package wfake stands in for the wire serialization package in senderr
+// fixtures.
+package wfake
+
+import "io"
+
+// WriteFrame pretends to frame and send a payload.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	return nil
+}

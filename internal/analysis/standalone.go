@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// The standalone driver loads whole package patterns in one process,
+// resolving every import from the gc export data that `go list -export`
+// leaves in the build cache. It exists so `go run ./cmd/troxy-lint ./...`
+// works without the vet protocol; `make lint` uses the vettool path.
+
+// listPackage is the subset of `go list -json` output the driver consumes.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	Error      *struct{ Err string }
+}
+
+// Standalone analyzes the packages matched by patterns. Exit status
+// semantics mirror runUnit: 0 clean, 1 operational error, 2 findings.
+func Standalone(patterns []string, analyzers []*Analyzer) int {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json=ImportPath,Dir,Export,Standard,DepOnly,GoFiles,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		log.Printf("go list: %v", err)
+		return 1
+	}
+
+	exports := make(map[string]string) // import path -> export data file
+	var targets []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			log.Printf("go list output: %v", err)
+			return 1
+		}
+		if p.Error != nil {
+			log.Printf("%s: %s", p.ImportPath, p.Error.Err)
+			return 1
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if _, ok := RelPath(p.ImportPath); ok && !p.DepOnly && !p.Standard {
+			targets = append(targets, &p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+
+	status := 0
+	for _, p := range targets {
+		var files []*ast.File
+		for _, name := range p.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil,
+				parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				log.Printf("parse: %v", err)
+				return 1
+			}
+			files = append(files, f)
+		}
+		tcfg := types.Config{Importer: imp}
+		info := NewInfo()
+		tpkg, err := tcfg.Check(p.ImportPath, fset, files, info)
+		if err != nil {
+			log.Printf("typecheck %s: %v", p.ImportPath, err)
+			return 1
+		}
+		diags := Analyze(&Package{
+			Fset: fset, Files: files, Types: tpkg, Info: info,
+			Path: NormalizePath(p.ImportPath),
+		}, analyzers)
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, d)
+		}
+		if len(diags) > 0 {
+			status = 2
+		}
+	}
+	return status
+}

@@ -1,0 +1,223 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"strings"
+)
+
+// This file implements the `go vet -vettool` side of the suite: cmd/go
+// invokes the tool once per compilation unit with a JSON config file
+// describing the unit's sources and the gc export data of its dependencies.
+// The protocol additionally requires the tool to answer `-flags` (the
+// analyzer flags it accepts, as JSON) and `-V=full` (a version fingerprint
+// for the build cache).
+
+// vetConfig mirrors the subset of cmd/go's vet.cfg the driver needs.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	GoVersion                 string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point of a vettool built from this suite. It dispatches
+// between the vet protocol's meta queries, single-unit analysis, and (when
+// invoked with package patterns instead of a .cfg file) the standalone
+// whole-module driver.
+func Main(analyzers ...*Analyzer) {
+	log.SetFlags(0)
+	log.SetPrefix("troxy-lint: ")
+	args := os.Args[1:]
+	for _, a := range args {
+		switch {
+		case a == "-flags" || a == "--flags":
+			printFlags()
+			return
+		case strings.HasPrefix(a, "-V") || strings.HasPrefix(a, "--V"):
+			printVersion()
+			return
+		case a == "-help" || a == "--help" || a == "-h":
+			usage(analyzers)
+			return
+		}
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runUnit(args[0], analyzers))
+	}
+	if len(args) == 0 {
+		usage(analyzers)
+		os.Exit(2)
+	}
+	os.Exit(Standalone(args, analyzers))
+}
+
+func usage(analyzers []*Analyzer) {
+	fmt.Fprintf(os.Stderr, "troxy-lint: static enforcement of Troxy's trust boundary and protocol determinism\n\n")
+	fmt.Fprintf(os.Stderr, "usage:\n")
+	fmt.Fprintf(os.Stderr, "  troxy-lint <packages>          analyze package patterns (e.g. ./...)\n")
+	fmt.Fprintf(os.Stderr, "  go vet -vettool=$(which troxy-lint) <packages>\n\n")
+	fmt.Fprintf(os.Stderr, "analyzers:\n")
+	for _, a := range analyzers {
+		doc := a.Doc
+		if i := strings.IndexByte(doc, '\n'); i >= 0 {
+			doc = doc[:i]
+		}
+		fmt.Fprintf(os.Stderr, "  %-16s %s\n", a.Name, doc)
+	}
+}
+
+// printFlags answers cmd/go's `-flags` query. The suite has no analyzer
+// flags; an empty JSON list tells vet to pass everything through untouched.
+func printFlags() {
+	fmt.Println("[]")
+}
+
+// printVersion answers `-V=full` with the executable's content hash, the
+// same convention x/tools' unitchecker uses, so cmd/go can fingerprint the
+// tool for its build cache.
+func printVersion() {
+	f, err := os.Open(os.Args[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", os.Args[0], string(h.Sum(nil)[:16]))
+}
+
+// runUnit analyzes one vet compilation unit. Exit status: 0 clean, 1
+// operational error, 2 findings.
+func runUnit(cfgFile string, analyzers []*Analyzer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		log.Printf("%s: %v", cfgFile, err)
+		return 1
+	}
+	// The suite computes no cross-package facts, but the protocol requires a
+	// vetx output file per unit regardless.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("troxy-lint: no facts\n"), 0o666); err != nil {
+			log.Print(err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0 // dependency unit: facts only, and we produce none
+	}
+	norm := NormalizePath(cfg.ImportPath)
+	if _, inModule := RelPath(norm); !inModule {
+		return 0 // out-of-module dependency (stdlib): nothing to enforce
+	}
+	if norm != cfg.ImportPath {
+		// Test variant of a package. The analyzers never report in _test.go
+		// files and the base unit already covers the non-test sources, so
+		// analyzing again would only duplicate output.
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			log.Printf("parse: %v", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	imp := &cfgImporter{
+		cfg: &cfg,
+		gc:  importer.ForCompiler(fset, "gc", cfgLookup(&cfg)).(types.ImporterFrom),
+	}
+	tcfg := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor(cfg.Compiler, "amd64"),
+	}
+	if cfg.GoVersion != "" {
+		tcfg.GoVersion = cfg.GoVersion
+	}
+	info := NewInfo()
+	tpkg, err := tcfg.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		log.Printf("typecheck %s: %v", cfg.ImportPath, err)
+		return 1
+	}
+
+	diags := Analyze(&Package{Fset: fset, Files: files, Types: tpkg, Info: info, Path: norm}, analyzers)
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// cfgLookup opens the gc export data recorded for an import path in the vet
+// config.
+func cfgLookup(cfg *vetConfig) func(path string) (io.ReadCloser, error) {
+	return func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("vet config of %s has no export data for %q", cfg.ImportPath, path)
+		}
+		return os.Open(file)
+	}
+}
+
+// cfgImporter maps source-level import paths through the unit's ImportMap
+// (vendoring, test variants) before delegating to the gc importer.
+type cfgImporter struct {
+	cfg *vetConfig
+	gc  types.ImporterFrom
+}
+
+func (i *cfgImporter) Import(path string) (*types.Package, error) {
+	return i.ImportFrom(path, "", 0)
+}
+
+func (i *cfgImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if mapped, ok := i.cfg.ImportMap[path]; ok {
+		path = mapped
+	}
+	return i.gc.ImportFrom(path, dir, mode)
+}

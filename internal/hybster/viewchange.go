@@ -1,6 +1,7 @@
 package hybster
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"sort"
 
@@ -281,11 +282,20 @@ func (c *Core) installView(env node.Env, nv *msg.NewView) {
 	// by the execution-time client table.
 	pending := c.queued
 	c.queued = nil
-	for digest, req := range c.pendingLocal {
+	// Collect and sort the digests first: map order is randomized, and the
+	// re-drive order below is protocol-visible (enqueue/Forward order).
+	missed := make([]msg.Digest, 0, len(c.pendingLocal))
+	for digest := range c.pendingLocal {
 		if _, ok := reproposed[digest]; ok {
 			continue
 		}
-		pending = append(pending, req)
+		missed = append(missed, digest)
+	}
+	sort.Slice(missed, func(i, j int) bool {
+		return bytes.Compare(missed[i][:], missed[j][:]) < 0
+	})
+	for _, digest := range missed {
+		pending = append(pending, c.pendingLocal[digest])
 	}
 	for _, req := range pending {
 		if c.IsLeader() {

@@ -69,14 +69,22 @@ func (c *TCPClient) reconnect() error {
 			lastErr = err
 			continue
 		}
-		conn.SetDeadline(time.Now().Add(c.timeout))
+		if err := conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
+			conn.Close()
+			lastErr = err
+			continue
+		}
 		sess, err := c.handshake(conn)
 		if err != nil {
 			conn.Close()
 			lastErr = err
 			continue
 		}
-		conn.SetDeadline(time.Time{})
+		if err := conn.SetDeadline(time.Time{}); err != nil {
+			conn.Close()
+			lastErr = err
+			continue
+		}
 		c.conn = conn
 		c.sess = sess
 		return nil
@@ -139,8 +147,19 @@ func (c *TCPClient) tryOnce(plaintext []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	c.conn.SetDeadline(time.Now().Add(c.timeout))
-	defer c.conn.SetDeadline(time.Time{})
+	if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
+		return nil, err
+	}
+	defer func() {
+		// If the deadline cannot be cleared the connection is unusable for
+		// the idle period before the next request; drop it so the next
+		// Request reconnects instead of timing out mid-operation.
+		if err := c.conn.SetDeadline(time.Time{}); err != nil {
+			c.conn.Close()
+			c.conn = nil
+			c.sess = nil
+		}
+	}()
 	if err := wire.WriteFrame(c.conn, record); err != nil {
 		return nil, err
 	}
