@@ -7,7 +7,7 @@ GO ?= go
 STATICCHECK := honnef.co/go/tools/cmd/staticcheck@2025.1
 GOVULNCHECK := golang.org/x/vuln/cmd/govulncheck@v1.1.4
 
-.PHONY: build test check lint staticcheck govulncheck bench fuzz
+.PHONY: build test check lint staticcheck govulncheck bench fuzz chaos
 
 build:
 	$(GO) build ./...
@@ -54,6 +54,13 @@ govulncheck:
 
 bench:
 	$(GO) test -bench . -benchmem ./...
+
+# Seeded fault-injection suite (see EXPERIMENTS.md "Chaos"): network fault
+# schedules and Byzantine replica harnesses under the race detector. -short
+# trims the network-fault seed set; failures print the seed and the drawn
+# plan, and rerunning the named subtest reproduces the schedule exactly.
+chaos:
+	$(GO) test -race -count=1 -short -run 'TestChaos' -v .
 
 # Short fuzz smoke over the wire-facing decoders and the secure channel's
 # frame parsing. Interesting inputs found here are promoted into the

@@ -1,0 +1,283 @@
+package troxy
+
+// Chaos suite: each seed draws a fault schedule (link drop/duplication/
+// corruption/jitter, partitions with scheduled heal, crash/restart) and/or
+// arms Byzantine replica harnesses, drives mixed read/write traffic through
+// both the fast-read-cache and ordered paths, and checks four invariants:
+//
+//   (a) the observed client history is linearizable — including fast reads,
+//   (b) replica states converge once the faults heal,
+//   (c) every client operation completes after the network quiesces,
+//   (d) no correct replica's certificate is rejected by a correct peer.
+//
+// Every failure message carries the seed and the drawn plan; rerunning the
+// named subtest reproduces the schedule exactly.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/troxy-bft/troxy/internal/app"
+	"github.com/troxy-bft/troxy/internal/faultplane"
+	"github.com/troxy-bft/troxy/internal/legacyclient"
+	"github.com/troxy-bft/troxy/internal/msg"
+	"github.com/troxy-bft/troxy/internal/simnet"
+	"github.com/troxy-bft/troxy/internal/workload"
+)
+
+// chaosOpts configures one chaos run.
+type chaosOpts struct {
+	seed int64
+	plan faultplane.Plan
+	// byz wraps the listed replicas' hosts with Byzantine message-level
+	// behaviors.
+	byz map[msg.NodeID]faultplane.Behavior
+	// wrongExec makes the listed replicas (by index) execute incorrectly:
+	// every result gains the marker suffix before its own Troxy tags it.
+	wrongExec map[int]string
+	// expectViolation inverts check (a): the run models more than f
+	// colluding replicas, so the linearizability checker MUST flag the
+	// history (the harness's negative control).
+	expectViolation bool
+}
+
+// chaosResult hands the cluster back for behavior-specific assertions.
+type chaosResult struct {
+	cl   *Cluster
+	hist *faultplane.History
+}
+
+func runChaos(t *testing.T, o chaosOpts) chaosResult {
+	t.Helper()
+
+	factory := app.NewStoreFactory()
+	if len(o.wrongExec) > 0 {
+		inner, next := factory, 0
+		factory = func() app.Application {
+			a := inner()
+			if m, ok := o.wrongExec[next]; ok {
+				a = &faultplane.WrongExec{Inner: a, Marker: m}
+			}
+			next++
+			return a
+		}
+	}
+
+	cl, err := NewCluster(ClusterConfig{
+		Mode:               ETroxy,
+		App:                factory,
+		Classify:           storeClassifier(),
+		FastReads:          true,
+		Seed:               o.seed,
+		CheckpointInterval: 8,
+		ViewChangeTimeout:  800 * time.Millisecond,
+		TickInterval:       20 * time.Millisecond,
+		QueryTimeout:       150 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := simnet.New(o.seed, nil)
+	net.SetDefaultLink(simnet.NormalLatency{
+		Mean: 2 * time.Millisecond, Stddev: time.Millisecond, Min: 100 * time.Microsecond,
+	})
+	for i, r := range cl.Replicas {
+		id := msg.NodeID(i)
+		if mode, ok := o.byz[id]; ok {
+			net.Attach(id, faultplane.NewByzantine(r, id, cl.Directory, mode))
+		} else {
+			net.Attach(id, r)
+		}
+	}
+	net.SetFault(faultplane.NewInjector(o.seed, o.plan))
+	faultplane.ScheduleCrashes(net, net, o.plan)
+
+	hist := &faultplane.History{}
+	const perMachine = 4
+	const opsPerClient = 8
+	var machines []*legacyclient.Machine
+	for i := 0; i < 2; i++ {
+		lc := legacyclient.New(legacyclient.Config{
+			Machine:       msg.NodeID(100 + i),
+			Clients:       perMachine,
+			FirstClientID: uint64(1000 * (i + 1)),
+			Replicas:      rotatedIDs(cl.ReplicaIDs(), i),
+			ServerPub:     cl.ServerPub,
+			Gen:           workload.KVGen{Keys: 5, ReadRatio: 0.6, ValueSize: 16},
+			MaxOps:        opsPerClient,
+			Timeout:       time.Second,
+			Observe:       hist.Observe,
+		})
+		machines = append(machines, lc)
+		net.Attach(msg.NodeID(100+i), lc)
+	}
+
+	// Main phase: the workload runs through the fault schedule and well past
+	// its end (plans quiesce within ~2s of virtual time).
+	net.Run(90 * time.Second)
+
+	fail := func(format string, args ...any) {
+		t.Helper()
+		t.Fatalf("%s\n  seed=%d plan=%s",
+			fmt.Sprintf(format, args...), o.seed, o.plan)
+	}
+
+	// (c) Liveness: every operation completed once the faults stopped.
+	for i, m := range machines {
+		if got, want := m.Done(), perMachine*opsPerClient; got != want {
+			fail("machine %d completed %d/%d operations", i, got, want)
+		}
+	}
+
+	// Settling phase: fresh traffic after the schedule ended lets a
+	// restarted replica reach a new stable checkpoint and state-transfer
+	// back in before convergence is judged.
+	settle := legacyclient.New(legacyclient.Config{
+		Machine:       102,
+		Clients:       2,
+		FirstClientID: 9000,
+		Replicas:      cl.ReplicaIDs(),
+		ServerPub:     cl.ServerPub,
+		Gen:           workload.KVGen{Keys: 5, ReadRatio: 0.4, ValueSize: 16},
+		MaxOps:        10,
+		Timeout:       time.Second,
+		Observe:       hist.Observe,
+	})
+	net.Attach(102, settle)
+	net.Run(150 * time.Second)
+	if got, want := settle.Done(), 2*10; got != want {
+		fail("settling machine completed %d/%d operations", got, want)
+	}
+
+	// (a) Safety: the complete observed history is linearizable.
+	err = faultplane.CheckLinearizable(hist.Ops())
+	if o.expectViolation {
+		if err == nil {
+			fail("collusion above f went undetected: %d-op history passed the linearizability check", hist.Len())
+		}
+		t.Logf("violation detected as required: %v", err)
+		return chaosResult{cl, hist}
+	}
+	if err != nil {
+		fail("history not linearizable: %v", err)
+	}
+
+	// (b) Convergence: every replica ends at the same application state
+	// (crashed replicas restarted before quiesce and must have caught up).
+	digest0 := app.StateDigest(cl.App(0))
+	for i := 1; i < cl.Config.N; i++ {
+		if app.StateDigest(cl.App(i)) != digest0 {
+			fail("replica %d state diverged from replica 0 after heal", i)
+		}
+	}
+
+	// (d) No correct-peer certificate rejected: rejections may only be
+	// attributed to Byzantine replicas.
+	for i := 0; i < cl.Config.N; i++ {
+		if _, bad := o.byz[msg.NodeID(i)]; bad {
+			continue
+		}
+		for j := 0; j < cl.Config.N; j++ {
+			if _, bad := o.byz[msg.NodeID(j)]; bad || i == j {
+				continue
+			}
+			if rej := cl.Replicas[i].Core().RejectedCertsFrom(msg.NodeID(j)); rej != 0 {
+				fail("replica %d rejected %d certificates from correct replica %d", i, rej, j)
+			}
+		}
+	}
+	return chaosResult{cl, hist}
+}
+
+// TestChaosNetworkFaults draws a full fault schedule per seed — transient
+// lossy/duplicating/corrupting links, a possible partition, a possible
+// crash/restart — with all replicas correct.
+func TestChaosNetworkFaults(t *testing.T) {
+	seeds := []int64{11, 12, 13, 14, 15, 16}
+	if testing.Short() {
+		seeds = seeds[:3]
+	}
+	ids := []msg.NodeID{0, 1, 2}
+	clients := []msg.NodeID{100, 101}
+	for _, seed := range seeds {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runChaos(t, chaosOpts{
+				seed: seed,
+				plan: faultplane.RandomPlan(seed, ids, clients, 2*time.Second),
+			})
+		})
+	}
+}
+
+// TestChaosByzantineReplica arms one faulty replica (f=1) with each harness
+// behavior. All four invariants must hold — the defenses mask the fault —
+// and each run additionally asserts the matching defense engaged.
+func TestChaosByzantineReplica(t *testing.T) {
+	t.Run("wrong-execution-masked", func(t *testing.T) {
+		// Replica 1 executes every request incorrectly; its own Troxy tags
+		// the wrong results, so they pass tag verification and must be
+		// outvoted by the f+1 matching-reply rule.
+		res := runChaos(t, chaosOpts{seed: 21, wrongExec: map[int]string{1: "#byz"}})
+		votes := uint64(0)
+		for i := 0; i < 3; i++ {
+			votes += res.cl.TroxyStats(i).VotesCompleted
+		}
+		if votes == 0 {
+			t.Error("no vote completed; wrong-execution run did not exercise the voter")
+		}
+	})
+
+	t.Run("corrupt-replies", func(t *testing.T) {
+		// Replica 1's host tampers with ordered replies after tagging; the
+		// voting Troxys must drop them on tag verification.
+		res := runChaos(t, chaosOpts{
+			seed: 22,
+			byz:  map[msg.NodeID]faultplane.Behavior{1: faultplane.CorruptReplies},
+		})
+		bad := uint64(0)
+		for i := 0; i < 3; i++ {
+			bad += res.cl.TroxyStats(i).BadReplies
+		}
+		if bad == 0 {
+			t.Error("no corrupted reply was dropped by tag verification")
+		}
+	})
+
+	t.Run("replay-stale-replies", func(t *testing.T) {
+		// Replica 1 re-sends each client's previous (authentically tagged)
+		// reply alongside the current one; the voter's request-digest
+		// binding must keep stale results out of the history.
+		runChaos(t, chaosOpts{
+			seed: 23,
+			byz:  map[msg.NodeID]faultplane.Behavior{1: faultplane.ReplayStaleReplies},
+		})
+	})
+
+	t.Run("equivocate-certs", func(t *testing.T) {
+		// Replica 1 mutates ordering messages toward higher-numbered peers
+		// while staying honest toward the rest; replica 2 must reject the
+		// mutations (certificate mismatch attributed to replica 1) and the
+		// protocol must stay live on honest traffic.
+		res := runChaos(t, chaosOpts{
+			seed: 24,
+			byz:  map[msg.NodeID]faultplane.Behavior{1: faultplane.EquivocateCerts},
+		})
+		if rej := res.cl.Replicas[2].Core().RejectedCertsFrom(1); rej == 0 {
+			t.Error("replica 2 rejected no certificates from the equivocating replica")
+		}
+	})
+}
+
+// TestChaosCollusionBeyondFDetected is the harness's negative control: with
+// f+1 = 2 replicas executing the same wrong results, the voter legitimately
+// reaches a quorum on corrupted data — no non-synchronous BFT protocol can
+// prevent that — and the linearizability checker MUST catch it. A checker
+// that passes here would be vacuous.
+func TestChaosCollusionBeyondFDetected(t *testing.T) {
+	runChaos(t, chaosOpts{
+		seed:            31,
+		wrongExec:       map[int]string{1: "#byz", 2: "#byz"},
+		expectViolation: true,
+	})
+}

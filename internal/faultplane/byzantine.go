@@ -1,0 +1,196 @@
+package faultplane
+
+import (
+	"github.com/troxy-bft/troxy/internal/app"
+	"github.com/troxy-bft/troxy/internal/authn"
+	"github.com/troxy-bft/troxy/internal/msg"
+	"github.com/troxy-bft/troxy/internal/node"
+)
+
+// Behavior selects Byzantine misbehaviors for a wrapped replica host.
+// Behaviors model what the paper's threat model grants the adversary on a
+// compromised replica: full control of the untrusted part — including the
+// replica's own transport MAC keys, which it may use to re-seal mutated
+// envelopes — but no access to the trusted subsystems, so Troxy group tags
+// and counter certificates cannot be forged, only misused or withheld.
+type Behavior uint8
+
+const (
+	// CorruptReplies tampers with the Result of outgoing ordered replies
+	// after the trusted part tagged them. The tag no longer matches, so the
+	// voting Troxy discards the reply (Stats.BadReplies) and completes the
+	// vote from the remaining correct executors.
+	CorruptReplies Behavior = 1 << iota
+
+	// ReplayStaleReplies re-sends each client's previous ordered reply next
+	// to the current one. The stale reply carries a valid tag for old
+	// content, so it passes tag verification and must be rejected by the
+	// voter's request-digest binding.
+	ReplayStaleReplies
+
+	// EquivocateCerts sends semantically mutated PREPARE/COMMIT messages
+	// (tampered batch payloads and digests, re-MACed so transport accepts
+	// them) to peers with higher IDs while staying honest toward the rest —
+	// the classic split the trusted counters exist to prevent. Correct
+	// receivers reject the stale-certified mutation (RejectedCertsFrom
+	// attributes it to this replica) and make progress on honest traffic.
+	EquivocateCerts
+)
+
+// Byzantine wraps a replica's handler, impersonating the compromised
+// untrusted host: messages the correct core sends are intercepted and
+// tampered with according to the selected behaviors.
+type Byzantine struct {
+	inner node.Handler
+	self  msg.NodeID
+	auth  *authn.Authenticator
+	mode  Behavior
+
+	// lastReply remembers, per client, the previous outgoing ordered reply
+	// for ReplayStaleReplies.
+	lastReply map[uint64]*msg.OrderedReply
+}
+
+var _ node.Handler = (*Byzantine)(nil)
+
+// NewByzantine wraps inner (the replica with node ID self) with the given
+// behaviors. dir provides the deployment's key material; the wrapper derives
+// the replica's own transport authenticator from it, exactly what a
+// compromised host legitimately possesses.
+func NewByzantine(inner node.Handler, self msg.NodeID, dir *authn.Directory, mode Behavior) *Byzantine {
+	return &Byzantine{
+		inner:     inner,
+		self:      self,
+		auth:      authn.NewAuthenticator(self, dir),
+		mode:      mode,
+		lastReply: make(map[uint64]*msg.OrderedReply),
+	}
+}
+
+// OnStart implements node.Handler.
+func (b *Byzantine) OnStart(env node.Env) { b.inner.OnStart(byzEnv{env, b}) }
+
+// OnEnvelope implements node.Handler.
+func (b *Byzantine) OnEnvelope(env node.Env, e *msg.Envelope) {
+	b.inner.OnEnvelope(byzEnv{env, b}, e)
+}
+
+// OnTimer implements node.Handler.
+func (b *Byzantine) OnTimer(env node.Env, key node.TimerKey) {
+	b.inner.OnTimer(byzEnv{env, b}, key)
+}
+
+// byzEnv intercepts the wrapped replica's sends.
+type byzEnv struct {
+	node.Env
+	b *Byzantine
+}
+
+func (e byzEnv) Send(env *msg.Envelope) { e.b.send(e.Env, env) }
+
+// sealSend re-encodes and re-MACs a (possibly mutated) message with the
+// host's own transport keys, then transmits it.
+func (b *Byzantine) sealSend(raw node.Env, to msg.NodeID, m msg.Message) {
+	e := msg.Seal(b.self, to, m)
+	b.auth.SealMAC(e)
+	raw.Send(e)
+}
+
+func (b *Byzantine) send(raw node.Env, e *msg.Envelope) {
+	switch e.Kind {
+	case msg.KindOrderedReply:
+		if b.mode&(CorruptReplies|ReplayStaleReplies) == 0 {
+			break
+		}
+		m, err := e.Open()
+		if err != nil {
+			break
+		}
+		rep, ok := m.(*msg.OrderedReply)
+		if !ok {
+			break
+		}
+		if b.mode&ReplayStaleReplies != 0 {
+			if old := b.lastReply[rep.Client]; old != nil && old.ClientSeq < rep.ClientSeq {
+				b.sealSend(raw, e.To, old)
+			}
+			cp := *rep
+			b.lastReply[rep.Client] = &cp
+		}
+		if b.mode&CorruptReplies != 0 {
+			// Mutate the result but keep the tag: the host cannot re-tag
+			// (the group secret lives inside the Troxy), so this is the
+			// strongest reply corruption available to it.
+			rep.Result = append(append([]byte(nil), rep.Result...), "#byz"...)
+			b.sealSend(raw, e.To, rep)
+			return
+		}
+	case msg.KindPrepare:
+		if b.mode&EquivocateCerts == 0 || e.To <= b.self {
+			break
+		}
+		m, err := e.Open()
+		if err != nil {
+			break
+		}
+		prep, ok := m.(*msg.Prepare)
+		if !ok {
+			break
+		}
+		if len(prep.Batch.Reqs) > 0 && len(prep.Batch.Reqs[0].Op) > 0 {
+			prep.Batch.Reqs[0].Op[0] ^= 0x01
+			b.sealSend(raw, e.To, prep)
+			return
+		}
+	case msg.KindCommit:
+		if b.mode&EquivocateCerts == 0 || e.To <= b.self {
+			break
+		}
+		m, err := e.Open()
+		if err != nil {
+			break
+		}
+		com, ok := m.(*msg.Commit)
+		if !ok {
+			break
+		}
+		com.BatchDigest[0] ^= 0x01
+		b.sealSend(raw, e.To, com)
+		return
+	}
+	raw.Send(e)
+}
+
+// WrongExec wraps an application to model a Byzantine replica whose
+// untrusted host executes requests incorrectly: every result is tampered
+// with before it reaches the replica's own (correct) Troxy, which therefore
+// tags a wrong-but-authentic reply and poisons its own fast-read cache. The
+// voting Troxy must mask it by the f+1 matching-reply rule; a poisoned cache
+// confirmation must trip the fast-read mismatch fallback. Snapshot, Restore
+// and Keys delegate unchanged, so checkpoints and state convergence among
+// correct replicas are unaffected.
+type WrongExec struct {
+	Inner app.Application
+	// Marker is appended to every result. Give f+1 replicas the same marker
+	// to model collusion that defeats voting (the negative test).
+	Marker string
+}
+
+var _ app.Application = (*WrongExec)(nil)
+
+// Execute implements app.Application, corrupting the result.
+func (w *WrongExec) Execute(op []byte) []byte {
+	return append(append([]byte(nil), w.Inner.Execute(op)...), w.Marker...)
+}
+
+// IsRead implements app.Application.
+func (w *WrongExec) IsRead(op []byte) bool { return w.Inner.IsRead(op) }
+
+// Keys implements app.Application.
+func (w *WrongExec) Keys(op []byte) []string { return w.Inner.Keys(op) }
+
+// Snapshot implements app.Application.
+func (w *WrongExec) Snapshot() []byte { return w.Inner.Snapshot() }
+
+// Restore implements app.Application.
+func (w *WrongExec) Restore(snap []byte) error { return w.Inner.Restore(snap) }

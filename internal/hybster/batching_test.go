@@ -17,8 +17,8 @@ import (
 // without peers.
 type discardOut struct{}
 
-func (discardOut) Send(node.Env, msg.NodeID, msg.Message)                          {}
-func (discardOut) Committed(node.Env, uint64, *msg.OrderRequest, []byte, []string, bool) {}
+func (discardOut) Send(node.Env, msg.NodeID, msg.Message)                                      {}
+func (discardOut) Committed(node.Env, uint64, *msg.OrderRequest, []byte, []string, bool, bool) {}
 
 // certificationsWithBatchSize drives nReqs distinct client requests into a
 // stand-alone leader core and reports how many trusted-counter certifications

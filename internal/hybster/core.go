@@ -93,8 +93,10 @@ type Outbound interface {
 	// Committed reports the execution of a request. keys lists the state
 	// parts the operation touched: for writes the Troxy invalidates cache
 	// entries under them, for reads the voting Troxy indexes the cache
-	// entry it installs.
-	Committed(env node.Env, seq uint64, req *msg.OrderRequest, result []byte, keys []string, read bool)
+	// entry it installs. fresh distinguishes a first execution from a
+	// reply-cache replay answering a client retransmission: a replayed read
+	// result may predate later writes and must not repopulate any cache.
+	Committed(env node.Env, seq uint64, req *msg.OrderRequest, result []byte, keys []string, read, fresh bool)
 }
 
 // Metrics counts protocol events for tests and experiments. Proposed and
@@ -206,6 +208,12 @@ type Core struct {
 	fetching       bool
 
 	metrics Metrics
+
+	// rejectedBy attributes certificate rejections to the claimed message
+	// source, so fault-injection suites can separate expected rejections (a
+	// Byzantine peer's tampered messages) from protocol bugs (a correct
+	// peer's certificate refused).
+	rejectedBy map[msg.NodeID]uint64
 }
 
 const (
@@ -270,6 +278,20 @@ func (c *Core) LastExecuted() uint64 { return c.lastExec }
 // Metrics returns a copy of the protocol counters.
 func (c *Core) Metrics() Metrics { return c.metrics }
 
+// rejectCert counts a rejected certificate and attributes it to the claimed
+// source of the carrying message.
+func (c *Core) rejectCert(from msg.NodeID) {
+	c.metrics.RejectedCerts++
+	if c.rejectedBy == nil {
+		c.rejectedBy = make(map[msg.NodeID]uint64)
+	}
+	c.rejectedBy[from]++
+}
+
+// RejectedCertsFrom returns how many certificates carried by messages
+// claiming to come from source were rejected.
+func (c *Core) RejectedCertsFrom(source msg.NodeID) uint64 { return c.rejectedBy[source] }
+
 // quorum is the certificate size: f+1 distinct replicas.
 func (c *Core) quorum() int { return c.cfg.F + 1 }
 
@@ -308,7 +330,7 @@ func (c *Core) Submit(env node.Env, req *msg.OrderRequest) {
 			// Retransmission: replay the cached reply locally, and let the
 			// peers replay theirs too — the origin's voter needs f+1 fresh
 			// replies, not just ours.
-			c.out.Committed(env, rec.seq, req, rec.result, rec.keys, rec.read)
+			c.out.Committed(env, rec.seq, req, rec.result, rec.keys, rec.read, false)
 			fwd := &msg.Forward{Req: *req}
 			for i := 0; i < c.cfg.N; i++ {
 				if to := msg.NodeID(i); to != c.cfg.Self {
@@ -484,7 +506,7 @@ func (c *Core) OnForward(env node.Env, from msg.NodeID, fwd *msg.Forward) {
 	req := fwd.Req
 	if rec, ok := c.clients[req.Client]; ok && req.ClientSeq <= rec.lastSeq {
 		if req.ClientSeq == rec.lastSeq {
-			c.out.Committed(env, rec.seq, &req, rec.result, rec.keys, rec.read)
+			c.out.Committed(env, rec.seq, &req, rec.result, rec.keys, rec.read, false)
 		}
 		return
 	}
@@ -539,7 +561,7 @@ func (c *Core) OnPrepare(env node.Env, from msg.NodeID, prep *msg.Prepare) {
 		return
 	}
 	if from != c.Leader(c.view) || prep.Cert.Replica != from {
-		c.metrics.RejectedCerts++
+		c.rejectCert(from)
 		return
 	}
 	reqDigests := prep.Batch.ReqDigests()
@@ -551,12 +573,12 @@ func (c *Core) OnPrepare(env node.Env, from msg.NodeID, prep *msg.Prepare) {
 		env.Charge(c.cfg.Profile, node.ChargeMAC, opLen)
 	}
 	if !c.cfg.Authority.Verify(prep.Cert, prepareDigest(prep.View, prep.Seq, batchDigest)) {
-		c.metrics.RejectedCerts++
+		c.rejectCert(from)
 		return
 	}
 	c.chargeCounterOp(env)
 	if prep.Cert.Counter != tcounter.OrderCounter(c.view) || prep.Cert.Value != prep.Seq {
-		c.metrics.RejectedCerts++
+		c.rejectCert(from)
 		return
 	}
 	// Continuity: process prepares in counter order so the leader cannot
@@ -627,16 +649,16 @@ func (c *Core) OnCommit(env node.Env, from msg.NodeID, com *msg.Commit) {
 		return
 	}
 	if com.Cert.Replica != from || from == c.cfg.Self {
-		c.metrics.RejectedCerts++
+		c.rejectCert(from)
 		return
 	}
 	if !c.cfg.Authority.Verify(com.Cert, commitDigest(com.View, com.Seq, com.BatchDigest)) {
-		c.metrics.RejectedCerts++
+		c.rejectCert(from)
 		return
 	}
 	c.chargeCounterOp(env)
 	if com.Cert.Counter != tcounter.OrderCounter(c.view) || com.Cert.Value != com.Seq {
-		c.metrics.RejectedCerts++
+		c.rejectCert(from)
 		return
 	}
 	next := c.nextCommitValue[from]
@@ -677,7 +699,7 @@ func (c *Core) acceptCommit(env node.Env, from msg.NodeID, com *msg.Commit) {
 		// A conflicting commit for a certified prepare can only come from a
 		// faulty replica; the certificate pins it to its counter, so just
 		// ignore it.
-		c.metrics.RejectedCerts++
+		c.rejectCert(from)
 		return
 	}
 	e.vouchers[from] = struct{}{}
@@ -746,7 +768,7 @@ func (c *Core) execute(env node.Env, e *entry) {
 		rec.seq = e.seq
 
 		c.metrics.Executed++
-		c.out.Committed(env, e.seq, req, result, keys, read)
+		c.out.Committed(env, e.seq, req, result, keys, read, true)
 	}
 	c.maybeCheckpoint(env)
 }

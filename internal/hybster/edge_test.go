@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/troxy-bft/troxy/internal/faultplane"
 	"github.com/troxy-bft/troxy/internal/msg"
 	"github.com/troxy-bft/troxy/internal/node"
 	"github.com/troxy-bft/troxy/internal/simnet"
@@ -209,3 +210,52 @@ func TestOwnsTimer(t *testing.T) {
 }
 
 func timerKeyOf(kind string) node.TimerKey { return node.TimerKey{Kind: kind} }
+
+// TestViewChangeUnderAsymmetricPartition cuts only the leader->replica-2
+// direction: replica 2 still hears commits and can reach everyone, but never
+// receives PREPAREs, so it starves and votes for view 1. A single certified
+// VIEW-CHANGE drags replica 1 in, replica 1 (= Leader(1)) installs the new
+// view, and once the partition heals all three replicas converge under the
+// new leader with no request lost or executed twice.
+func TestViewChangeUnderAsymmetricPartition(t *testing.T) {
+	cl := newCluster(t, 3, nil, opScript(12)...)
+	cl.net.Run(40 * time.Millisecond)
+
+	now := cl.net.Now()
+	cl.net.SetFault(faultplane.NewInjector(1, faultplane.Plan{
+		Partitions: []faultplane.Partition{{
+			Start:  now,
+			Heal:   now + 4*time.Second,
+			A:      []msg.NodeID{0},
+			B:      []msg.NodeID{2},
+			OneWay: true,
+		}},
+	}))
+	cl.net.Run(60 * time.Second)
+
+	if !cl.client.done {
+		t.Fatalf("client finished %d/%d ops under asymmetric partition",
+			cl.client.current, len(cl.client.ops))
+	}
+	for i, r := range cl.replicas {
+		if r.core.View() == 0 {
+			t.Errorf("replica %d still in view 0", i)
+		}
+		assertNoDuplicateExecutions(t, r)
+	}
+	// The starved replica caught up after the heal: states converged.
+	if !bytes.Equal(cl.apps[0].Snapshot(), cl.apps[1].Snapshot()) ||
+		!bytes.Equal(cl.apps[1].Snapshot(), cl.apps[2].Snapshot()) {
+		t.Error("replica states diverged after partition heal")
+	}
+	// The view change was driven by starvation, not crashes: no correct
+	// replica's certificates were rejected anywhere.
+	for i, r := range cl.replicas {
+		for j := range cl.replicas {
+			if i != j && r.core.RejectedCertsFrom(msg.NodeID(j)) != 0 {
+				t.Errorf("replica %d rejected %d certs from correct replica %d",
+					i, r.core.RejectedCertsFrom(msg.NodeID(j)), j)
+			}
+		}
+	}
+}

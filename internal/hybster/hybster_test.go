@@ -78,7 +78,7 @@ func (r *testReplica) Send(env node.Env, to msg.NodeID, m msg.Message) {
 	env.Send(msg.Seal(r.id, to, m))
 }
 
-func (r *testReplica) Committed(env node.Env, seq uint64, req *msg.OrderRequest, result []byte, _ []string, _ bool) {
+func (r *testReplica) Committed(env node.Env, seq uint64, req *msg.OrderRequest, result []byte, _ []string, _, _ bool) {
 	r.executed = append(r.executed, execRecord{
 		seq: seq, client: req.Client, clientSeq: req.ClientSeq, result: string(result),
 	})

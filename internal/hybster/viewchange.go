@@ -107,7 +107,7 @@ func (c *Core) OnViewChange(env node.Env, from msg.NodeID, vc *msg.ViewChange) {
 		return
 	}
 	if !c.verifyViewChange(env, vc) {
-		c.metrics.RejectedCerts++
+		c.rejectCert(from)
 		return
 	}
 	c.recordViewChange(env, vc)
@@ -171,7 +171,7 @@ func (c *Core) OnNewView(env node.Env, from msg.NodeID, nv *msg.NewView) {
 		return
 	}
 	if nv.Leader != from || c.Leader(nv.View) != from {
-		c.metrics.RejectedCerts++
+		c.rejectCert(from)
 		return
 	}
 	digest := sha256.Sum256(nv.CertInput())
@@ -179,7 +179,7 @@ func (c *Core) OnNewView(env node.Env, from msg.NodeID, nv *msg.NewView) {
 		nv.Cert.Counter != tcounter.NewViewCounter ||
 		nv.Cert.Value != nv.View ||
 		!c.cfg.Authority.Verify(nv.Cert, digest) {
-		c.metrics.RejectedCerts++
+		c.rejectCert(from)
 		return
 	}
 	c.chargeCounterOp(env)
@@ -187,13 +187,13 @@ func (c *Core) OnNewView(env node.Env, from msg.NodeID, nv *msg.NewView) {
 	for i := range nv.ViewChanges {
 		vc := &nv.ViewChanges[i]
 		if vc.NewView != nv.View || !c.verifyViewChange(env, vc) {
-			c.metrics.RejectedCerts++
+			c.rejectCert(from)
 			return
 		}
 		seen[vc.Replica] = struct{}{}
 	}
 	if len(seen) < c.quorum() {
-		c.metrics.RejectedCerts++
+		c.rejectCert(from)
 		return
 	}
 	c.installView(env, nv)

@@ -5,6 +5,7 @@ import (
 	"crypto/rand"
 	"errors"
 	"fmt"
+	mrand "math/rand"
 	"net"
 	"time"
 
@@ -28,7 +29,22 @@ type TCPClient struct {
 	conn net.Conn
 	sess *securechannel.Session
 	seq  uint64
+
+	// backoff is the current retry delay: it grows exponentially (with
+	// jitter, capped at dialBackoffMax) across failed attempts so a
+	// fully-partitioned client doesn't hot-loop, and resets on the next
+	// successful request.
+	backoff time.Duration
+	rng     *mrand.Rand
+	sleepFn func(time.Duration) // test seam; nil means time.Sleep
 }
+
+// Reconnect backoff bounds. The first retry waits around dialBackoffMin;
+// each subsequent failure doubles the delay up to dialBackoffMax.
+const (
+	dialBackoffMin = 20 * time.Millisecond
+	dialBackoffMax = 2 * time.Second
+)
 
 // ErrExhausted reports that all replica addresses failed.
 var ErrExhausted = errors.New("legacyclient: all replicas failed")
@@ -125,21 +141,49 @@ func (c *TCPClient) Request(op []byte, readOnly bool) ([]byte, error) {
 	attempts := 2 * len(c.addrs)
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			c.backoffSleep()
+		}
 		if c.sess == nil {
 			if err := c.reconnect(); err != nil {
-				return nil, err
+				lastErr = err
+				continue
 			}
 		}
 		result, err := c.tryOnce(plaintext)
 		if err == nil {
+			c.backoff = 0
 			return result, nil
 		}
 		lastErr = err
 		if err := c.reconnect(); err != nil {
-			return nil, err
+			lastErr = err
 		}
 	}
 	return nil, fmt.Errorf("%w: %v", ErrExhausted, lastErr)
+}
+
+// backoffSleep pauses before the next attempt, doubling the delay (with
+// jitter in [backoff/2, backoff]) up to dialBackoffMax. The delay carries
+// over across Request calls until a request succeeds.
+func (c *TCPClient) backoffSleep() {
+	if c.backoff == 0 {
+		c.backoff = dialBackoffMin
+	} else if c.backoff < dialBackoffMax {
+		c.backoff *= 2
+		if c.backoff > dialBackoffMax {
+			c.backoff = dialBackoffMax
+		}
+	}
+	if c.rng == nil {
+		c.rng = mrand.New(mrand.NewSource(time.Now().UnixNano()))
+	}
+	d := c.backoff/2 + time.Duration(c.rng.Int63n(int64(c.backoff)/2+1))
+	if c.sleepFn != nil {
+		c.sleepFn(d)
+	} else {
+		time.Sleep(d)
+	}
 }
 
 func (c *TCPClient) tryOnce(plaintext []byte) ([]byte, error) {

@@ -1,0 +1,59 @@
+package legacyclient
+
+import (
+	"errors"
+	mrand "math/rand"
+	"testing"
+	"time"
+)
+
+// TestRequestBackoffGrows drives Request against dead addresses and checks
+// the retry delays: jittered (each in [backoff/2, backoff]), exponentially
+// growing, and capped at dialBackoffMax.
+func TestRequestBackoffGrows(t *testing.T) {
+	var sleeps []time.Duration
+	c := &TCPClient{
+		addrs:   []string{"127.0.0.1:1", "127.0.0.1:1", "127.0.0.1:1"},
+		timeout: 50 * time.Millisecond,
+		rng:     mrand.New(mrand.NewSource(1)),
+		sleepFn: func(d time.Duration) { sleeps = append(sleeps, d) },
+	}
+	if _, err := c.Request([]byte("op"), false); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("Request against dead addresses: err = %v, want ErrExhausted", err)
+	}
+	// attempts = 2*len(addrs); a sleep precedes every attempt but the first.
+	if want := 2*len(c.addrs) - 1; len(sleeps) != want {
+		t.Fatalf("recorded %d sleeps, want %d", len(sleeps), want)
+	}
+	level := dialBackoffMin
+	for i, d := range sleeps {
+		if d < level/2 || d > level {
+			t.Errorf("sleep %d = %v, want within [%v, %v]", i, d, level/2, level)
+		}
+		if i > 0 && d < sleeps[i-1]/2 {
+			t.Errorf("sleep %d = %v shrank below half of previous %v", i, d, sleeps[i-1])
+		}
+		if level < dialBackoffMax {
+			level *= 2
+			if level > dialBackoffMax {
+				level = dialBackoffMax
+			}
+		}
+	}
+
+	// A second failing Request keeps growing from where it left off until
+	// the cap.
+	before := c.backoff
+	if _, err := c.Request([]byte("op"), false); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("second Request: err = %v, want ErrExhausted", err)
+	}
+	if c.backoff < before || c.backoff > dialBackoffMax {
+		t.Errorf("backoff after second failing Request = %v, want in [%v, %v]",
+			c.backoff, before, dialBackoffMax)
+	}
+	for _, d := range sleeps {
+		if d > dialBackoffMax {
+			t.Errorf("sleep %v exceeds cap %v", d, dialBackoffMax)
+		}
+	}
+}

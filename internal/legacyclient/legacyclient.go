@@ -60,6 +60,13 @@ type Config struct {
 	// HTTP switches the channel payload from the generic framing to raw
 	// HTTP/1.1 (responses are delimited by Content-Length).
 	HTTP bool
+
+	// Observe, when set, receives every completed operation with the result
+	// the client accepted and its invocation/response times (runtime clock).
+	// Chaos suites collect linearizability histories through it. The op and
+	// result slices are only valid during the call; the callback must copy
+	// what it keeps.
+	Observe func(client, seq uint64, op []byte, read bool, invoked, responded time.Duration, result []byte)
 }
 
 const (
@@ -282,7 +289,7 @@ func (m *Machine) OnEnvelope(env node.Env, e *msg.Envelope) {
 			return
 		}
 		cs.respBuf = cs.respBuf[consumed:]
-		m.complete(env, cs)
+		m.complete(env, cs, resp)
 		return
 	}
 
@@ -290,10 +297,10 @@ func (m *Machine) OnEnvelope(env node.Env, e *msg.Envelope) {
 	if err != nil || reply.Seq != cs.seq || !cs.inflight {
 		return
 	}
-	m.complete(env, cs)
+	m.complete(env, cs, reply.Result)
 }
 
-func (m *Machine) complete(env node.Env, cs *clientState) {
+func (m *Machine) complete(env node.Env, cs *clientState, result []byte) {
 	if !cs.inflight {
 		return
 	}
@@ -302,6 +309,11 @@ func (m *Machine) complete(env node.Env, cs *clientState) {
 	env.CancelTimer(node.TimerKey{Kind: timerOp, ID: uint64(cs.idx)})
 	if m.cfg.Rec != nil {
 		m.cfg.Rec.Record(env.Now(), env.Now()-cs.started, cs.op.Read)
+	}
+	if m.cfg.Observe != nil {
+		// started is the first transmission of this op: failover retransmits
+		// keep it, so the invocation window is conservative (never shrunk).
+		m.cfg.Observe(cs.identity, cs.seq, cs.op.Op, cs.op.Read, cs.started, env.Now(), result)
 	}
 	m.nextOp(env, cs)
 }

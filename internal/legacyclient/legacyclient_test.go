@@ -163,8 +163,13 @@ func TestTCPClientAgainstRealCluster(t *testing.T) {
 		t.Fatalf("PUT after crash: %q, %v", res, err)
 	}
 	router.Restore(0)
+	// The failed attempts above grew the retry backoff; a successful request
+	// must reset it.
 	if res, err := client.Request([]byte("GET a"), true); err != nil || string(res) != "VALUE 2" {
 		t.Fatalf("GET after failover: %q, %v", res, err)
+	}
+	if client.backoff != 0 {
+		t.Errorf("backoff after successful request = %v, want 0", client.backoff)
 	}
 }
 

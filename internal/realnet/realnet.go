@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/troxy-bft/troxy/internal/faultplane"
 	"github.com/troxy-bft/troxy/internal/msg"
 	"github.com/troxy-bft/troxy/internal/node"
 )
@@ -24,6 +25,7 @@ type Router struct {
 
 	mu      sync.Mutex
 	nodes   map[msg.NodeID]*realNode
+	fault   faultplane.Judge
 	remote  func(*msg.Envelope)
 	logOut  io.Writer
 	crashed map[msg.NodeID]bool
@@ -133,10 +135,50 @@ func (r *Router) Restore(id msg.NodeID) {
 	delete(r.crashed, id)
 }
 
+// SetFault installs a fault judge consulted on every Send (nil disables).
+// The judge sees wall-clock time since the router started; its lock makes it
+// safe under the router's concurrency.
+func (r *Router) SetFault(j faultplane.Judge) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.fault = j
+}
+
 // Send routes an envelope to a local node or through the remote sender.
 // Unroutable envelopes are dropped silently (the network is asynchronous and
 // unreliable; protocols own their retransmissions).
 func (r *Router) Send(e *msg.Envelope) {
+	r.mu.Lock()
+	fault := r.fault
+	blocked := r.closed || r.crashed[e.To]
+	r.mu.Unlock()
+	if blocked {
+		return
+	}
+
+	if fault != nil {
+		d := fault.Judge(time.Since(r.start), e.From, e.To, e.Kind)
+		if d.Drop {
+			return
+		}
+		if d.Corrupt {
+			e = faultplane.CorruptCopy(e)
+		}
+		if d.Duplicate {
+			r.deliver(faultplane.CloneEnvelope(e))
+		}
+		if d.Delay > 0 {
+			// Deliver later without judging again; deliver re-checks
+			// closed/crashed at fire time.
+			delayed := e
+			time.AfterFunc(d.Delay, func() { r.deliver(delayed) })
+			return
+		}
+	}
+	r.deliver(e)
+}
+
+func (r *Router) deliver(e *msg.Envelope) {
 	r.mu.Lock()
 	if r.closed || r.crashed[e.To] {
 		r.mu.Unlock()

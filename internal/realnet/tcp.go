@@ -3,6 +3,7 @@ package realnet
 import (
 	"bufio"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -26,6 +27,7 @@ type Bridge struct {
 	mu       sync.Mutex
 	addrs    map[msg.NodeID]string
 	conns    map[string]*bridgeConn
+	inbound  map[net.Conn]struct{}
 	listener net.Listener
 	closed   bool
 
@@ -42,6 +44,15 @@ const bridgeQueueLen = 4096
 // write instead of one syscall per envelope.
 const bridgeBufSize = 64 << 10
 
+// Dial backoff bounds: a failed dial is retried with jittered exponential
+// backoff while the frame that triggered it (and everything queued behind
+// it) waits in the outbound queue, instead of being dropped silently. The
+// queue bounds memory; only overflow drops frames, and those are counted.
+const (
+	bridgeBackoffMin = 25 * time.Millisecond
+	bridgeBackoffMax = 2 * time.Second
+)
+
 // bridgeConn is one outbound peer connection. Senders enqueue encoded
 // frames; a dedicated writer goroutine owns the socket, writes frames
 // through a bufio.Writer, and flushes when idle.
@@ -49,6 +60,12 @@ type bridgeConn struct {
 	mu     sync.Mutex
 	closed bool
 	out    chan []byte
+	done   chan struct{} // closed with the conn; interrupts dial backoff
+
+	// drops counts frames dropped on queue overflow (the peer has been
+	// unreachable long enough to fill the queue), exposed per peer through
+	// Bridge.Drops like Gateway.SendFailures.
+	drops atomic.Uint64
 }
 
 func (bc *bridgeConn) enqueue(frame []byte) {
@@ -59,7 +76,8 @@ func (bc *bridgeConn) enqueue(frame []byte) {
 	}
 	select {
 	case bc.out <- frame:
-	default: // queue full: drop
+	default: // queue full: drop, but keep count
+		bc.drops.Add(1)
 	}
 }
 
@@ -69,6 +87,20 @@ func (bc *bridgeConn) close() {
 	if !bc.closed {
 		bc.closed = true
 		close(bc.out)
+		close(bc.done)
+	}
+}
+
+// sleep waits for d or until the connection is torn down; it reports whether
+// the writer should keep going.
+func (bc *bridgeConn) sleep(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-bc.done:
+		return false
 	}
 }
 
@@ -89,14 +121,32 @@ func (bc *bridgeConn) writeLoop(addr string) {
 			conn.Close()
 		}
 	}()
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	backoff := time.Duration(0)
 	for frame := range bc.out {
-		if conn == nil {
+		for conn == nil {
 			c, err := net.DialTimeout("tcp", addr, 3*time.Second)
-			if err != nil {
-				continue // drop frame; retry dial on the next one
+			if err == nil {
+				conn = c
+				bw = bufio.NewWriterSize(conn, bridgeBufSize)
+				backoff = 0
+				break
 			}
-			conn = c
-			bw = bufio.NewWriterSize(conn, bridgeBufSize)
+			// Redial with jittered exponential backoff, keeping the frame:
+			// the peer may simply not be up yet, and dropping here would
+			// silently lose every frame sent before it starts.
+			if backoff == 0 {
+				backoff = bridgeBackoffMin
+			} else if backoff < bridgeBackoffMax {
+				backoff *= 2
+				if backoff > bridgeBackoffMax {
+					backoff = bridgeBackoffMax
+				}
+			}
+			wait := backoff/2 + time.Duration(rng.Int63n(int64(backoff)/2+1))
+			if !bc.sleep(wait) {
+				return // bridge closed while the peer was unreachable
+			}
 		}
 		if err := wire.WriteFrame(bw, frame); err != nil {
 			fail()
@@ -129,9 +179,10 @@ func (bc *bridgeConn) writeLoop(addr string) {
 // installs itself as the router's remote sender.
 func NewBridge(router *Router, addrs map[msg.NodeID]string) *Bridge {
 	b := &Bridge{
-		router: router,
-		addrs:  make(map[msg.NodeID]string, len(addrs)),
-		conns:  make(map[string]*bridgeConn),
+		router:  router,
+		addrs:   make(map[msg.NodeID]string, len(addrs)),
+		conns:   make(map[string]*bridgeConn),
+		inbound: make(map[net.Conn]struct{}),
 	}
 	for id, a := range addrs {
 		b.addrs[id] = a
@@ -159,9 +210,22 @@ func (b *Bridge) Listen(addr string) error {
 			if err != nil {
 				return // listener closed
 			}
+			b.mu.Lock()
+			if b.closed {
+				b.mu.Unlock()
+				conn.Close()
+				return
+			}
+			b.inbound[conn] = struct{}{}
+			b.mu.Unlock()
 			b.wg.Add(1)
 			go func() {
 				defer b.wg.Done()
+				defer func() {
+					b.mu.Lock()
+					delete(b.inbound, conn)
+					b.mu.Unlock()
+				}()
 				b.readLoop(conn)
 			}()
 		}
@@ -209,7 +273,7 @@ func (b *Bridge) send(e *msg.Envelope) {
 	}
 	bc, ok := b.conns[addr]
 	if !ok {
-		bc = &bridgeConn{out: make(chan []byte, bridgeQueueLen)}
+		bc = &bridgeConn{out: make(chan []byte, bridgeQueueLen), done: make(chan struct{})}
 		b.conns[addr] = bc
 		b.wg.Add(1)
 		go func() {
@@ -220,6 +284,18 @@ func (b *Bridge) send(e *msg.Envelope) {
 	b.mu.Unlock()
 
 	bc.enqueue(msg.EncodeEnvelope(e))
+}
+
+// Drops returns, per peer address, how many outbound frames were dropped on
+// queue overflow (the peer was unreachable long enough to fill the queue).
+func (b *Bridge) Drops() map[string]uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make(map[string]uint64, len(b.conns))
+	for addr, bc := range b.conns {
+		out[addr] = bc.drops.Load()
+	}
+	return out
 }
 
 // Close shuts the bridge down and waits for its goroutines.
@@ -233,6 +309,10 @@ func (b *Bridge) Close() {
 	l := b.listener
 	conns := b.conns
 	b.conns = make(map[string]*bridgeConn)
+	inbound := make([]net.Conn, 0, len(b.inbound))
+	for conn := range b.inbound {
+		inbound = append(inbound, conn)
+	}
 	b.mu.Unlock()
 
 	if l != nil {
@@ -240,6 +320,11 @@ func (b *Bridge) Close() {
 	}
 	for _, bc := range conns {
 		bc.close()
+	}
+	// Tear down accepted peer connections too: their read loops would
+	// otherwise keep Close waiting until the remote side hangs up.
+	for _, conn := range inbound {
+		conn.Close()
 	}
 	b.wg.Wait()
 }

@@ -272,7 +272,7 @@ func (r *Replica) Send(env node.Env, to msg.NodeID, m msg.Message) {
 // reply toward its origin. In Troxy mode the reply is authenticated by this
 // replica's Troxy — which also invalidates outdated cache entries before the
 // reply can count anywhere (Section IV-A).
-func (r *Replica) Committed(env node.Env, seq uint64, req *msg.OrderRequest, result []byte, keys []string, read bool) {
+func (r *Replica) Committed(env node.Env, seq uint64, req *msg.OrderRequest, result []byte, keys []string, read, fresh bool) {
 	if req.Origin == msg.NoNode {
 		return
 	}
@@ -299,7 +299,7 @@ func (r *Replica) Committed(env node.Env, seq uint64, req *msg.OrderRequest, res
 	}
 	opHash := msg.DigestOf(req.Op)
 	env.Charge(node.ProfileJava, node.ChargeHash, len(req.Op))
-	if err := r.proxy.AuthenticateReply(env, rep, read, opHash); err != nil {
+	if err := r.proxy.AuthenticateReply(env, rep, read, fresh, opHash); err != nil {
 		env.Logf("troxy: authenticate reply: %v", err)
 		return
 	}

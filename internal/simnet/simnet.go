@@ -18,6 +18,7 @@ import (
 	"math/rand"
 	"time"
 
+	"github.com/troxy-bft/troxy/internal/faultplane"
 	"github.com/troxy-bft/troxy/internal/msg"
 	"github.com/troxy-bft/troxy/internal/node"
 )
@@ -138,6 +139,11 @@ type Stats struct {
 	Delivered uint64
 	Dropped   uint64
 	Bytes     uint64
+
+	// Fault-injection counters (see SetFault): messages duplicated and
+	// corrupted by the installed judge. Injected drops count into Dropped.
+	Duplicated uint64
+	Corrupted  uint64
 }
 
 // Network is a deterministic discrete-event runtime.
@@ -147,6 +153,7 @@ type Network struct {
 	links    map[[2]msg.NodeID]LatencyModel
 	fifoLast map[[2]msg.NodeID]time.Duration
 	defLink  LatencyModel
+	fault    faultplane.Judge
 	events   eventHeap
 	now      time.Duration
 	seq      uint64
@@ -200,6 +207,12 @@ func (n *Network) AttachConfig(id msg.NodeID, h node.Handler, cfg NodeConfig) {
 	n.nodes[id] = sn
 	n.invoke(sn, n.now, func(env node.Env) { h.OnStart(env) })
 }
+
+// SetFault installs a fault judge consulted on every transmission (nil
+// disables). The judge sees virtual time, so decisions — and therefore the
+// whole simulation — stay deterministic for a given seed and schedule.
+// Installing one mid-run is deterministic when done from an At callback.
+func (n *Network) SetFault(j faultplane.Judge) { n.fault = j }
 
 // SetDefaultLink sets the latency model for all links without an explicit
 // override.
@@ -417,6 +430,28 @@ func (n *Network) transmit(from *simNode, env *msg.Envelope, t time.Duration) {
 		arrive = last
 	}
 	n.fifoLast[key] = arrive
+
+	if n.fault != nil {
+		d := n.fault.Judge(t, env.From, env.To, env.Kind)
+		if d.Drop {
+			n.stats.Dropped++
+			return
+		}
+		if d.Corrupt {
+			env = faultplane.CorruptCopy(env)
+			n.stats.Corrupted++
+		}
+		if d.Duplicate {
+			// The copy arrives undelayed, so a delayed original also yields
+			// a reordered pair.
+			n.stats.Duplicated++
+			n.push(&event{at: arrive, kind: evDeliver, to: env.To, env: faultplane.CloneEnvelope(env)})
+		}
+		// Extra delay is applied after the FIFO point above and not written
+		// back to fifoLast: later messages on the link can overtake, which
+		// is exactly the reordering fault.
+		arrive += d.Delay
+	}
 	n.push(&event{at: arrive, kind: evDeliver, to: env.To, env: env})
 }
 

@@ -204,6 +204,13 @@ type Core struct {
 	cache   *Cache
 	monitor *Monitor
 
+	// lastWriteSeq is the highest sequence number of a write this replica
+	// has executed (observed through AuthenticateReply). Read results from
+	// older sequence numbers — cached-reply replays answering client
+	// retransmissions — may predate those writes and must never (re)enter
+	// the fast-read cache.
+	lastWriteSeq uint64
+
 	stats Stats
 }
 
@@ -464,23 +471,32 @@ func (c *Core) chooseReplicas(k int) []msg.NodeID {
 // the tag the reply cannot count toward any voter's quorum, so every
 // completed write implies f+1 invalidated caches (Section IV-A).
 //
-// Read replies populate this Troxy's cache with the *local* execution
+// Fresh read replies populate this Troxy's cache with the *local* execution
 // result, keyed by the operation digest. This only risks this replica's own
 // entry: a fast read counts an entry only when it matches the voting
 // Troxy's voted-correct local copy, so a faulty replica poisoning its own
 // cache can cause fallbacks (a performance attack the random selection and
 // the monitor blunt) but never wrong results.
-func (c *Core) AuthenticateReply(rep *msg.OrderedReply, read bool, opHash msg.Digest) error {
+//
+// Replayed replies (fresh == false, answering a client retransmission) are
+// tagged but never cached: their result is current as of the original
+// execution, and re-inserting it would resurrect entries that writes
+// executed since have invalidated — turning a harmless retransmission into
+// a stale fast read.
+func (c *Core) AuthenticateReply(rep *msg.OrderedReply, read, fresh bool, opHash msg.Digest) error {
 	if !c.Provisioned() {
 		return ErrNotProvisioned
 	}
 	if read {
-		if c.cfg.FastReads {
+		if c.cfg.FastReads && fresh {
 			c.cache.Put(opHash, rep.Result, rep.InvalidKeys)
 		}
 	} else {
 		for _, k := range rep.InvalidKeys {
 			c.cache.Invalidate(k)
+		}
+		if rep.Seq > c.lastWriteSeq {
+			c.lastWriteSeq = rep.Seq
 		}
 	}
 	rep.TroxyTag = c.tagger.Tag(c.cfg.Self, rep.TagInput())
@@ -553,7 +569,13 @@ func (c *Core) HandleReply(now time.Duration, rep *msg.OrderedReply) (Actions, e
 	delete(c.votes, key)
 
 	if vs.read {
-		if c.cfg.FastReads {
+		// A vote can complete on replayed replies (client retransmission of
+		// an already-executed read): the result is authentic for that
+		// request but current only as of its original sequence number. Cache
+		// it only when it is at least as new as every write this replica has
+		// executed, or a retransmission would resurrect an invalidated
+		// entry and later fast reads would serve stale data.
+		if c.cfg.FastReads && winner.Seq > c.lastWriteSeq {
 			c.cache.Put(vs.opHash, winner.Result, winner.InvalidKeys)
 		}
 	} else {

@@ -377,7 +377,7 @@ func TestAuthenticateReplyInvalidatesOnWriteCachesOnRead(t *testing.T) {
 	// Write reply: invalidates before tagging.
 	wrep := &msg.OrderedReply{Executor: 0, Client: 1, ClientSeq: 1,
 		Result: []byte("OK"), InvalidKeys: []string{"k"}}
-	if err := core.AuthenticateReply(wrep, false, msg.DigestOf([]byte("PUT k v2"))); err != nil {
+	if err := core.AuthenticateReply(wrep, false, true, msg.DigestOf([]byte("PUT k v2"))); err != nil {
 		t.Fatal(err)
 	}
 	if !tagger.Verify(0, wrep.TagInput(), wrep.TroxyTag) {
@@ -390,11 +390,82 @@ func TestAuthenticateReplyInvalidatesOnWriteCachesOnRead(t *testing.T) {
 	// Read reply: populates this replica's cache.
 	rrep := &msg.OrderedReply{Executor: 0, Client: 1, ClientSeq: 2,
 		Result: []byte("VALUE v2"), InvalidKeys: []string{"k"}}
-	if err := core.AuthenticateReply(rrep, true, opHash); err != nil {
+	if err := core.AuthenticateReply(rrep, true, true, opHash); err != nil {
 		t.Fatal(err)
 	}
 	if got := core.cache.Get(opHash); string(got) != "VALUE v2" {
 		t.Errorf("read reply not cached: %q", got)
+	}
+}
+
+// TestReplayedReplyDoesNotRepoisonCache pins the regression the chaos suite
+// found: a client retransmission makes every replica replay its cached reply
+// for the old read, and those replays — authentic, but current only as of
+// the original execution — must not re-enter any fast-read cache after a
+// later write invalidated the entry. Both insertion points are covered: the
+// executor side (AuthenticateReply with fresh == false) and the voter side
+// (a vote completing on replies whose sequence number trails a locally
+// executed write).
+func TestReplayedReplyDoesNotRepoisonCache(t *testing.T) {
+	core, _, tagger := newTestCore(t, true)
+	opHash := msg.DigestOf([]byte("GET k"))
+
+	// Fresh read executed at seq 3 caches; write at seq 4 invalidates.
+	rrep := &msg.OrderedReply{Executor: 0, Seq: 3, Client: 1, ClientSeq: 1,
+		ReqDigest: d("req-read"), Result: []byte("VALUE v1"), InvalidKeys: []string{"k"}}
+	if err := core.AuthenticateReply(rrep, true, true, opHash); err != nil {
+		t.Fatal(err)
+	}
+	wrep := &msg.OrderedReply{Executor: 0, Seq: 4, Client: 2, ClientSeq: 1,
+		Result: []byte("OK"), InvalidKeys: []string{"k"}}
+	if err := core.AuthenticateReply(wrep, false, true, msg.DigestOf([]byte("PUT k v2"))); err != nil {
+		t.Fatal(err)
+	}
+	if core.cache.Get(opHash) != nil {
+		t.Fatal("write did not invalidate the read entry")
+	}
+
+	// Executor side: the replayed read is tagged again but stays out of the
+	// cache.
+	replay := &msg.OrderedReply{Executor: 0, Seq: 3, Client: 1, ClientSeq: 1,
+		ReqDigest: d("req-read"), Result: []byte("VALUE v1"), InvalidKeys: []string{"k"}}
+	if err := core.AuthenticateReply(replay, true, false, opHash); err != nil {
+		t.Fatal(err)
+	}
+	if !tagger.Verify(0, replay.TagInput(), replay.TroxyTag) {
+		t.Error("replayed reply not tagged")
+	}
+	if core.cache.Get(opHash) != nil {
+		t.Error("replayed read reply re-entered the executor cache")
+	}
+
+	// Voter side: a quorum of replayed replies completes the vote (the
+	// client gets its answer) but the stale winner stays out of the cache.
+	key := voteKey{client: 1, clientSeq: 1}
+	core.votes[key] = &voteState{
+		reqDigest: d("req-read"),
+		opHash:    opHash,
+		read:      true,
+		votes:     make(map[msg.NodeID]msg.Digest),
+		results:   make(map[msg.Digest]*msg.OrderedReply),
+	}
+	peer := *replay
+	peer.Executor = 1
+	peer.TroxyTag = tagger.Tag(1, peer.TagInput())
+	if _, err := core.HandleReply(0, replay); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.HandleReply(0, &peer); err != nil {
+		t.Fatal(err)
+	}
+	if _, pending := core.votes[key]; pending {
+		t.Fatal("vote on replayed replies did not complete")
+	}
+	if core.cache.Get(opHash) != nil {
+		t.Error("stale vote winner re-entered the voter cache")
+	}
+	if core.Stats().VotesCompleted != 1 {
+		t.Errorf("VotesCompleted = %d, want 1", core.Stats().VotesCompleted)
 	}
 }
 
@@ -403,7 +474,7 @@ func TestUnprovisionedCoreRefuses(t *testing.T) {
 	if _, err := core.HandleClientData(0, 1, 9, []byte{1, 2, 3}); !errors.Is(err, ErrNotProvisioned) {
 		t.Errorf("HandleClientData: %v", err)
 	}
-	if err := core.AuthenticateReply(&msg.OrderedReply{}, false, msg.Digest{}); !errors.Is(err, ErrNotProvisioned) {
+	if err := core.AuthenticateReply(&msg.OrderedReply{}, false, true, msg.Digest{}); !errors.Is(err, ErrNotProvisioned) {
 		t.Errorf("AuthenticateReply: %v", err)
 	}
 }

@@ -29,7 +29,7 @@ type Proxy interface {
 	AcceptConn(env node.Env, connID uint64, from msg.NodeID)
 	CloseConn(env node.Env, connID uint64)
 	HandleClientData(env node.Env, connID uint64, from msg.NodeID, payload []byte) (Actions, error)
-	AuthenticateReply(env node.Env, rep *msg.OrderedReply, read bool, opHash msg.Digest) error
+	AuthenticateReply(env node.Env, rep *msg.OrderedReply, read, fresh bool, opHash msg.Digest) error
 	HandleReply(env node.Env, rep *msg.OrderedReply) (Actions, error)
 	HandleCacheQuery(env node.Env, q *msg.CacheQuery) (Actions, error)
 	HandleCacheReply(env node.Env, r *msg.CacheReply) (Actions, error)
@@ -104,11 +104,11 @@ func (p *DirectProxy) HandleClientData(env node.Env, connID uint64, from msg.Nod
 }
 
 // AuthenticateReply implements Proxy.
-func (p *DirectProxy) AuthenticateReply(env node.Env, rep *msg.OrderedReply, read bool, opHash msg.Digest) error {
+func (p *DirectProxy) AuthenticateReply(env node.Env, rep *msg.OrderedReply, read, fresh bool, opHash msg.Digest) error {
 	n := len(rep.Result) + 64
 	chargeCommon(env, p.profile, n)
 	env.Charge(p.profile, node.ChargeMAC, n)
-	return p.core.AuthenticateReply(rep, read, opHash)
+	return p.core.AuthenticateReply(rep, read, fresh, opHash)
 }
 
 // HandleReply implements Proxy.
@@ -222,9 +222,10 @@ func (p *EnclaveProxy) HandleClientData(env node.Env, connID uint64, from msg.No
 }
 
 // AuthenticateReply implements Proxy.
-func (p *EnclaveProxy) AuthenticateReply(env node.Env, rep *msg.OrderedReply, read bool, opHash msg.Digest) error {
+func (p *EnclaveProxy) AuthenticateReply(env node.Env, rep *msg.OrderedReply, read, fresh bool, opHash msg.Digest) error {
 	w := wire.NewWriter(160 + len(rep.Result))
 	w.Bool(read)
+	w.Bool(fresh)
 	w.Raw(opHash[:])
 	rep.MarshalWire(w)
 	out, err := p.call(env, ECallAuthReply, w.Bytes())

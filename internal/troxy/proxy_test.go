@@ -244,7 +244,7 @@ func TestCacheFootprintAccountedAgainstEPC(t *testing.T) {
 		Executor: 0, Client: 9, ClientSeq: 1,
 		Result: make([]byte, 32<<10), InvalidKeys: []string{"k"},
 	}
-	if err := enclaved.AuthenticateReply(env, rep, true, msg.DigestOf([]byte("GET big"))); err != nil {
+	if err := enclaved.AuthenticateReply(env, rep, true, true, msg.DigestOf([]byte("GET big"))); err != nil {
 		t.Fatal(err)
 	}
 	used := encl.Stats().EPCUsed
@@ -257,7 +257,7 @@ func TestCacheFootprintAccountedAgainstEPC(t *testing.T) {
 		Executor: 0, Client: 9, ClientSeq: 2,
 		Result: []byte("OK"), InvalidKeys: []string{"k"},
 	}
-	if err := enclaved.AuthenticateReply(env, wrep, false, msg.DigestOf([]byte("PUT big"))); err != nil {
+	if err := enclaved.AuthenticateReply(env, wrep, false, true, msg.DigestOf([]byte("PUT big"))); err != nil {
 		t.Fatal(err)
 	}
 	if after := encl.Stats().EPCUsed; after >= used {

@@ -114,6 +114,7 @@ func (t *Trusted) ECalls() map[string]func([]byte) ([]byte, error) {
 		ECallAuthReply: func(arg []byte) ([]byte, error) {
 			r := wire.NewReader(arg)
 			read := r.Bool()
+			fresh := r.Bool()
 			var opHash msg.Digest
 			copy(opHash[:], r.FixedBytes(len(opHash)))
 			var rep msg.OrderedReply
@@ -123,7 +124,7 @@ func (t *Trusted) ECalls() map[string]func([]byte) ([]byte, error) {
 			if err := r.Finish(); err != nil {
 				return nil, err
 			}
-			if err := t.core.AuthenticateReply(&rep, read, opHash); err != nil {
+			if err := t.core.AuthenticateReply(&rep, read, fresh, opHash); err != nil {
 				return nil, err
 			}
 			w := wire.NewWriter(len(rep.TroxyTag) + 8)
