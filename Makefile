@@ -7,7 +7,7 @@ GO ?= go
 STATICCHECK := honnef.co/go/tools/cmd/staticcheck@2025.1
 GOVULNCHECK := golang.org/x/vuln/cmd/govulncheck@v1.1.4
 
-.PHONY: build test check lint staticcheck govulncheck bench fuzz chaos
+.PHONY: build test check lint staticcheck govulncheck bench fuzz chaos chaos-realnet
 
 build:
 	$(GO) build ./...
@@ -61,6 +61,13 @@ bench:
 # plan, and rerunning the named subtest reproduces the schedule exactly.
 chaos:
 	$(GO) test -race -count=1 -short -run 'TestChaos' -v .
+
+# Wall-clock chaos variant: the simulator's seeded plans replayed on the
+# goroutine/TCP runtime — two routers joined by a TCP bridge whose listener
+# comes up late (exercising the bridge's dial backoff), with sloppy-deadline
+# liveness/convergence checkers instead of virtual-time assertions.
+chaos-realnet:
+	$(GO) test -race -count=1 -run 'TestChaosRealnetNetworkFaults' -v .
 
 # Short fuzz smoke over the wire-facing decoders and the secure channel's
 # frame parsing. Interesting inputs found here are promoted into the

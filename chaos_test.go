@@ -74,6 +74,10 @@ func runChaos(t *testing.T, o chaosOpts) chaosResult {
 		ViewChangeTimeout:  800 * time.Millisecond,
 		TickInterval:       20 * time.Millisecond,
 		QueryTimeout:       150 * time.Millisecond,
+		// Every chaos plan exercises the pipelined ordering path: batches
+		// certify and disseminate out of order inside a 4-deep window while
+		// application stays in sequence order.
+		PipelineDepth: 4,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -101,6 +101,13 @@ type ClusterConfig struct {
 	BatchSize  int
 	BatchDelay time.Duration
 
+	// PipelineDepth bounds how many batches the leader keeps in flight at
+	// once and lets followers vote on the whole window out of order; commit
+	// application stays in sequence order. Zero disables pipelining (one
+	// batch in flight semantics of the unpipelined protocol). All replicas
+	// must use the same value.
+	PipelineDepth int
+
 	// MonitorWindow, MonitorThreshold and ProbeInterval tune the conflict
 	// monitor (zero values use package defaults).
 	MonitorWindow    int
@@ -259,6 +266,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 				ViewChangeTimeout:  cfg.ViewChangeTimeout,
 				BatchSize:          cfg.BatchSize,
 				BatchDelay:         cfg.BatchDelay,
+				PipelineDepth:      cfg.PipelineDepth,
 				Profile:            node.ProfileJava,
 				Authority:          authority,
 				App:                application,

@@ -21,6 +21,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	troxy "github.com/troxy-bft/troxy"
 	"github.com/troxy-bft/troxy/internal/app"
@@ -44,6 +45,9 @@ func run() error {
 	mode := flag.String("mode", "etroxy", "system mode: etroxy, ctroxy or baseline")
 	application := flag.String("app", "kv", "application: kv or http")
 	fastReads := flag.Bool("fast-reads", true, "enable the fast-read cache")
+	batchSize := flag.Int("batch", 16, "max requests per ordered batch (0: order each request individually)")
+	batchDelay := flag.Duration("batch-delay", time.Millisecond, "how long the leader waits to fill a batch")
+	pipelineDepth := flag.Int("pipeline-depth", 4, "leader's in-flight batch window; 0 restores the unbounded legacy ordering (must match on every replica: the depth shapes the trusted-counter lane assignment)")
 	flag.Parse()
 
 	peerAddrs := strings.Split(*peers, ",")
@@ -56,10 +60,13 @@ func run() error {
 	}
 
 	cfg := troxy.ClusterConfig{
-		N:            n,
-		F:            (n - 1) / 2,
-		MasterSecret: []byte(*master),
-		FastReads:    *fastReads,
+		N:             n,
+		F:             (n - 1) / 2,
+		MasterSecret:  []byte(*master),
+		FastReads:     *fastReads,
+		BatchSize:     *batchSize,
+		BatchDelay:    *batchDelay,
+		PipelineDepth: *pipelineDepth,
 	}
 	switch *mode {
 	case "etroxy":

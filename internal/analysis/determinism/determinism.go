@@ -14,9 +14,11 @@
 //
 //  3. protocol-visible iteration over a map — Go randomizes map order, so
 //     any loop over a map whose body sends messages, feeds a digest, writes
-//     wire bytes, or collects the map's values must first extract and sort
-//     the keys. Loops that only collect keys (for later sorting), count
-//     votes, or delete entries are order-insensitive and pass.
+//     wire bytes, collects the map's values, or calls a helper that takes
+//     the runtime environment (a node.Env argument can send, set timers, or
+//     charge costs) must first extract and sort the keys. Loops that only
+//     collect keys (for later sorting), count votes, or delete entries are
+//     order-insensitive and pass.
 package determinism
 
 import (
@@ -154,6 +156,18 @@ func checkMapRange(pass *analysis.Pass, rng *ast.RangeStmt) {
 				return true
 			}
 		}
+		// Any call that receives the runtime environment can send, set
+		// timers, or charge costs — all protocol-visible. This is what makes
+		// the pipeline's in-flight window safe to keep in a map: helpers like
+		// the leader's re-proposal pump take node.Env, so iterating the
+		// window map while driving them would leak map order into the
+		// protocol. (hybster re-drives the window in sequence order instead.)
+		for _, arg := range call.Args {
+			if t := pass.TypesInfo.Types[arg].Type; t != nil && isNodeEnv(t) {
+				effect = "drives the protocol (node.Env argument)"
+				return false
+			}
+		}
 		fn := callee(pass, call)
 		if fn == nil {
 			return true
@@ -179,6 +193,22 @@ func checkMapRange(pass *analysis.Pass, rng *ast.RangeStmt) {
 		pass.Reportf(rng.Pos(),
 			"map iteration order is randomized but this loop %s: extract the keys, sort them, then iterate", effect)
 	}
+}
+
+// isNodeEnv reports whether t is the node.Env runtime interface (identified
+// by name and module-relative package path, so analysistest fixtures that
+// mirror the module layout are recognized too).
+func isNodeEnv(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil || obj.Name() != "Env" {
+		return false
+	}
+	rel, ok := analysis.RelPath(obj.Pkg().Path())
+	return ok && rel == "internal/node"
 }
 
 // callee resolves the static callee of a call, if it is a known function or

@@ -5,7 +5,10 @@ package detpos
 
 import (
 	"math/rand"
+	"sort"
 	"time"
+
+	"github.com/troxy-bft/troxy/internal/node"
 )
 
 type out struct{}
@@ -61,5 +64,42 @@ func (c *core) values() []string {
 func (c *core) gc() {
 	for k := range c.pending {
 		delete(c.pending, k)
+	}
+}
+
+// forward is a helper that takes the runtime environment: calling it makes
+// whatever loop drives it protocol-visible.
+func (c *core) forward(env node.Env, seq uint64, m string) {
+	env.Send(seq, m)
+}
+
+// redrive iterates the in-flight window map while driving a node.Env-taking
+// helper: the re-proposal order leaks map order into the protocol.
+func (c *core) redrive(env node.Env) {
+	for seq, m := range c.pending { // want "drives the protocol"
+		c.forward(env, seq, m)
+	}
+}
+
+// redriveSorted extracts and sorts the window's sequence numbers before
+// driving the helper: the sanctioned pattern, must not trigger.
+func (c *core) redriveSorted(env node.Env) {
+	seqs := make([]uint64, 0, len(c.pending))
+	for s := range c.pending {
+		seqs = append(seqs, s)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	for _, s := range seqs {
+		c.forward(env, s, c.pending[s])
+	}
+}
+
+// logOnly calls a method ON env rather than passing env as an argument:
+// the Env-argument rule flags handing the environment onward, while bare
+// method calls on env are judged by the effect-callee names (Send et al.).
+// Logf is debug output, not protocol state, so this must not trigger.
+func (c *core) logOnly(env node.Env) {
+	for seq := range c.pending {
+		env.Logf("pending %d", seq)
 	}
 }

@@ -1,0 +1,13 @@
+// Package node mirrors the shape of the real internal/node runtime package
+// just enough for the determinism fixtures: the analyzer identifies the Env
+// interface by name and module-relative package path, so a fixture-local
+// copy under the same import path is recognized.
+package node
+
+// Env is the runtime environment handed to a protocol handler. Any call
+// receiving one can send messages, set timers, or charge costs, so its
+// invocation is protocol-visible.
+type Env interface {
+	Send(to uint64, m any)
+	Logf(format string, args ...any)
+}

@@ -8,55 +8,102 @@ import (
 )
 
 // batchSweep is the batch-size axis of the batching experiment.
-var batchSweep = []int{1, 4, 16, 64}
+var batchSweep = []int{1, 16, 64}
 
-// Batching measures the batched ordering pipeline: totally ordered writes at
-// a fixed payload while sweeping the leader's batch-size limit. Each batch
-// costs one trusted-counter certification and one PREPARE/COMMIT round
-// regardless of how many requests it carries, so throughput should rise and
-// the certification rate per request should fall as batches grow.
+// depthSweep is the pipeline-depth axis: depth 1 is a fully serialized
+// window (one batch certified, disseminated and applied before the next is
+// cut), deeper values let the leader keep that many batches in flight
+// concurrently while the commit queue still applies them in sequence order.
+var depthSweep = []int{1, 2, 4, 8}
+
+// Batching measures the ordering pipeline as a batch-size × pipeline-depth
+// matrix over totally ordered writes. Each batch costs one trusted-counter
+// certification and one PREPARE/COMMIT round regardless of how many requests
+// it carries (the amortization axis); the pipeline depth bounds how many such
+// rounds may be in flight at once (the closed-loop latency axis: with a
+// serialized window every queued request waits for the whole previous round,
+// so deepening the window must recover p50 latency).
+//
+// The depth>1 improvement at the largest batch size is a hard invariant of
+// the pipeline, not a tuning observation: the run panics if no depth above 1
+// beats the serialized window's p50 there.
 func Batching(opt Options) []*Table {
 	warmup, measure := opt.measureDurations(false)
-	clients := 128
+	// Closed-loop depth must comfortably exceed BatchSize so the window —
+	// not the offered load — is the bottleneck under the largest batches.
+	clients := 640
 	if opt.Quick {
 		clients /= 4
 	}
 
 	t := &Table{
 		ID:      "batching",
-		Title:   "leader batching: ordered writes vs batch-size limit",
-		Columns: []string{"batch", "system", "kops/s", "mean-lat(ms)", "p90(ms)", "rounds/req", "amortization", "vs b=1"},
+		Title:   "ordering pipeline: ordered writes vs batch size x pipeline depth",
+		Columns: []string{"batch", "depth", "kops/s", "mean-lat(ms)", "p50(ms)", "p90(ms)", "rounds/req", "amortization", "vs depth=1"},
 		Notes: []string{
 			"request size 1 KiB, reply 10 B; BatchDelay 1 ms; closed-loop clients on two machines",
+			"depth = leader's in-flight batch window; application always stays in sequence order",
 			"rounds/req = ordering rounds (certifications) per ordered request; amortization = requests per round",
-			"batches sized past the closed-loop depth trade latency for amortization: the cut waits on the slowest client",
+			"depth 0 (the library default) is the unwindowed legacy configuration and is not part of the sweep",
 		},
 	}
-	var base float64
+
+	p50At64 := make(map[int]time.Duration)
 	for _, bs := range batchSweep {
-		opt.progress("batching: batch=%d ...", bs)
-		res := runMicro(microConfig{
-			mode:           root.Baseline,
-			readRatio:      0,
-			reqSize:        1024,
-			replySize:      10,
-			clientsPerMach: clients,
-			warmup:         warmup,
-			measure:        measure,
-			seed:           opt.seed(),
-			batchSize:      bs,
-			batchDelay:     time.Millisecond,
-		})
-		if bs == 1 {
-			base = res.OpsPerSec
+		var base float64
+		for _, depth := range depthSweep {
+			opt.progress("batching: batch=%d depth=%d ...", bs, depth)
+			res := runMicro(microConfig{
+				mode:           root.Baseline,
+				readRatio:      0,
+				reqSize:        1024,
+				replySize:      10,
+				clientsPerMach: clients,
+				warmup:         warmup,
+				measure:        measure,
+				seed:           opt.seed(),
+				batchSize:      bs,
+				batchDelay:     time.Millisecond,
+				pipelineDepth:  depth,
+			})
+			if res.Count == 0 {
+				panic(fmt.Sprintf("batching: batch=%d depth=%d measured zero operations", bs, depth))
+			}
+			if depth == 1 {
+				base = res.OpsPerSec
+			}
+			if bs == 64 {
+				p50At64[depth] = res.P50
+			}
+			rounds, amort := "n/a", "n/a"
+			if res.proposed > 0 && res.batches > 0 {
+				rounds = fmt.Sprintf("%.3f", float64(res.batches)/float64(res.proposed))
+				amort = fmt.Sprintf("%.1fx", float64(res.proposed)/float64(res.batches))
+			}
+			t.AddRow(fmt.Sprintf("%d", bs), fmt.Sprintf("%d", depth), kops(res.OpsPerSec),
+				ms(res.Mean), ms(res.P50), ms(res.P90), rounds, amort, ratio(res.OpsPerSec, base))
 		}
-		rounds, amort := "n/a", "n/a"
-		if res.proposed > 0 && res.batches > 0 {
-			rounds = fmt.Sprintf("%.3f", float64(res.batches)/float64(res.proposed))
-			amort = fmt.Sprintf("%.1fx", float64(res.proposed)/float64(res.batches))
+	}
+
+	// Hard invariant: at the largest batch size, some depth above 1 must
+	// recover closed-loop p50 latency over the serialized window. A failure
+	// here means the pipeline window is not releasing slots (or the pump is
+	// not re-proposing) and must not pass silently as a "slow benchmark".
+	serialized, ok := p50At64[1]
+	if !ok || serialized == 0 {
+		panic("batching: no depth=1 baseline measured at batch=64")
+	}
+	best := time.Duration(1<<62 - 1)
+	bestDepth := 0
+	for _, d := range depthSweep {
+		if d > 1 && p50At64[d] < best {
+			best, bestDepth = p50At64[d], d
 		}
-		t.AddRow(fmt.Sprintf("%d", bs), root.Baseline.String(), kops(res.OpsPerSec),
-			ms(res.Mean), ms(res.P90), rounds, amort, ratio(res.OpsPerSec, base))
+	}
+	if best >= serialized {
+		panic(fmt.Sprintf(
+			"batching: pipeline regression at batch=64 — best depth>1 p50 %v (depth=%d) does not beat the serialized window's p50 %v",
+			best, bestDepth, serialized))
 	}
 	return []*Table{t}
 }

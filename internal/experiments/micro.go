@@ -35,6 +35,10 @@ type microConfig struct {
 	// Leader batching knobs (zero: order each request individually).
 	batchSize  int
 	batchDelay time.Duration
+
+	// pipelineDepth bounds the leader's in-flight batch window (zero: the
+	// unpipelined legacy configuration with no window limit).
+	pipelineDepth int
 }
 
 // microResult aggregates a run's measurements.
@@ -105,6 +109,7 @@ func runMicro(cfg microConfig) microResult {
 		FullCacheReplies:   cfg.fullReplies,
 		BatchSize:          cfg.batchSize,
 		BatchDelay:         cfg.batchDelay,
+		PipelineDepth:      cfg.pipelineDepth,
 	})
 	if err != nil {
 		panic(fmt.Sprintf("experiments: cluster: %v", err))

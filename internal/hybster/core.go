@@ -32,6 +32,7 @@ package hybster
 import (
 	"crypto/sha256"
 	"fmt"
+	"sort"
 	"time"
 
 	"github.com/troxy-bft/troxy/internal/app"
@@ -72,6 +73,19 @@ type Config struct {
 	// requests arrive within one handler invocation.
 	BatchDelay time.Duration
 
+	// PipelineDepth bounds how many batches the leader keeps in flight
+	// (certified and broadcast but not yet executed) and sets the number of
+	// certification lanes, which let followers certify COMMITs for
+	// in-window sequence numbers out of order (tcounter.OrderLaneCounter).
+	// The window acts as PBFT-style low/high water marks: the low mark is
+	// the last executed sequence number, the high mark trails it by
+	// PipelineDepth, and the window slides as commit application advances.
+	// Zero (the default) keeps the unpipelined behavior: a single ordering
+	// counter per view, strictly in-order dissemination, and no in-flight
+	// limit. Like N and F, all replicas must be configured with the same
+	// value — it determines the counter IDs on the wire.
+	PipelineDepth int
+
 	// Profile attributes the protocol host's CPU costs (Java for the
 	// original Hybster implementation).
 	Profile node.Profile
@@ -111,6 +125,13 @@ type Metrics struct {
 	StableSeq      uint64
 	StateTransfers uint64
 	RejectedCerts  uint64
+
+	// WindowStalls counts the times the leader had a due batch but the
+	// in-flight window was full; OutOfOrderPrepares counts PREPAREs a
+	// follower accepted below the highest sequence number it had already
+	// accepted in the view. Both stay zero with PipelineDepth == 0.
+	WindowStalls       uint64
+	OutOfOrderPrepares uint64
 }
 
 type entry struct {
@@ -161,11 +182,19 @@ type Core struct {
 
 	log map[uint64]*entry
 
-	// Continuity tracking for the current view.
-	nextPrepareValue uint64
+	// Continuity tracking for the current view, one slot per certification
+	// lane (a single slot when PipelineDepth == 0): the next counter value
+	// expected on each lane. Within a lane consecutive certificates step by
+	// exactly the lane count, so hole-freedom holds lane by lane.
+	nextPrepareValue []uint64
 	pendingPrepares  map[uint64]*msg.Prepare
-	nextCommitValue  map[msg.NodeID]uint64
+	nextCommitValue  map[msg.NodeID][]uint64
 	pendingCommits   map[msg.NodeID]map[uint64]*msg.Commit
+
+	// maxAcceptedPrep is the highest sequence number accepted via PREPARE
+	// in the current view; accepting below it means the pipeline delivered
+	// out of order (metrics.OutOfOrderPrepares).
+	maxAcceptedPrep uint64
 
 	// Checkpoint votes: seq -> replica -> digest.
 	checkpoints map[uint64]map[msg.NodeID]msg.Digest
@@ -181,8 +210,13 @@ type Core struct {
 
 	// batchBuf accumulates requests on the leader until the batch is cut
 	// (full, or the BatchDelay timer fires). The hosting node.Handler
-	// serializes access, so no locking is needed.
+	// serializes access, so no locking is needed. batchDue marks the
+	// accumulator as ready to propose: the pump drains it in batch-size
+	// chunks as the in-flight window frees up. pumping breaks the
+	// pump -> propose -> commit -> execute -> pump recursion.
 	batchBuf []msg.OrderRequest
+	batchDue bool
+	pumping  bool
 
 	// Locally submitted requests not yet executed (leader-progress watch,
 	// and re-submission after a view change).
@@ -206,6 +240,10 @@ type Core struct {
 	fetchingSeq    uint64
 	fetchingDigest msg.Digest
 	fetching       bool
+	// fetchRewind marks a divergence-recovery transfer: the reply is allowed
+	// to install a snapshot at or below lastExec, rolling the replica back
+	// onto the quorum-agreed state.
+	fetchRewind bool
 
 	metrics Metrics
 
@@ -244,7 +282,7 @@ func New(cfg Config, out Outbound) *Core {
 		seqNext:         1,
 		log:             make(map[uint64]*entry),
 		pendingPrepares: make(map[uint64]*msg.Prepare),
-		nextCommitValue: make(map[msg.NodeID]uint64),
+		nextCommitValue: make(map[msg.NodeID][]uint64),
 		pendingCommits:  make(map[msg.NodeID]map[uint64]*msg.Commit),
 		checkpoints:     make(map[uint64]map[msg.NodeID]msg.Digest),
 		ownCheckpoints:  make(map[uint64][]byte),
@@ -253,10 +291,7 @@ func New(cfg Config, out Outbound) *Core {
 		vcs:             make(map[uint64]map[msg.NodeID]*msg.ViewChange),
 		proposed:        make(map[msg.Digest]struct{}),
 	}
-	c.nextPrepareValue = 1
-	for i := 0; i < cfg.N; i++ {
-		c.nextCommitValue[msg.NodeID(i)] = 1
-	}
+	c.resetContinuity(1)
 	return c
 }
 
@@ -408,6 +443,80 @@ func (c *Core) batchSize() int {
 	return c.cfg.BatchSize
 }
 
+// lanes returns the number of certification lanes (one when unpipelined).
+func (c *Core) lanes() int {
+	if c.cfg.PipelineDepth < 1 {
+		return 1
+	}
+	return c.cfg.PipelineDepth
+}
+
+// laneCounter returns the ordering-counter ID that must certify seq in view.
+func (c *Core) laneCounter(view, seq uint64) uint32 {
+	return tcounter.OrderLaneCounter(view,
+		tcounter.LaneOf(seq, c.cfg.PipelineDepth), c.cfg.PipelineDepth)
+}
+
+// inFlight is the number of sequence numbers this leader has proposed but
+// not yet executed: the distance between the window's high and low marks.
+func (c *Core) inFlight() uint64 {
+	if c.seqNext <= c.lastExec+1 {
+		return 0 // state transfer can move lastExec past our proposals
+	}
+	return c.seqNext - 1 - c.lastExec
+}
+
+// windowFree reports whether the leader may propose another batch.
+func (c *Core) windowFree() bool {
+	if c.cfg.PipelineDepth < 1 {
+		return true // unpipelined: no in-flight limit
+	}
+	return c.inFlight() < uint64(c.cfg.PipelineDepth)
+}
+
+// laneCeil returns the smallest sequence number >= start that belongs to
+// lane l. start must be positive.
+func laneCeil(start uint64, l, lanes int) uint64 {
+	return start + uint64((l+lanes-int((start-1)%uint64(lanes)))%lanes)
+}
+
+// resetContinuity restarts the per-lane continuity expectations so that the
+// next acceptable value on every lane is the smallest lane member >= startSeq
+// (view installation, and initial state with startSeq 1).
+func (c *Core) resetContinuity(startSeq uint64) {
+	lanes := c.lanes()
+	c.nextPrepareValue = make([]uint64, lanes)
+	for l := 0; l < lanes; l++ {
+		c.nextPrepareValue[l] = laneCeil(startSeq, l, lanes)
+	}
+	for i := 0; i < c.cfg.N; i++ {
+		vals := make([]uint64, lanes)
+		for l := 0; l < lanes; l++ {
+			vals[l] = laneCeil(startSeq, l, lanes)
+		}
+		c.nextCommitValue[msg.NodeID(i)] = vals
+	}
+}
+
+// advanceContinuity raises lagging lane expectations past seq without
+// lowering any lane that already progressed further (state transfer: ordered
+// messages at or below the snapshot point are obsolete, later ones are not).
+func (c *Core) advanceContinuity(seq uint64) {
+	lanes := c.lanes()
+	for l := 0; l < lanes; l++ {
+		if v := laneCeil(seq+1, l, lanes); c.nextPrepareValue[l] < v {
+			c.nextPrepareValue[l] = v
+		}
+	}
+	for _, vals := range c.nextCommitValue {
+		for l := 0; l < lanes; l++ {
+			if v := laneCeil(seq+1, l, lanes); vals[l] < v {
+				vals[l] = v
+			}
+		}
+	}
+}
+
 // enqueue adds a request to the leader's batch accumulator and cuts the
 // batch per the cut policy (full, or delay expired). Re-submissions of an
 // in-flight digest are suppressed (retransmissions may reach the leader
@@ -429,15 +538,47 @@ func (c *Core) enqueue(env node.Env, req *msg.OrderRequest, digest msg.Digest) {
 	}
 }
 
-// cutBatch proposes whatever the accumulator holds as one batch.
+// cutBatch marks the accumulator due and pumps as much of it as the
+// in-flight window allows; the remainder is proposed when executing batches
+// release window slots.
 func (c *Core) cutBatch(env node.Env) {
 	if len(c.batchBuf) == 0 {
 		return
 	}
-	batch := &msg.Batch{Reqs: c.batchBuf}
-	c.batchBuf = nil
-	env.CancelTimer(node.TimerKey{Kind: timerBatch})
-	c.proposeBatch(env, batch)
+	c.batchDue = true
+	c.pump(env)
+}
+
+// pump proposes due requests in batch-size chunks while the in-flight window
+// has room. It is the single choke point between the batch accumulator and
+// proposeBatch, called both when a batch is cut and when execution advances
+// the window's low mark. The pumping flag breaks the recursion through
+// proposeBatch -> tryCommit -> executeReady -> pump (a proposal can commit
+// immediately when N == 1 quorums or buffered votes are already present).
+func (c *Core) pump(env node.Env) {
+	if c.pumping {
+		return
+	}
+	c.pumping = true
+	defer func() { c.pumping = false }()
+	for c.batchDue && len(c.batchBuf) > 0 {
+		if !c.windowFree() {
+			c.metrics.WindowStalls++
+			return // executeReady re-pumps when the low mark advances
+		}
+		n := c.batchSize()
+		if n > len(c.batchBuf) {
+			n = len(c.batchBuf)
+		}
+		chunk := c.batchBuf[:n:n]
+		c.batchBuf = c.batchBuf[n:]
+		c.proposeBatch(env, &msg.Batch{Reqs: chunk})
+	}
+	if len(c.batchBuf) == 0 {
+		c.batchBuf = nil
+		c.batchDue = false
+		env.CancelTimer(node.TimerKey{Kind: timerBatch})
+	}
 }
 
 // flushBatchBuf moves accumulated-but-unproposed requests back to the
@@ -452,6 +593,7 @@ func (c *Core) flushBatchBuf(env node.Env) {
 		c.queued = append(c.queued, &req)
 	}
 	c.batchBuf = nil
+	c.batchDue = false
 }
 
 // proposeBatch assigns the next sequence number to a batch (leader only):
@@ -462,7 +604,7 @@ func (c *Core) proposeBatch(env node.Env, batch *msg.Batch) {
 	c.seqNext++
 	reqDigests := batch.ReqDigests()
 	digest := msg.BatchDigestOf(reqDigests)
-	cert, err := c.cfg.Authority.Certify(tcounter.OrderCounter(c.view), seq, prepareDigest(c.view, seq, digest))
+	cert, err := c.cfg.Authority.Certify(c.laneCounter(c.view, seq), seq, prepareDigest(c.view, seq, digest))
 	c.chargeCounterOp(env)
 	if err != nil {
 		env.Logf("hybster: certify prepare seq %d: %v", seq, err)
@@ -577,38 +719,54 @@ func (c *Core) OnPrepare(env node.Env, from msg.NodeID, prep *msg.Prepare) {
 		return
 	}
 	c.chargeCounterOp(env)
-	if prep.Cert.Counter != tcounter.OrderCounter(c.view) || prep.Cert.Value != prep.Seq {
+	if prep.Cert.Counter != c.laneCounter(c.view, prep.Seq) || prep.Cert.Value != prep.Seq {
 		c.rejectCert(from)
 		return
 	}
-	// Continuity: process prepares in counter order so the leader cannot
-	// leave holes. Out-of-order prepares wait.
-	if prep.Cert.Value > c.nextPrepareValue {
+	// Continuity: process prepares in per-lane counter order so the leader
+	// cannot leave holes. Prepares ahead of their lane wait; sequence
+	// numbers on *different* lanes are accepted in any arrival order, which
+	// is what lets votes for the whole in-flight window proceed while an
+	// earlier batch is still in transit.
+	lane := tcounter.LaneOf(prep.Seq, c.cfg.PipelineDepth)
+	if prep.Cert.Value > c.nextPrepareValue[lane] {
 		c.pendingPrepares[prep.Cert.Value] = prep
 		return
 	}
-	if prep.Cert.Value < c.nextPrepareValue {
+	if prep.Cert.Value < c.nextPrepareValue[lane] {
 		return // stale duplicate
 	}
 	c.acceptPrepare(env, prep, reqDigests, batchDigest)
 	c.drainPrepares(env)
 }
 
-// drainPrepares accepts buffered prepares that have become next-in-order.
+// drainPrepares accepts buffered prepares that have become next-in-order on
+// their lane. Lanes are scanned in ascending index order to a fixpoint, so
+// the acceptance order is deterministic regardless of arrival order.
 func (c *Core) drainPrepares(env node.Env) {
-	for {
-		next, ok := c.pendingPrepares[c.nextPrepareValue]
-		if !ok {
-			return
+	for progressed := true; progressed; {
+		progressed = false
+		for l := 0; l < c.lanes(); l++ {
+			next, ok := c.pendingPrepares[c.nextPrepareValue[l]]
+			if !ok {
+				continue
+			}
+			delete(c.pendingPrepares, c.nextPrepareValue[l])
+			reqDigests := next.Batch.ReqDigests()
+			c.acceptPrepare(env, next, reqDigests, msg.BatchDigestOf(reqDigests))
+			progressed = true
 		}
-		delete(c.pendingPrepares, c.nextPrepareValue)
-		reqDigests := next.Batch.ReqDigests()
-		c.acceptPrepare(env, next, reqDigests, msg.BatchDigestOf(reqDigests))
 	}
 }
 
 func (c *Core) acceptPrepare(env node.Env, prep *msg.Prepare, reqDigests []msg.Digest, batchDigest msg.Digest) {
-	c.nextPrepareValue = prep.Cert.Value + 1
+	lane := tcounter.LaneOf(prep.Seq, c.cfg.PipelineDepth)
+	c.nextPrepareValue[lane] = prep.Cert.Value + uint64(c.lanes())
+	if prep.Seq < c.maxAcceptedPrep {
+		c.metrics.OutOfOrderPrepares++
+	} else {
+		c.maxAcceptedPrep = prep.Seq
+	}
 
 	e := c.getEntry(prep.Seq)
 	batch := prep.Batch
@@ -622,7 +780,7 @@ func (c *Core) acceptPrepare(env node.Env, prep *msg.Prepare, reqDigests []msg.D
 
 	// Certify and broadcast our commit: one certification acknowledges the
 	// whole batch.
-	cert, err := c.cfg.Authority.Certify(tcounter.OrderCounter(c.view), prep.Seq,
+	cert, err := c.cfg.Authority.Certify(c.laneCounter(c.view, prep.Seq), prep.Seq,
 		commitDigest(prep.View, prep.Seq, batchDigest))
 	c.chargeCounterOp(env)
 	if err != nil {
@@ -657,11 +815,12 @@ func (c *Core) OnCommit(env node.Env, from msg.NodeID, com *msg.Commit) {
 		return
 	}
 	c.chargeCounterOp(env)
-	if com.Cert.Counter != tcounter.OrderCounter(c.view) || com.Cert.Value != com.Seq {
+	if com.Cert.Counter != c.laneCounter(c.view, com.Seq) || com.Cert.Value != com.Seq {
 		c.rejectCert(from)
 		return
 	}
-	next := c.nextCommitValue[from]
+	lane := tcounter.LaneOf(com.Seq, c.cfg.PipelineDepth)
+	next := c.nextCommitValue[from][lane]
 	if com.Cert.Value > next {
 		byVal, ok := c.pendingCommits[from]
 		if !ok {
@@ -679,21 +838,27 @@ func (c *Core) OnCommit(env node.Env, from msg.NodeID, com *msg.Commit) {
 }
 
 // drainCommits accepts buffered commits from one replica that have become
-// next-in-order.
+// next-in-order on their lane, scanning lanes in ascending index order to a
+// fixpoint for a deterministic acceptance order.
 func (c *Core) drainCommits(env node.Env, from msg.NodeID) {
-	for {
-		byVal := c.pendingCommits[from]
-		nextCom, ok := byVal[c.nextCommitValue[from]]
-		if !ok {
-			return
+	for progressed := true; progressed; {
+		progressed = false
+		for l := 0; l < c.lanes(); l++ {
+			byVal := c.pendingCommits[from]
+			nextCom, ok := byVal[c.nextCommitValue[from][l]]
+			if !ok {
+				continue
+			}
+			delete(byVal, c.nextCommitValue[from][l])
+			c.acceptCommit(env, from, nextCom)
+			progressed = true
 		}
-		delete(byVal, c.nextCommitValue[from])
-		c.acceptCommit(env, from, nextCom)
 	}
 }
 
 func (c *Core) acceptCommit(env node.Env, from msg.NodeID, com *msg.Commit) {
-	c.nextCommitValue[from] = com.Cert.Value + 1
+	lane := tcounter.LaneOf(com.Seq, c.cfg.PipelineDepth)
+	c.nextCommitValue[from][lane] = com.Cert.Value + uint64(c.lanes())
 	e := c.getEntry(com.Seq)
 	if e.hasPrep && e.digest != com.BatchDigest {
 		// A conflicting commit for a certified prepare can only come from a
@@ -715,13 +880,21 @@ func (c *Core) tryCommit(env node.Env, e *entry) {
 	c.executeReady(env)
 }
 
+// executeReady applies the committed log prefix strictly in sequence order
+// (the commit queue's low mark), then re-pumps the leader's batch
+// accumulator: each executed batch releases one in-flight window slot.
 func (c *Core) executeReady(env node.Env) {
+	executed := false
 	for {
 		e, ok := c.log[c.lastExec+1]
 		if !ok || !e.hasPrep || e.executed || len(e.vouchers) < c.quorum() {
-			return
+			break
 		}
 		c.execute(env, e)
+		executed = true
+	}
+	if executed && !c.inVC && c.IsLeader() {
+		c.pump(env)
 	}
 }
 
@@ -794,7 +967,12 @@ func (c *Core) maybeCheckpoint(env node.Env) {
 	if _, done := c.ownCheckpoints[seq]; done {
 		return
 	}
-	snap := c.cfg.App.Snapshot()
+	// The snapshot is a composite of the client table and the application
+	// state (see snapshot.go): both are replicated state, and a state
+	// transfer that carried only the application half would let a
+	// view-change re-proposal replay a gap-covered request on the
+	// transferred replica alone.
+	snap := c.encodeSnapshot(c.cfg.App.Snapshot())
 	digest := msg.DigestOf(snap)
 	env.Charge(c.cfg.Profile, node.ChargeHash, len(snap))
 	c.ownCheckpoints[seq] = snap
@@ -839,13 +1017,43 @@ func (c *Core) recordCheckpoint(env node.Env, from msg.NodeID, seq uint64, diges
 	c.stableDigest = digest
 	c.metrics.StableSeq = seq
 	if snap, ok := c.ownCheckpoints[seq]; ok {
-		c.stableSnapshot = snap
+		if msg.DigestOf(snap) == digest {
+			c.stableSnapshot = snap
+		} else {
+			// We executed through seq but our state does not match the
+			// quorum-agreed digest: this replica has silently diverged
+			// (e.g. it state-transferred before this snapshot format
+			// carried the client table). Never serve the wrong bytes, and
+			// rewind onto the agreed state via a state transfer that is
+			// allowed to move lastExec backwards.
+			c.stableSnapshot = nil
+			env.Logf("hybster: replica %d diverged at checkpoint %d (own digest != agreed); rewinding via state transfer", c.cfg.Self, seq)
+			if peer, ok := c.checkpointPeer(votes, digest); ok {
+				c.requestState(env, peer, seq, digest, true)
+			}
+		}
 	} else if c.lastExec < seq {
 		// We agreed on a checkpoint we cannot reach by execution: fetch the
 		// snapshot from a peer (state transfer).
-		c.requestState(env, from, seq, digest)
+		c.requestState(env, from, seq, digest, false)
 	}
 	c.gc(seq)
+}
+
+// checkpointPeer picks a deterministic peer whose checkpoint vote matches the
+// agreed digest, to serve as the state-transfer source.
+func (c *Core) checkpointPeer(votes map[msg.NodeID]msg.Digest, digest msg.Digest) (msg.NodeID, bool) {
+	ids := make([]msg.NodeID, 0, len(votes))
+	for id := range votes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if id != c.cfg.Self && votes[id] == digest {
+			return id, true
+		}
+	}
+	return msg.NoNode, false
 }
 
 func (c *Core) gc(stable uint64) {
@@ -867,11 +1075,14 @@ func (c *Core) gc(stable uint64) {
 }
 
 // requestState starts a state transfer for the stable checkpoint at seq.
-func (c *Core) requestState(env node.Env, from msg.NodeID, seq uint64, digest msg.Digest) {
-	if c.fetching && c.fetchingSeq >= seq {
+// rewind marks a divergence recovery: the reply may then install below
+// lastExec (see OnStateReply).
+func (c *Core) requestState(env node.Env, from msg.NodeID, seq uint64, digest msg.Digest, rewind bool) {
+	if c.fetching && c.fetchingSeq >= seq && !rewind {
 		return
 	}
 	c.fetching = true
+	c.fetchRewind = rewind
 	c.fetchingSeq = seq
 	c.fetchingDigest = digest
 	c.metrics.StateTransfers++
@@ -892,15 +1103,43 @@ func (c *Core) OnStateReply(env node.Env, from msg.NodeID, rep *msg.StateReply) 
 	if !c.fetching || rep.Seq != c.fetchingSeq {
 		return
 	}
+	if rep.Seq <= c.lastExec && !c.fetchRewind {
+		// Ordinary execution caught up past the snapshot while the reply was
+		// in flight. Installing it now would rewind both the application
+		// state and lastExec below already-executed entries, wedging the
+		// commit queue's low mark permanently. (A rewind transfer is the
+		// exception: it exists precisely to roll a diverged replica back.)
+		c.fetching = false
+		return
+	}
 	env.Charge(c.cfg.Profile, node.ChargeHash, len(rep.Snapshot))
 	if msg.DigestOf(rep.Snapshot) != c.fetchingDigest {
 		return // wrong or corrupted snapshot; keep waiting
 	}
-	if err := c.cfg.App.Restore(rep.Snapshot); err != nil {
+	clients, appSnap, err := decodeSnapshot(rep.Snapshot)
+	if err != nil {
+		env.Logf("hybster: decode snapshot at %d: %v", rep.Seq, err)
+		return
+	}
+	if err := c.cfg.App.Restore(appSnap); err != nil {
 		env.Logf("hybster: restore snapshot at %d: %v", rep.Seq, err)
 		return
 	}
+	// The client table travels with the snapshot: its per-client dedup marks
+	// decide whether a view-change re-proposal executes or is skipped, so it
+	// must match the peers' tables exactly after the transfer.
+	c.clients = clients
+	// Entries above the snapshot point re-execute against the restored state.
+	// After a forward transfer none are marked executed (the executed prefix
+	// sits at or below lastExec < rep.Seq); after a rewind this re-opens the
+	// entries the diverged execution had consumed.
+	for _, e := range c.log {
+		if e.seq > rep.Seq {
+			e.executed = false
+		}
+	}
 	c.fetching = false
+	c.fetchRewind = false
 	c.lastExec = rep.Seq
 	c.stableSnapshot = rep.Snapshot
 	c.stableSeq = rep.Seq
@@ -909,14 +1148,7 @@ func (c *Core) OnStateReply(env node.Env, from msg.NodeID, rep *msg.StateReply) 
 		c.seqNext = rep.Seq + 1
 	}
 	// Continuity restarts after the snapshot point.
-	if c.nextPrepareValue <= rep.Seq {
-		c.nextPrepareValue = rep.Seq + 1
-	}
-	for id, v := range c.nextCommitValue {
-		if v <= rep.Seq {
-			c.nextCommitValue[id] = rep.Seq + 1
-		}
-	}
+	c.advanceContinuity(rep.Seq)
 	c.gc(rep.Seq)
 	c.executeReady(env)
 	// Ordered messages buffered while we lagged may now be in-order.

@@ -395,6 +395,84 @@ func TestStateTransferAfterPartition(t *testing.T) {
 	}
 }
 
+// TestStateTransferCarriesClientTable pins the composite-snapshot format
+// (snapshot.go): checkpoint snapshots carry the client table alongside the
+// application state. A replica that state-transfers over a gap and later
+// becomes leader re-proposes its stale pendingLocal requests at fresh
+// sequence numbers; the peers skip them through their client tables, so the
+// transferred replica must hold the same table — or it re-executes an old
+// write over newer state and silently diverges. (Found by the wall-clock
+// chaos suite; this is the deterministic reduction.)
+func TestStateTransferCarriesClientTable(t *testing.T) {
+	// Phase A: "PUT marker stale" reaches every replica's pendingLocal, but
+	// replica 2 is cut off before the commit lands: 0 and 1 execute it,
+	// overwrite the key with "PUT marker fresh", and stabilize checkpoints
+	// covering both writes, while replica 2 keeps the request pending.
+	ops := []string{"PUT marker stale"}
+	ops = append(ops, opScript(10)...)
+	ops = append(ops, "PUT marker fresh")
+	cl := newCluster(t, 3, func(cfg *Config) { cfg.PipelineDepth = 4 }, ops...)
+	// 5 ms links: the request reaches replica 2 (and its pendingLocal) at
+	// ~5 ms, the leader's PREPARE — which commits it there — at ~10 ms.
+	cl.net.Run(7 * time.Millisecond)
+	cl.net.Crash(2)
+	cl.net.Run(30 * time.Second)
+	if !cl.client.done {
+		t.Fatalf("phase A stalled: %d/%d", cl.client.current, len(cl.client.ops))
+	}
+	r2 := cl.replicas[2].core
+	stalePending := func() bool {
+		for _, req := range r2.pendingLocal {
+			if string(req.Op) == "PUT marker stale" {
+				return true
+			}
+		}
+		return false
+	}
+	if !stalePending() {
+		t.Fatal("crash point missed: the marker write is not pending on replica 2")
+	}
+
+	// Phase B: heal replica 2 and push fresh traffic over the next
+	// checkpoint boundary so it catches up by state transfer, jumping the
+	// gap that contains both marker writes. From there the stale request
+	// drives the rest by itself: once post-transfer traffic executes on
+	// replica 2, clearProgress re-arms its leader-suspicion timer while the
+	// marker write stays pending, so it escalates a view change; the view-1
+	// re-drive forwards the request to leader 1, whose client table drops
+	// it silently, so suspicion fires again and view 2 installs — with
+	// replica 2 leading. Its re-drive now enqueues the stale write directly
+	// (bypassing submit-time dedup) at a fresh sequence number. Replicas 0
+	// and 1 skip it through their client tables; replica 2 can only skip it
+	// too if the table came along with the transferred snapshot — without
+	// it, the replay overwrites "fresh" with "stale" on replica 2 alone.
+	cl.net.Restore(2)
+	clB := &testClient{id: 98, n: 3, f: 1, ops: toOps(opScript(12))}
+	cl.net.AttachConfig(98, clB, simnet.NodeConfig{})
+	cl.net.Run(60 * time.Second)
+	if !clB.done {
+		t.Fatalf("phase B stalled: %d/12", clB.current)
+	}
+	if r2.Metrics().StateTransfers == 0 {
+		t.Fatal("replica 2 caught up without a state transfer; the test needs the gap jump")
+	}
+	if r2.Leader(r2.View()) != 2 {
+		t.Fatalf("cluster settled in view %d (leader %d); the regression needs replica 2 to lead and re-propose",
+			r2.View(), r2.Leader(r2.View()))
+	}
+	if stalePending() {
+		t.Fatal("stale marker write still pending on replica 2; the re-proposal never happened")
+	}
+
+	if got := string(cl.apps[2].Execute([]byte("GET marker"))); got != "VALUE fresh" {
+		t.Errorf("replica 2 marker = %q, want VALUE fresh (stale re-proposal re-executed)", got)
+	}
+	if !bytes.Equal(cl.apps[0].Snapshot(), cl.apps[1].Snapshot()) ||
+		!bytes.Equal(cl.apps[1].Snapshot(), cl.apps[2].Snapshot()) {
+		t.Error("replica states diverged after the stale re-proposal")
+	}
+}
+
 func toOps(script []string) [][]byte {
 	out := make([][]byte, len(script))
 	for i, s := range script {

@@ -91,7 +91,7 @@ func (c *Core) verifyViewChange(env node.Env, vc *msg.ViewChange) bool {
 		pe := &vc.Prepared[i]
 		leader := c.Leader(pe.View)
 		if pe.PrepareCert.Replica != leader ||
-			pe.PrepareCert.Counter != tcounter.OrderCounter(pe.View) ||
+			pe.PrepareCert.Counter != c.laneCounter(pe.View, pe.Seq) ||
 			pe.PrepareCert.Value != pe.Seq ||
 			!c.cfg.Authority.Verify(pe.PrepareCert, prepareDigest(pe.View, pe.Seq, pe.Batch.Digest())) {
 			return false
@@ -240,10 +240,8 @@ func (c *Core) installView(env node.Env, nv *msg.NewView) {
 	c.pendingPrepares = make(map[uint64]*msg.Prepare)
 	c.pendingCommits = make(map[msg.NodeID]map[uint64]*msg.Commit)
 	c.proposed = make(map[msg.Digest]struct{})
-	c.nextPrepareValue = startSeq
-	for i := 0; i < c.cfg.N; i++ {
-		c.nextCommitValue[msg.NodeID(i)] = startSeq
-	}
+	c.resetContinuity(startSeq)
+	c.maxAcceptedPrep = 0
 	for v := range c.vcs {
 		if v <= nv.View {
 			delete(c.vcs, v)
@@ -282,9 +280,7 @@ func (c *Core) installView(env node.Env, nv *msg.NewView) {
 	// by the execution-time client table.
 	pending := c.queued
 	c.queued = nil
-	// Collect and sort the digests first: map order is randomized, and the
-	// re-drive order below is protocol-visible (enqueue/Forward order).
-	missed := make([]msg.Digest, 0, len(c.pendingLocal))
+	var missed []msg.Digest
 	for digest := range c.pendingLocal {
 		if _, ok := reproposed[digest]; ok {
 			continue
@@ -297,6 +293,20 @@ func (c *Core) installView(env node.Env, nv *msg.NewView) {
 	for _, digest := range missed {
 		pending = append(pending, c.pendingLocal[digest])
 	}
+	// Sort the whole re-drive set by (Client, ClientSeq): the re-drive order
+	// below is protocol-visible (enqueue/Forward order), and this order both
+	// is deterministic and preserves per-client FIFO — the execution-time
+	// client table drops any request whose ClientSeq is behind that client's
+	// latest executed one, so re-driving a client's later request ahead of
+	// an earlier one (possible from retries queued during the view change)
+	// would silently discard the earlier request. The stable sort falls back
+	// to the digest order established above for any tie.
+	sort.SliceStable(pending, func(i, j int) bool {
+		if pending[i].Client != pending[j].Client {
+			return pending[i].Client < pending[j].Client
+		}
+		return pending[i].ClientSeq < pending[j].ClientSeq
+	})
 	for _, req := range pending {
 		if c.IsLeader() {
 			c.enqueue(env, req, req.Digest())

@@ -32,7 +32,8 @@ type Config struct {
 	// N and F are the replication parameters.
 	N, F int
 
-	// Hybster configures the protocol core. Self/N/F are overwritten from
+	// Hybster configures the protocol core (including PipelineDepth, the
+	// ordering pipeline's in-flight window). Self/N/F are overwritten from
 	// this config.
 	Hybster hybster.Config
 
@@ -272,6 +273,12 @@ func (r *Replica) Send(env node.Env, to msg.NodeID, m msg.Message) {
 // reply toward its origin. In Troxy mode the reply is authenticated by this
 // replica's Troxy — which also invalidates outdated cache entries before the
 // reply can count anywhere (Section IV-A).
+//
+// The core invokes Committed strictly in *applied* sequence order, even when
+// the ordering pipeline certifies and disseminates batches out of order
+// (PipelineDepth > 1). The Troxy's fast-read freshness tracking
+// (lastWriteSeq) depends on this: it must observe writes in the order they
+// took effect, not the order their PREPAREs happened to certify.
 func (r *Replica) Committed(env node.Env, seq uint64, req *msg.OrderRequest, result []byte, keys []string, read, fresh bool) {
 	if req.Origin == msg.NoNode {
 		return

@@ -39,6 +39,37 @@ const (
 // OrderCounter returns the ordering-counter ID for a view.
 func OrderCounter(view uint64) uint32 { return uint32(view & 0x7fffffff) }
 
+// LaneOf returns the certification lane of a sequence number under a
+// pipeline of the given depth: lanes stripe the sequence space round-robin,
+// so any window of depth consecutive sequence numbers touches each lane at
+// most once. Depth <= 1 collapses to a single lane.
+func LaneOf(seq uint64, depth int) int {
+	if depth <= 1 {
+		return 0
+	}
+	return int((seq - 1) % uint64(depth))
+}
+
+// OrderLaneCounter returns the ordering-counter ID for (view, lane) under a
+// pipeline of the given depth. A counter certifies strictly increasing
+// values, which forces in-order certification; partitioning the sequence
+// space into depth lanes — each lane a distinct counter whose values within
+// a view are exactly seq, seq+depth, seq+2*depth, ... — keeps every
+// certified statement on a monotonic counter while letting statements for
+// different lanes be certified (and voted on) in any order. The receiver's
+// per-lane continuity check (next value in a lane is previous + depth)
+// preserves the hole-freedom and no-equivocation arguments lane by lane.
+//
+// Depth <= 1 reduces to OrderCounter, so the unpipelined wire format is
+// unchanged. The masking keeps all lane counters below the control-counter
+// space at 1<<31 (ViewChangeCounter, NewViewCounter).
+func OrderLaneCounter(view uint64, lane, depth int) uint32 {
+	if depth <= 1 {
+		return OrderCounter(view)
+	}
+	return uint32((view*uint64(depth) + uint64(lane)) & 0x7fffffff)
+}
+
 // Errors returned by the subsystem.
 var (
 	// ErrNotProvisioned reports certification before the key arrived.

@@ -2,6 +2,7 @@ package tcounter
 
 import (
 	"errors"
+	"fmt"
 	"testing"
 	"testing/quick"
 
@@ -127,6 +128,65 @@ func TestOrderCounterIDs(t *testing.T) {
 	}
 	if OrderCounter(3) != 3 {
 		t.Errorf("OrderCounter(3) = %d", OrderCounter(3))
+	}
+}
+
+func TestLaneCounters(t *testing.T) {
+	// Depth <= 1 collapses to the unpipelined scheme: one lane, the classic
+	// per-view counter ID.
+	for _, depth := range []int{0, 1} {
+		if LaneOf(7, depth) != 0 {
+			t.Errorf("LaneOf(7, %d) = %d, want 0", depth, LaneOf(7, depth))
+		}
+		if OrderLaneCounter(3, 0, depth) != OrderCounter(3) {
+			t.Errorf("OrderLaneCounter(3, 0, %d) != OrderCounter(3)", depth)
+		}
+	}
+
+	// Lanes stripe the sequence space round-robin: a window of depth
+	// consecutive sequence numbers touches each lane exactly once.
+	const depth = 4
+	seen := make(map[int]bool)
+	for seq := uint64(9); seq < 9+depth; seq++ {
+		seen[LaneOf(seq, depth)] = true
+	}
+	if len(seen) != depth {
+		t.Errorf("window of %d seqs covered %d lanes, want %d", depth, len(seen), depth)
+	}
+	// Within a lane the values step by exactly depth.
+	if LaneOf(2, depth) != LaneOf(2+depth, depth) {
+		t.Error("seq and seq+depth must share a lane")
+	}
+
+	// Distinct (view, lane) pairs must map to distinct counter IDs, and no
+	// lane counter may collide with the control counters.
+	ids := make(map[uint32]string)
+	for view := uint64(0); view < 8; view++ {
+		for lane := 0; lane < depth; lane++ {
+			id := OrderLaneCounter(view, lane, depth)
+			if id >= ViewChangeCounter {
+				t.Errorf("lane counter (view=%d lane=%d) = %d collides with control space", view, lane, id)
+			}
+			if prev, dup := ids[id]; dup {
+				t.Errorf("counter %d assigned to both %s and (view=%d lane=%d)", id, prev, view, lane)
+			}
+			ids[id] = fmt.Sprintf("(view=%d lane=%d)", view, lane)
+		}
+	}
+
+	// The subsystem accepts per-lane certification out of sequence order:
+	// seq 2 (lane 1) before seq 1 (lane 0), then 5 and 6 riding their lanes.
+	s := provisioned(0)
+	for _, seq := range []uint64{2, 1, 4, 3, 6, 5} {
+		c := OrderLaneCounter(0, LaneOf(seq, depth), depth)
+		if _, err := s.Certify(c, seq, msg.Digest{1}); err != nil {
+			t.Fatalf("lane certify seq %d: %v", seq, err)
+		}
+	}
+	// ...but still refuses to re-certify or roll back within a lane.
+	c := OrderLaneCounter(0, LaneOf(5, depth), depth)
+	if _, err := s.Certify(c, 5, msg.Digest{2}); !errors.Is(err, ErrNotMonotonic) {
+		t.Errorf("re-certifying seq 5 on its lane: %v, want ErrNotMonotonic", err)
 	}
 }
 

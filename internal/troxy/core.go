@@ -145,6 +145,7 @@ type Stats struct {
 	BadReplies     uint64 // replies dropped by tag verification
 	BadQueries     uint64 // cache messages dropped by tag verification
 	ModeSwitches   uint64 // monitor switches into total-order mode
+	StaleFreshRead uint64 // fresh read results refused by the applied-order pin
 	Cache          CacheStats
 }
 
@@ -488,8 +489,22 @@ func (c *Core) AuthenticateReply(rep *msg.OrderedReply, read, fresh bool, opHash
 		return ErrNotProvisioned
 	}
 	if read {
+		// Applied-order pin: a fresh read may populate the cache only if it
+		// executed at or after the last write this replica applied. With the
+		// ordering pipeline, batches *certify* out of order but always
+		// *apply* in sequence order, so under a correct core this guard is
+		// never hit (rep.Seq of consecutive Committed calls is
+		// non-decreasing); it pins the invariant so that a future reordering
+		// of the execution fan-out cannot silently resurrect the stale
+		// fast-read bug. Equal sequence numbers are fine: reads batched with
+		// a write reach us in in-batch order, after the write raised
+		// lastWriteSeq, and their results already reflect it.
 		if c.cfg.FastReads && fresh {
-			c.cache.Put(opHash, rep.Result, rep.InvalidKeys)
+			if rep.Seq >= c.lastWriteSeq {
+				c.cache.Put(opHash, rep.Result, rep.InvalidKeys)
+			} else {
+				c.stats.StaleFreshRead++
+			}
 		}
 	} else {
 		for _, k := range rep.InvalidKeys {

@@ -469,6 +469,52 @@ func TestReplayedReplyDoesNotRepoisonCache(t *testing.T) {
 	}
 }
 
+// TestFreshReadBehindAppliedWriteNotCached pins the applied-order guard the
+// ordering pipeline relies on: fresh read results are cached only if they
+// executed at or after the last write this replica applied. A correct core
+// delivers Committed in applied order, so the guard never fires there; it
+// protects against any future execution fan-out that reports a read from
+// before a write *after* that write (certification order, speculative
+// replays) re-poisoning the fast-read cache.
+func TestFreshReadBehindAppliedWriteNotCached(t *testing.T) {
+	core, _, tagger := newTestCore(t, true)
+	opHash := msg.DigestOf([]byte("GET k"))
+
+	wrep := &msg.OrderedReply{Executor: 0, Seq: 5, Client: 2, ClientSeq: 1,
+		Result: []byte("OK"), InvalidKeys: []string{"k"}}
+	if err := core.AuthenticateReply(wrep, false, true, msg.DigestOf([]byte("PUT k v2"))); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh read from behind the applied write must be tagged (the client
+	// still needs its reply) but refused by the cache.
+	rrep := &msg.OrderedReply{Executor: 0, Seq: 3, Client: 1, ClientSeq: 1,
+		ReqDigest: d("req-read"), Result: []byte("VALUE v1"), InvalidKeys: []string{"k"}}
+	if err := core.AuthenticateReply(rrep, true, true, opHash); err != nil {
+		t.Fatal(err)
+	}
+	if !tagger.Verify(0, rrep.TagInput(), rrep.TroxyTag) {
+		t.Error("refused read reply not tagged")
+	}
+	if core.cache.Get(opHash) != nil {
+		t.Error("read from behind the applied write entered the cache")
+	}
+	if core.Stats().StaleFreshRead != 1 {
+		t.Errorf("StaleFreshRead = %d, want 1", core.Stats().StaleFreshRead)
+	}
+
+	// A read batched together with the write (same sequence number, fanned
+	// out after it) reflects the write and must still be cacheable.
+	sameBatch := &msg.OrderedReply{Executor: 0, Seq: 5, Client: 1, ClientSeq: 2,
+		ReqDigest: d("req-read-2"), Result: []byte("VALUE v2"), InvalidKeys: []string{"k"}}
+	if err := core.AuthenticateReply(sameBatch, true, true, opHash); err != nil {
+		t.Fatal(err)
+	}
+	if got := core.cache.Get(opHash); string(got) != "VALUE v2" {
+		t.Errorf("same-batch read not cached: %q", got)
+	}
+}
+
 func TestUnprovisionedCoreRefuses(t *testing.T) {
 	core := NewCore(Config{Self: 0, N: 3, F: 1, Seed: 1})
 	if _, err := core.HandleClientData(0, 1, 9, []byte{1, 2, 3}); !errors.Is(err, ErrNotProvisioned) {
