@@ -15,17 +15,25 @@ build:
 test:
 	$(GO) test ./...
 
-# check is the pre-merge gate: go vet, the troxy-lint analyzer suite, the
-# full test suite under the race detector (the realnet runtime and the
-# batching pipeline are exercised with real goroutines), and — where the
-# network allows fetching them — staticcheck and govulncheck.
+# check is the pre-merge gate. Order matters: lint runs first because it is
+# the cheapest gate and its diagnostics are the ones a human can fix without
+# rerunning anything (and `go vet` inside it compiles the tree, warming the
+# build cache for everything after); the network-gated linters come next so
+# an offline skip notice is printed before the long race run; the race-
+# detector test suite runs last because it dominates wall-clock time (the
+# realnet runtime and the batching pipeline are exercised with real
+# goroutines).
 check: lint staticcheck govulncheck
 	$(GO) test -race ./...
 
 # lint runs go vet with the repository's own analyzer suite layered on top:
-# boundarycheck, copydiscipline, determinism, senderr (see cmd/troxy-lint
-# and DESIGN.md "Trust-boundary enforcement"). Suppressions use
-# `//lint:allow <analyzer> <reason>` on or above the offending line.
+# boundarycheck, copydiscipline, determinism, senderr (syntactic), plus
+# secretflow, lockcheck, exhaustive (on the internal/analysis/dataflow
+# engine) — see cmd/troxy-lint and DESIGN.md "Trust-boundary enforcement".
+# Any diagnostic fails the build. Suppressions use
+# `//lint:allow <analyzer> <reason>` on or above the offending line; a
+# suppression with an unknown analyzer name or a missing reason is itself
+# a diagnostic (allowaudit), so stale allows cannot linger.
 lint:
 	$(GO) vet ./...
 	$(GO) build -o bin/troxy-lint ./cmd/troxy-lint

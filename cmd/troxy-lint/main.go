@@ -8,6 +8,15 @@
 //	determinism     no wall clocks, global randomness, or protocol-visible
 //	                map iteration in the replicated core
 //	senderr         no silently dropped errors on wire encode/send paths
+//	secretflow      secret key material never reaches logs, host-side wire
+//	                encoders, or the ecall return path
+//	lockcheck       no locks held across blocking operations, re-acquired
+//	                through same-package calls, or leaked past a return
+//	exhaustive      switches over msg.Kind / msg.Message cover every
+//	                declared message kind or carry an explicit default
+//
+// Malformed //lint:allow comments (stale analyzer name, missing reason) are
+// reported by the unsuppressable "allowaudit" pass built into the drivers.
 //
 // Run it either standalone (`go run ./cmd/troxy-lint ./...`) or as a
 // vettool (`go vet -vettool=$(pwd)/bin/troxy-lint ./...`); `make lint` does
@@ -20,6 +29,9 @@ import (
 	"github.com/troxy-bft/troxy/internal/analysis/boundarycheck"
 	"github.com/troxy-bft/troxy/internal/analysis/copydiscipline"
 	"github.com/troxy-bft/troxy/internal/analysis/determinism"
+	"github.com/troxy-bft/troxy/internal/analysis/exhaustive"
+	"github.com/troxy-bft/troxy/internal/analysis/lockcheck"
+	"github.com/troxy-bft/troxy/internal/analysis/secretflow"
 	"github.com/troxy-bft/troxy/internal/analysis/senderr"
 )
 
@@ -29,5 +41,8 @@ func main() {
 		copydiscipline.Analyzer,
 		determinism.Analyzer,
 		senderr.Analyzer,
+		secretflow.Analyzer,
+		lockcheck.Analyzer,
+		exhaustive.Analyzer,
 	)
 }

@@ -36,6 +36,23 @@ import (
 // classify packages by their path relative to it.
 const ModulePath = "github.com/troxy-bft/troxy"
 
+// KnownAnalyzerNames is the full vocabulary of the suite — every analyzer a
+// //lint:allow comment may reference. An allow naming anything else is
+// reported as a diagnostic in its own right (analyzer "allowaudit", itself
+// unsuppressable): a stale name means the suppression silently stopped
+// doing anything, which is worse than a loud failure. Main() also checks
+// the drivers register exactly this set, so the registry cannot drift from
+// cmd/troxy-lint.
+var KnownAnalyzerNames = map[string]bool{
+	"boundarycheck":  true,
+	"copydiscipline": true,
+	"determinism":    true,
+	"senderr":        true,
+	"secretflow":     true,
+	"lockcheck":      true,
+	"exhaustive":     true,
+}
+
 // An Analyzer describes one static check of the suite.
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and //lint:allow comments.
@@ -149,8 +166,10 @@ func Analyze(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 			})
 		}
 	}
+	sites := parseAllows(pkg)
 	diags = filterTestFiles(diags)
-	diags = filterAllowed(pkg, diags)
+	diags = filterAllowed(sites, diags)
+	diags = append(diags, auditAllows(sites)...)
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -185,10 +204,17 @@ type allowKey struct {
 	name string
 }
 
-// filterAllowed drops diagnostics covered by a //lint:allow comment on the
-// same line or the line immediately above.
-func filterAllowed(pkg *Package, diags []Diagnostic) []Diagnostic {
-	allows := make(map[allowKey]bool)
+// allowSite is one parsed //lint:allow comment.
+type allowSite struct {
+	pos    token.Position
+	names  []string // comma-separated analyzer names before the reason
+	reason string   // everything after the name list
+}
+
+// parseAllows extracts every //lint:allow comment in the package, including
+// malformed ones (empty name list, missing reason) for the audit.
+func parseAllows(pkg *Package) []allowSite {
+	var sites []allowSite
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -198,15 +224,25 @@ func filterAllowed(pkg *Package, diags []Diagnostic) []Diagnostic {
 				if !ok {
 					continue
 				}
-				fields := strings.Fields(rest)
-				if len(fields) == 0 {
-					continue
+				site := allowSite{pos: pkg.Fset.Position(c.Pos())}
+				if fields := strings.Fields(rest); len(fields) > 0 {
+					site.names = strings.Split(fields[0], ",")
+					site.reason = strings.TrimSpace(strings.Join(fields[1:], " "))
 				}
-				pos := pkg.Fset.Position(c.Pos())
-				for _, name := range strings.Split(fields[0], ",") {
-					allows[allowKey{pos.Filename, pos.Line, name}] = true
-				}
+				sites = append(sites, site)
 			}
+		}
+	}
+	return sites
+}
+
+// filterAllowed drops diagnostics covered by a //lint:allow comment on the
+// same line or the line immediately above.
+func filterAllowed(sites []allowSite, diags []Diagnostic) []Diagnostic {
+	allows := make(map[allowKey]bool)
+	for _, s := range sites {
+		for _, name := range s.names {
+			allows[allowKey{s.pos.Filename, s.pos.Line, name}] = true
 		}
 	}
 	if len(allows) == 0 {
@@ -221,6 +257,52 @@ func filterAllowed(pkg *Package, diags []Diagnostic) []Diagnostic {
 		out = append(out, d)
 	}
 	return out
+}
+
+// auditAllows validates the suppression comments themselves: an allow that
+// names a non-existent analyzer or omits the reason is dead weight that
+// LOOKS like a reviewed exception, so it fails the lint run. The resulting
+// diagnostics carry the pseudo-analyzer name "allowaudit" and are appended
+// after suppression filtering — they cannot themselves be allowed away.
+// Allows in _test.go files are audited too: diagnostics are never reported
+// against test files, so any allow there is stale by definition.
+func auditAllows(sites []allowSite) []Diagnostic {
+	var out []Diagnostic
+	report := func(pos token.Position, format string, args ...any) {
+		out = append(out, Diagnostic{
+			Analyzer: "allowaudit",
+			Pos:      pos,
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, s := range sites {
+		if strings.HasSuffix(s.pos.Filename, "_test.go") {
+			report(s.pos, "//lint:allow in a test file is dead: analyzers never report against _test.go files; delete it")
+			continue
+		}
+		if len(s.names) == 0 {
+			report(s.pos, "//lint:allow without an analyzer name suppresses nothing; name the analyzer and document the reason")
+			continue
+		}
+		for _, name := range s.names {
+			if !KnownAnalyzerNames[name] {
+				report(s.pos, "//lint:allow names unknown analyzer %q; the suppression is dead (known: %s)", name, knownNamesList())
+			}
+		}
+		if s.reason == "" {
+			report(s.pos, "//lint:allow %s has no reason; every exception must document why it is safe (reviewed in DESIGN.md's allow inventory)", strings.Join(s.names, ","))
+		}
+	}
+	return out
+}
+
+func knownNamesList() string {
+	names := make([]string, 0, len(KnownAnalyzerNames))
+	for n := range KnownAnalyzerNames {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
 }
 
 // NewInfo returns a types.Info with all maps the analyzers rely on.

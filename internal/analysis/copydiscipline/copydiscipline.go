@@ -34,13 +34,6 @@ import (
 	"github.com/troxy-bft/troxy/internal/analysis"
 )
 
-var trustedRoots = []string{
-	"internal/enclave",
-	"internal/tcounter",
-	"internal/troxy",
-	"internal/securechannel",
-}
-
 // Analyzer is the copydiscipline analyzer.
 var Analyzer = &analysis.Analyzer{
 	Name: "copydiscipline",
@@ -50,17 +43,7 @@ var Analyzer = &analysis.Analyzer{
 
 func run(pass *analysis.Pass) error {
 	rel, ok := analysis.RelPath(pass.Path())
-	if !ok {
-		return nil
-	}
-	trusted := false
-	for _, r := range trustedRoots {
-		if analysis.Under(rel, r) {
-			trusted = true
-			break
-		}
-	}
-	if !trusted {
+	if !ok || !analysis.Trusted(rel) {
 		return nil
 	}
 
@@ -90,7 +73,7 @@ func run(pass *analysis.Pass) error {
 					if !ok {
 						continue
 					}
-					if isECallTableType(pass.TypesInfo.Types[idx.X].Type) {
+					if analysis.IsECallTableType(pass.TypesInfo.Types[idx.X].Type) {
 						checkBoundaryFunc(pass, lit.Type, lit.Body, "ecall handler")
 					}
 				}
@@ -108,32 +91,7 @@ func run(pass *analysis.Pass) error {
 // isECallTable reports whether lit is a composite literal of an ecall-table
 // type (map[string]func([]byte) ([]byte, error)).
 func isECallTable(pass *analysis.Pass, lit *ast.CompositeLit) bool {
-	return isECallTableType(pass.TypesInfo.Types[lit].Type)
-}
-
-func isECallTableType(t types.Type) bool {
-	if t == nil {
-		return false
-	}
-	m, ok := t.Underlying().(*types.Map)
-	if !ok {
-		return false
-	}
-	if b, ok := m.Key().Underlying().(*types.Basic); !ok || b.Kind() != types.String {
-		return false
-	}
-	return isHandlerSig(m.Elem())
-}
-
-// isHandlerSig reports whether t is func([]byte) ([]byte, error).
-func isHandlerSig(t types.Type) bool {
-	sig, ok := t.Underlying().(*types.Signature)
-	if !ok || sig.Params().Len() != 1 || sig.Results().Len() != 2 {
-		return false
-	}
-	return isByteSlice(sig.Params().At(0).Type()) &&
-		isByteSlice(sig.Results().At(0).Type()) &&
-		isError(sig.Results().At(1).Type())
+	return analysis.IsECallTableType(pass.TypesInfo.Types[lit].Type)
 }
 
 // isSecretsSig reports whether ft is func(map[string][]byte) error.
@@ -152,21 +110,7 @@ func isSecretsSig(pass *analysis.Pass, ft *ast.FuncType) bool {
 	if b, ok := m.Key().Underlying().(*types.Basic); !ok || b.Kind() != types.String {
 		return false
 	}
-	return isByteSlice(m.Elem())
-}
-
-func isByteSlice(t types.Type) bool {
-	s, ok := t.Underlying().(*types.Slice)
-	if !ok {
-		return false
-	}
-	b, ok := s.Elem().Underlying().(*types.Basic)
-	return ok && b.Kind() == types.Byte
-}
-
-func isError(t types.Type) bool {
-	named, ok := t.(*types.Named)
-	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+	return analysis.IsByteSlice(m.Elem())
 }
 
 // checkBoundaryFunc verifies the copy discipline inside one boundary

@@ -1,0 +1,249 @@
+// Package exhaustive makes adding a message type a compile-gated event:
+// every switch over the msg envelope discriminator (msg.Kind) and every
+// type switch over the msg.Message interface must either cover all declared
+// message kinds or carry an explicit default arm that counts or rejects the
+// leftovers. Without this, a new Kind constant silently falls through
+// dispatch switches in hybster, troxy, and realnet and the protocol drops
+// (or worse, half-handles) the message.
+//
+// The declared universe is read from the msg package's own scope — the Kind
+// constants and the concrete types implementing Message — so the analyzer
+// never needs a hand-maintained list. A switch with an explicit default is
+// always accepted: the default documents that the author considered the
+// leftovers.
+package exhaustive
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"github.com/troxy-bft/troxy/internal/analysis"
+)
+
+// Analyzer is the exhaustive analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "exhaustive",
+	Doc:  "switches over msg.Kind and type switches over msg.Message must cover every declared message kind or carry an explicit default",
+	Run:  run,
+}
+
+const msgPath = analysis.ModulePath + "/internal/msg"
+
+func run(pass *analysis.Pass) error {
+	if _, ok := analysis.RelPath(pass.Path()); !ok {
+		return nil
+	}
+	msgPkg := findMsgPackage(pass)
+	if msgPkg == nil {
+		return nil
+	}
+	u := newUniverse(msgPkg)
+	if u == nil {
+		return nil
+	}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SwitchStmt:
+				checkKindSwitch(pass, u, n)
+			case *ast.TypeSwitchStmt:
+				checkMessageSwitch(pass, u, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// findMsgPackage locates the msg package: the package under analysis itself
+// or one of its direct imports.
+func findMsgPackage(pass *analysis.Pass) *types.Package {
+	if analysis.NormalizePath(pass.Pkg.Path()) == msgPath {
+		return pass.Pkg
+	}
+	for _, imp := range pass.Pkg.Imports() {
+		if analysis.NormalizePath(imp.Path()) == msgPath {
+			return imp
+		}
+	}
+	return nil
+}
+
+// universe is the declared message surface read from the msg package.
+type universe struct {
+	kindType *types.Named // msg.Kind
+	msgIface *types.Named // msg.Message
+	// kinds maps each Kind constant's exact value to its name.
+	kinds map[string]string
+	// impls is the set of concrete types implementing Message, by name.
+	impls []string
+}
+
+func newUniverse(msgPkg *types.Package) *universe {
+	scope := msgPkg.Scope()
+	kindObj, _ := scope.Lookup("Kind").(*types.TypeName)
+	ifaceObj, _ := scope.Lookup("Message").(*types.TypeName)
+	if kindObj == nil || ifaceObj == nil {
+		return nil
+	}
+	kindType, _ := kindObj.Type().(*types.Named)
+	msgIface, _ := ifaceObj.Type().(*types.Named)
+	if kindType == nil || msgIface == nil {
+		return nil
+	}
+	iface, _ := msgIface.Underlying().(*types.Interface)
+	if iface == nil {
+		return nil
+	}
+
+	u := &universe{kindType: kindType, msgIface: msgIface, kinds: make(map[string]string)}
+	for _, name := range scope.Names() {
+		switch obj := scope.Lookup(name).(type) {
+		case *types.Const:
+			if obj.Type() == kindType && obj.Val() != nil {
+				u.kinds[obj.Val().ExactString()] = name
+			}
+		case *types.TypeName:
+			if obj == kindObj || obj == ifaceObj || obj.IsAlias() {
+				continue
+			}
+			named, _ := obj.Type().(*types.Named)
+			if named == nil {
+				continue
+			}
+			if _, isIface := named.Underlying().(*types.Interface); isIface {
+				continue
+			}
+			if types.Implements(types.NewPointer(named), iface) || types.Implements(named, iface) {
+				u.impls = append(u.impls, name)
+			}
+		}
+	}
+	sort.Strings(u.impls)
+	if len(u.kinds) == 0 {
+		return nil
+	}
+	return u
+}
+
+// checkKindSwitch verifies a value switch whose tag is typed msg.Kind.
+func checkKindSwitch(pass *analysis.Pass, u *universe, s *ast.SwitchStmt) {
+	if s.Tag == nil {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[s.Tag]
+	if !ok || !sameNamed(tv.Type, u.kindType) {
+		return
+	}
+	covered := make(map[string]bool)
+	for _, cl := range s.Body.List {
+		cc, ok := cl.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			return // explicit default: accepted
+		}
+		for _, e := range cc.List {
+			if ctv, ok := pass.TypesInfo.Types[e]; ok && ctv.Value != nil {
+				covered[ctv.Value.ExactString()] = true
+			}
+		}
+	}
+	var missing []string
+	for val, name := range u.kinds {
+		if !covered[val] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+	pass.Reportf(s.Pos(),
+		"switch over msg.Kind is not exhaustive: missing %s; add the cases or an explicit default that counts or rejects them",
+		strings.Join(missing, ", "))
+}
+
+// checkMessageSwitch verifies a type switch whose operand is msg.Message.
+func checkMessageSwitch(pass *analysis.Pass, u *universe, s *ast.TypeSwitchStmt) {
+	var operand ast.Expr
+	switch g := s.Assign.(type) {
+	case *ast.ExprStmt:
+		if ta, ok := g.X.(*ast.TypeAssertExpr); ok {
+			operand = ta.X
+		}
+	case *ast.AssignStmt:
+		if len(g.Rhs) == 1 {
+			if ta, ok := g.Rhs[0].(*ast.TypeAssertExpr); ok {
+				operand = ta.X
+			}
+		}
+	}
+	if operand == nil {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[operand]
+	if !ok || !sameNamed(tv.Type, u.msgIface) {
+		return
+	}
+	covered := make(map[string]bool)
+	for _, cl := range s.Body.List {
+		cc, ok := cl.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			return // explicit default: accepted
+		}
+		for _, e := range cc.List {
+			t := pass.TypesInfo.Types[e].Type
+			if t == nil {
+				continue
+			}
+			if sameNamed(t, u.msgIface) {
+				return // case msg.Message: covers everything
+			}
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil &&
+				analysis.NormalizePath(named.Obj().Pkg().Path()) == msgPath {
+				covered[named.Obj().Name()] = true
+			}
+		}
+	}
+	var missing []string
+	for _, name := range u.impls {
+		if !covered[name] {
+			missing = append(missing, "*msg."+name)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	pass.Reportf(s.Pos(),
+		"type switch over msg.Message is not exhaustive: missing %s; add the cases or an explicit default that counts or rejects them",
+		strings.Join(missing, ", "))
+}
+
+// sameNamed reports whether t is the named type want (ignoring the
+// fixture/real package distinction by comparing the object's package path
+// and name — both passes resolve against the same loaded package, so
+// pointer identity would do, but path comparison keeps the check robust
+// across re-imports of the same export data).
+func sameNamed(t types.Type, want *types.Named) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	if named == want {
+		return true
+	}
+	a, b := named.Obj(), want.Obj()
+	return a.Name() == b.Name() && a.Pkg() != nil && b.Pkg() != nil &&
+		a.Pkg().Path() == b.Pkg().Path()
+}

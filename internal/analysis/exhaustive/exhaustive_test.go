@@ -1,0 +1,15 @@
+package exhaustive_test
+
+import (
+	"testing"
+
+	"github.com/troxy-bft/troxy/internal/analysis/analysistest"
+	"github.com/troxy-bft/troxy/internal/analysis/exhaustive"
+)
+
+func TestExhaustive(t *testing.T) {
+	analysistest.Run(t, exhaustive.Analyzer,
+		"github.com/troxy-bft/troxy/internal/hybster/expos",
+		"github.com/troxy-bft/troxy/internal/hybster/exneg",
+	)
+}

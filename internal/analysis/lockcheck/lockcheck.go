@@ -1,0 +1,484 @@
+// Package lockcheck enforces mutex discipline in the packages the pipelined
+// ordering core made concurrent (tcounter, realnet, securechannel,
+// faultplane): the race detector only catches schedules a test happens to
+// run; lockcheck rejects the deadlock- and leak-shaped patterns statically.
+//
+// Tracking is per function, on the dataflow engine: acquiring sync.Mutex /
+// sync.RWMutex locks adds a held-lock fact (keyed by the lock expression's
+// root variable and selector path, so c.mu and d.mu are distinct), releasing
+// removes it. Within one function the analyzer reports:
+//
+//   - a blocking operation while holding a lock: a channel send (unless in
+//     a select with a default arm — non-blocking by construction), a
+//     net.Conn method call, frame I/O (internal/wire ReadFrame/WriteFrame),
+//     or an ecall transition (internal/enclave ECall) — each can block
+//     indefinitely on a peer while every other goroutine piles up on the
+//     held lock;
+//   - a call back into a same-package function that acquires a lock this
+//     function already holds (the self-deadlock shape), using a per-package
+//     summary of which receiver locks each method takes;
+//   - Unlock/RUnlock of a lock not held on any path reaching it;
+//   - a return while a manually-managed lock is still held: an early return
+//     that skips the unlock leaks the lock; locks covered by a defer'd
+//     unlock anywhere in the function are exempt.
+//
+// Known limits, by design: the analysis is intra-procedural — a helper that
+// locks in one function and unlocks in another (a lock handoff) is reported
+// at the return and needs a //lint:allow with its protocol documented.
+// sync.Locker values passed as interfaces are not tracked; RLock/RLock
+// recursion (deadlock-prone only with a pending writer) is accepted.
+package lockcheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"github.com/troxy-bft/troxy/internal/analysis"
+	"github.com/troxy-bft/troxy/internal/analysis/dataflow"
+)
+
+// Analyzer is the lockcheck analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockcheck",
+	Doc:  "locks must not be held across blocking operations, re-acquired through same-package calls, released unheld, or leaked past a return",
+	Run:  run,
+}
+
+// lockKey identifies one lock within a function: the root variable object,
+// the selector path from it to the mutex, and the read/write mode.
+type lockKey struct {
+	root types.Object
+	path string
+	read bool
+}
+
+func (k lockKey) display() string {
+	mode := ""
+	if k.read {
+		mode = " (read)"
+	}
+	return k.root.Name() + k.path + mode
+}
+
+func run(pass *analysis.Pass) error {
+	if _, ok := analysis.RelPath(pass.Path()); !ok {
+		return nil
+	}
+
+	summaries := collectSummaries(pass)
+	nonBlocking := collectNonBlockingSends(pass)
+
+	for _, f := range pass.Files {
+		for _, fn := range functions(f) {
+			checkFunc(pass, fn, summaries, nonBlocking)
+		}
+	}
+	return nil
+}
+
+// fnInfo is one function to analyze: its body plus the declaration (nil for
+// package-level literals).
+type fnInfo struct {
+	body *ast.BlockStmt
+}
+
+func functions(f *ast.File) []fnInfo {
+	var out []fnInfo
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if d.Body != nil {
+				out = append(out, fnInfo{body: d.Body})
+			}
+		case *ast.GenDecl:
+			ast.Inspect(d, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					out = append(out, fnInfo{body: lit.Body})
+					return false
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+func checkFunc(pass *analysis.Pass, fn fnInfo, summaries map[*types.Func][]summaryLock, nonBlocking map[ast.Node]bool) {
+	deferred := collectDeferredUnlocks(pass, fn.body)
+
+	h := &dataflow.Hooks{
+		Info: pass.TypesInfo,
+		TransferCall: func(call *ast.CallExpr, info dataflow.CallInfo, st *dataflow.State) bool {
+			sel, _ := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if key, op, ok := lockOp(pass, call); ok {
+				switch op {
+				case "Lock", "RLock":
+					if info.Deferred {
+						return false
+					}
+					write := lockKey{key.root, key.path, false}
+					read := lockKey{key.root, key.path, true}
+					if st.Has(write) || (op == "Lock" && st.Has(read)) {
+						if info.Reporting {
+							pass.Reportf(call.Pos(),
+								"%s of %s while already holding it; self-deadlock", op, key.root.Name()+key.path)
+						}
+					}
+					// Record the acquire even after a double-lock report so the
+					// paired release below doesn't cascade a second diagnostic.
+					key.read = op == "RLock"
+					st.Add(key)
+				case "Unlock", "RUnlock":
+					key.read = op == "RUnlock"
+					if info.Deferred {
+						// Runs at return; checked via the deferred-unlock set.
+						return false
+					}
+					if !st.Has(key) {
+						if info.Reporting {
+							pass.Reportf(call.Pos(),
+								"%s of %s which is not held on this path", op, key.root.Name()+key.path)
+						}
+						return false
+					}
+					st.Kill(key)
+				}
+				return false
+			}
+
+			if st.Len() == 0 || info.Deferred {
+				return false
+			}
+			if why := blockingCall(pass, call, sel); why != "" {
+				if info.Reporting {
+					pass.Reportf(call.Pos(),
+						"%s while holding %s; a stalled peer blocks every goroutine contending for the lock", why, heldList(st))
+				}
+				return false
+			}
+			reportSelfDeadlock(pass, call, sel, st, summaries, info.Reporting)
+			return false
+		},
+		OnNode: func(n ast.Node, st *dataflow.State, deferredCall bool) {
+			send, ok := n.(*ast.SendStmt)
+			if !ok || st.Len() == 0 || nonBlocking[send] {
+				return
+			}
+			pass.Reportf(send.Pos(),
+				"channel send while holding %s; a blocked receiver blocks every goroutine contending for the lock", heldList(st))
+		},
+		OnReturn: func(ret *ast.ReturnStmt, _ []bool, st *dataflow.State) {
+			var leaked []string
+			st.Each(func(f dataflow.Fact) {
+				k := f.(lockKey)
+				if !deferred[k] {
+					leaked = append(leaked, k.display())
+				}
+			})
+			if len(leaked) == 0 {
+				return
+			}
+			sort.Strings(leaked)
+			pass.Reportf(ret.Pos(),
+				"return while still holding %s with no deferred unlock; an early return leaks the lock", strings.Join(leaked, ", "))
+		},
+	}
+	dataflow.Run(h, fn.body)
+}
+
+// lockOp recognizes a mutex method call and returns the lock key and the
+// operation name.
+func lockOp(pass *analysis.Pass, call *ast.CallExpr) (lockKey, string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockKey{}, "", false
+	}
+	op := sel.Sel.Name
+	switch op {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return lockKey{}, "", false
+	}
+	if !isMutexType(pass.TypesInfo.Types[sel.X].Type) {
+		return lockKey{}, "", false
+	}
+	key, ok := keyOf(pass, sel.X)
+	if !ok {
+		return lockKey{}, "", false
+	}
+	return key, op, true
+}
+
+// keyOf splits a lock expression into its root object and selector path
+// (c.state.mu -> root c, path ".state.mu").
+func keyOf(pass *analysis.Pass, e ast.Expr) (lockKey, bool) {
+	var parts []string
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			obj := pass.TypesInfo.Uses[x]
+			if obj == nil {
+				obj = pass.TypesInfo.Defs[x]
+			}
+			if obj == nil {
+				return lockKey{}, false
+			}
+			path := ""
+			for i := len(parts) - 1; i >= 0; i-- {
+				path += "." + parts[i]
+			}
+			return lockKey{root: obj, path: path}, true
+		case *ast.SelectorExpr:
+			parts = append(parts, x.Sel.Name)
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		default:
+			return lockKey{}, false
+		}
+	}
+}
+
+func isMutexType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	if named.Obj().Pkg().Path() != "sync" {
+		return false
+	}
+	name := named.Obj().Name()
+	return name == "Mutex" || name == "RWMutex"
+}
+
+// blockingCall classifies call as a blocking operation, returning a short
+// description or "".
+func blockingCall(pass *analysis.Pass, call *ast.CallExpr, sel *ast.SelectorExpr) string {
+	fn := callee(pass, call)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	path := analysis.NormalizePath(fn.Pkg().Path())
+	switch path {
+	case "net":
+		// Interface method calls on net.Conn and friends resolve to package
+		// net; only flag the potentially-blocking operations.
+		switch fn.Name() {
+		case "Read", "Write", "Accept", "Close":
+			return fmt.Sprintf("net %s call", fn.Name())
+		}
+		return ""
+	case analysis.ModulePath + "/internal/wire":
+		if fn.Name() == "ReadFrame" || fn.Name() == "WriteFrame" {
+			return fmt.Sprintf("frame I/O (wire.%s)", fn.Name())
+		}
+		return ""
+	case analysis.ModulePath + "/internal/enclave":
+		if fn.Name() == "ECall" {
+			return "ecall transition"
+		}
+		return ""
+	}
+	// Concrete Conn types: a Read/Write/Close method on a value that also
+	// implements net.Conn's shape is treated as conn I/O.
+	if sel != nil && isConnLike(pass, sel.X) {
+		switch fn.Name() {
+		case "Read", "Write", "Close":
+			return fmt.Sprintf("conn %s call", fn.Name())
+		}
+	}
+	return ""
+}
+
+// isConnLike reports whether e's type has the net.Conn core methods
+// (Read/Write/Close plus deadlines), without needing the net package loaded.
+func isConnLike(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.Types[e].Type
+	if t == nil {
+		return false
+	}
+	need := map[string]bool{"Read": false, "Write": false, "Close": false, "SetDeadline": false}
+	ms := types.NewMethodSet(t)
+	for i := 0; i < ms.Len(); i++ {
+		name := ms.At(i).Obj().Name()
+		if _, ok := need[name]; ok {
+			need[name] = true
+		}
+	}
+	for _, have := range need {
+		if !have {
+			return false
+		}
+	}
+	return true
+}
+
+// summaryLock is one lock a method acquires on its own receiver.
+type summaryLock struct {
+	path string
+	read bool
+}
+
+// collectSummaries records, for every method in the package, the receiver
+// locks its body acquires — the callee side of the self-deadlock check.
+func collectSummaries(pass *analysis.Pass) map[*types.Func][]summaryLock {
+	out := make(map[*types.Func][]summaryLock)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil || len(fd.Recv.List) == 0 {
+				continue
+			}
+			var recvObj types.Object
+			if names := fd.Recv.List[0].Names; len(names) == 1 {
+				recvObj = pass.TypesInfo.Defs[names[0]]
+			}
+			if recvObj == nil {
+				continue
+			}
+			fnObj, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if fnObj == nil {
+				continue
+			}
+			var locks []summaryLock
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if _, ok := n.(*ast.FuncLit); ok {
+					return false // a goroutine's locks are its own
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				key, op, ok := lockOp(pass, call)
+				if !ok || key.root != recvObj {
+					return true
+				}
+				if op == "Lock" || op == "RLock" {
+					locks = append(locks, summaryLock{path: key.path, read: op == "RLock"})
+				}
+				return true
+			})
+			if len(locks) > 0 {
+				out[fnObj] = locks
+			}
+		}
+	}
+	return out
+}
+
+// reportSelfDeadlock flags a call to a same-package method that acquires a
+// receiver lock the caller already holds on the same object.
+func reportSelfDeadlock(pass *analysis.Pass, call *ast.CallExpr, sel *ast.SelectorExpr, st *dataflow.State, summaries map[*types.Func][]summaryLock, reporting bool) {
+	if sel == nil || !reporting {
+		return
+	}
+	fn := callee(pass, call)
+	if fn == nil {
+		return
+	}
+	locks, ok := summaries[fn]
+	if !ok {
+		return
+	}
+	root, ok := keyOf(pass, sel.X)
+	if !ok {
+		return
+	}
+	for _, l := range locks {
+		held := lockKey{root.root, l.path, false}
+		heldR := lockKey{root.root, l.path, true}
+		// Write acquire conflicts with anything held; read acquire conflicts
+		// with a held write lock.
+		if st.Has(held) || (!l.read && st.Has(heldR)) {
+			pass.Reportf(call.Pos(),
+				"call to %s.%s re-acquires %s already held here; self-deadlock", root.root.Name(), fn.Name(), root.root.Name()+l.path)
+			return
+		}
+	}
+}
+
+// collectDeferredUnlocks gathers the locks released by defer statements
+// anywhere in body: those are legitimately still held at return.
+func collectDeferredUnlocks(pass *analysis.Pass, body *ast.BlockStmt) map[lockKey]bool {
+	out := make(map[lockKey]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		d, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		key, op, ok := lockOp(pass, d.Call)
+		if !ok {
+			return true
+		}
+		switch op {
+		case "Unlock":
+			out[lockKey{key.root, key.path, false}] = true
+		case "RUnlock":
+			out[lockKey{key.root, key.path, true}] = true
+		}
+		return true
+	})
+	return out
+}
+
+// collectNonBlockingSends returns the send statements that are comm clauses
+// of a select containing a default arm: non-blocking by construction.
+func collectNonBlockingSends(pass *analysis.Pass) map[ast.Node]bool {
+	out := make(map[ast.Node]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectStmt)
+			if !ok {
+				return true
+			}
+			hasDefault := false
+			for _, cl := range sel.Body.List {
+				if comm, ok := cl.(*ast.CommClause); ok && comm.Comm == nil {
+					hasDefault = true
+				}
+			}
+			if !hasDefault {
+				return true
+			}
+			for _, cl := range sel.Body.List {
+				if comm, ok := cl.(*ast.CommClause); ok && comm.Comm != nil {
+					out[comm.Comm] = true
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func heldList(st *dataflow.State) string {
+	var names []string
+	st.Each(func(f dataflow.Fact) {
+		names = append(names, f.(lockKey).display())
+	})
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+func callee(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pass.TypesInfo.Uses[f].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.TypesInfo.Uses[f.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

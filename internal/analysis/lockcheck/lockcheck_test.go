@@ -1,0 +1,15 @@
+package lockcheck_test
+
+import (
+	"testing"
+
+	"github.com/troxy-bft/troxy/internal/analysis/analysistest"
+	"github.com/troxy-bft/troxy/internal/analysis/lockcheck"
+)
+
+func TestLockCheck(t *testing.T) {
+	analysistest.Run(t, lockcheck.Analyzer,
+		"github.com/troxy-bft/troxy/internal/realnet/lcpos",
+		"github.com/troxy-bft/troxy/internal/realnet/lcneg",
+	)
+}

@@ -1,0 +1,118 @@
+// Package lcneg must stay clean under lockcheck: the sanctioned locking
+// patterns.
+package lcneg
+
+import (
+	"net"
+	"sync"
+
+	"github.com/troxy-bft/troxy/internal/wire"
+)
+
+// B mirrors the bridge shape of lcpos.
+type B struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	ch   chan int
+	conn net.Conn
+	n    int
+}
+
+// deferUnlock is the standard pattern: defer covers every return path.
+func (b *B) deferUnlock(cond bool) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if cond {
+		return 0
+	}
+	return b.n
+}
+
+// manualUnlockEveryPath releases on both paths before returning.
+func (b *B) manualUnlockEveryPath(cond bool) int {
+	b.mu.Lock()
+	if cond {
+		b.mu.Unlock()
+		return 0
+	}
+	n := b.n
+	b.mu.Unlock()
+	return n
+}
+
+// sendAfterUnlock moves the blocking operation outside the critical section.
+func (b *B) sendAfterUnlock() {
+	b.mu.Lock()
+	n := b.n
+	b.mu.Unlock()
+	b.ch <- n
+}
+
+// nonBlockingSendUnderLock is exempt: a select with a default arm cannot
+// block on the send.
+func (b *B) nonBlockingSendUnderLock() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select {
+	case b.ch <- b.n:
+		return true
+	default:
+		return false
+	}
+}
+
+// writeAfterSnapshot copies under the lock and does I/O outside it.
+func (b *B) writeAfterSnapshot(p []byte) error {
+	b.mu.Lock()
+	buf := make([]byte, len(p))
+	copy(buf, p)
+	b.mu.Unlock()
+	if _, err := b.conn.Write(buf); err != nil {
+		return err
+	}
+	return wire.WriteFrame(b.conn, buf)
+}
+
+// bump locks the receiver; callers below release before calling it.
+func (b *B) bump() {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+}
+
+func (b *B) callAfterUnlock() {
+	b.mu.Lock()
+	b.n = 0
+	b.mu.Unlock()
+	b.bump()
+}
+
+// readers may stack: an RLock-taking helper under a held RLock is fine.
+func (b *B) readCount() int {
+	b.rw.RLock()
+	defer b.rw.RUnlock()
+	return b.n
+}
+
+func (b *B) sumUnderRead() int {
+	b.rw.RLock()
+	defer b.rw.RUnlock()
+	return b.n + 1
+}
+
+// nestedRead calls an RLock-taking helper under a held read lock — accepted
+// (deadlock-prone only with a pending writer; see package doc).
+func (b *B) nestedRead() int {
+	b.rw.RLock()
+	defer b.rw.RUnlock()
+	return b.n + b.readCount()
+}
+
+// distinctLocks: holding mu while taking rw is not a self-deadlock.
+func (b *B) distinctLocks() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.rw.Lock()
+	b.n++
+	b.rw.Unlock()
+}

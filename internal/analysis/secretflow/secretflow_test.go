@@ -1,0 +1,16 @@
+package secretflow_test
+
+import (
+	"testing"
+
+	"github.com/troxy-bft/troxy/internal/analysis/analysistest"
+	"github.com/troxy-bft/troxy/internal/analysis/secretflow"
+)
+
+func TestSecretFlow(t *testing.T) {
+	analysistest.Run(t, secretflow.Analyzer,
+		"github.com/troxy-bft/troxy/internal/securechannel/sfpos",
+		"github.com/troxy-bft/troxy/internal/securechannel/sfneg",
+		"github.com/troxy-bft/troxy/internal/realnet/sfwire",
+	)
+}

@@ -1,0 +1,36 @@
+// Package sfwire must trigger secretflow's host-side wire sink: realnet is
+// outside the enclave surface, so secret bytes may not be framed here.
+package sfwire
+
+import (
+	"bytes"
+
+	"github.com/troxy-bft/troxy/internal/wire"
+)
+
+// troxy:secret
+var sessionTicket []byte
+
+// leak frames the raw ticket from untrusted code.
+func leak(w *wire.Writer) {
+	w.Raw(sessionTicket) // want "secret-tainted value written to the wire via wire.Raw outside the enclave surface"
+}
+
+// leakFrame exercises the package-function form of the sink.
+func leakFrame(dst *bytes.Buffer) error {
+	return wire.WriteFrame(dst, sessionTicket) // want "secret-tainted value written to the wire via wire.WriteFrame outside the enclave surface"
+}
+
+// forwardCiphertext is clean: the bytes came from a declassifying call.
+func forwardCiphertext(w *wire.Writer) {
+	ct := encrypt(sessionTicket)
+	w.Raw(ct)
+}
+
+// plainPayload is clean: nothing secret crosses.
+func plainPayload(w *wire.Writer, payload []byte) {
+	w.U32(uint32(len(payload)))
+	w.Raw(payload)
+}
+
+func encrypt(b []byte) []byte { return append([]byte(nil), b...) }

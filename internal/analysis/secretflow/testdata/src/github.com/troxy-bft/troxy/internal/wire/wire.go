@@ -1,0 +1,15 @@
+// Package wire is a fixture mirror of the real internal/wire surface: just
+// enough of the Writer API for the secretflow wire-encoder sink to resolve
+// callees by package path.
+package wire
+
+import "io"
+
+type Writer struct{ buf []byte }
+
+func (w *Writer) U32(v uint32)      {}
+func (w *Writer) Bytes32(b []byte)  {}
+func (w *Writer) String(s string)   {}
+func (w *Writer) Raw(b []byte)      {}
+func (w *Writer) Bytes() []byte     { return w.buf }
+func WriteFrame(dst io.Writer, payload []byte) error { return nil }

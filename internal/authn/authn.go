@@ -39,7 +39,7 @@ var ErrBadKeySize = errors.New("authn: master secret must not be empty")
 // abstraction of the key-provisioning step: each node receives only the keys
 // it is entitled to (see Provision).
 type Directory struct {
-	master []byte
+	master []byte // troxy:secret deployment master secret; every other key derives from it
 }
 
 // NewDirectory creates a key directory from a deployment master secret.

@@ -183,7 +183,7 @@ type Stats struct {
 // Platform models one SGX-capable machine. Its hardware key signs quotes and
 // roots the sealing-key derivation.
 type Platform struct {
-	hwKey []byte
+	hwKey []byte // troxy:secret hardware root of trust; never leaves the platform
 }
 
 // NewPlatform creates a platform with a random hardware key.

@@ -157,6 +157,9 @@ func (b *Byzantine) send(raw node.Env, e *msg.Envelope) {
 		com.BatchDigest[0] ^= 0x01
 		b.sealSend(raw, e.To, com)
 		return
+	default:
+		// The harness only tampers with replies and ordering certificates;
+		// every other kind passes through untouched below.
 	}
 	raw.Send(e)
 }

@@ -9,6 +9,7 @@ import (
 	"github.com/troxy-bft/troxy/internal/msg"
 	"github.com/troxy-bft/troxy/internal/node"
 	"github.com/troxy-bft/troxy/internal/simnet"
+	"github.com/troxy-bft/troxy/internal/testutil"
 )
 
 func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
@@ -137,6 +138,7 @@ func (b *burstNode) OnTimer(node.Env, node.TimerKey)    {}
 // loses everything (counted), duplication doubles delivery, and the same
 // seed yields the same counters.
 func TestSimnetFaultHook(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	run := func(seed int64, plan faultplane.Plan) simnet.Stats {
 		net := simnet.New(9, nil)
 		net.SetFault(faultplane.NewInjector(seed, plan))

@@ -132,6 +132,11 @@ type Metrics struct {
 	// accepted in the view. Both stay zero with PipelineDepth == 0.
 	WindowStalls       uint64
 	OutOfOrderPrepares uint64
+
+	// DroppedDeferred counts replayed deferred messages of a kind the
+	// defer path should never have parked (only PREPARE and COMMIT are
+	// deferred across views); nonzero means a protocol bug.
+	DroppedDeferred uint64
 }
 
 type entry struct {
@@ -689,6 +694,10 @@ func (c *Core) replayDeferred(env node.Env) {
 			c.OnPrepare(env, d.from, m)
 		case *msg.Commit:
 			c.OnCommit(env, d.from, m)
+		default:
+			// Only certified ordering messages are deferred (deferToView's
+			// callers); anything else parked here would be a protocol bug.
+			c.metrics.DroppedDeferred++
 		}
 	}
 }

@@ -65,6 +65,7 @@ type Stats struct {
 	FastMiss   uint64 // sketch misses or mismatches
 	Ordered    uint64
 	BadReplies uint64
+	Unhandled  uint64 // envelopes of a kind the middlebox does not speak
 }
 
 type session struct {
@@ -141,6 +142,11 @@ func (m *Middlebox) OnEnvelope(env node.Env, e *msg.Envelope) {
 		m.onChannelData(env, e)
 	case msg.KindBFTReply:
 		m.onReply(env, e)
+	default:
+		// The middlebox sits on the client edge: it only speaks the secure
+		// channel and the reply path. Replica-to-replica kinds never route
+		// here; count them so a routing bug is visible.
+		m.stats.Unhandled++
 	}
 }
 

@@ -6,12 +6,14 @@ import (
 
 	"github.com/troxy-bft/troxy/internal/faultplane"
 	"github.com/troxy-bft/troxy/internal/msg"
+	"github.com/troxy-bft/troxy/internal/testutil"
 )
 
 // TestRouterFaultDropAndHeal injects a total drop fault on the link into
 // node 2 with a scheduled end; traffic during the window is lost, traffic
 // after it goes through.
 func TestRouterFaultDropAndHeal(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	r := NewRouter()
 	defer r.Close()
 	r.SetFault(faultplane.NewInjector(1, faultplane.Plan{
@@ -42,6 +44,7 @@ func TestRouterFaultDropAndHeal(t *testing.T) {
 // TestRouterFaultDuplicateAndDelay checks that duplication doubles delivery
 // and that delayed envelopes still arrive.
 func TestRouterFaultDuplicateAndDelay(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	r := NewRouter()
 	defer r.Close()
 	r.SetFault(faultplane.NewInjector(1, faultplane.Plan{
@@ -62,6 +65,7 @@ func TestRouterFaultDuplicateAndDelay(t *testing.T) {
 // without losing the message: the collector still receives it, but the body
 // differs from the original.
 func TestRouterFaultCorruptIsDetectable(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	r := NewRouter()
 	defer r.Close()
 	r.SetFault(faultplane.NewInjector(1, faultplane.Plan{
@@ -89,6 +93,7 @@ func TestRouterFaultCorruptIsDetectable(t *testing.T) {
 // so that once the peer comes up every frame sent before and after is
 // delivered, with zero drops.
 func TestBridgeLatePeerBackoff(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	// Reserve an address for the late peer.
 	l, err := listen(t)
 	if err != nil {

@@ -7,6 +7,7 @@ import (
 
 	"github.com/troxy-bft/troxy/internal/msg"
 	"github.com/troxy-bft/troxy/internal/node"
+	"github.com/troxy-bft/troxy/internal/testutil"
 	"github.com/troxy-bft/troxy/internal/wire"
 )
 
@@ -72,6 +73,7 @@ func waitCh(t *testing.T, ch chan struct{}, what string) {
 }
 
 func TestLocalDelivery(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	r := NewRouter()
 	defer r.Close()
 	recv := newCollector(3)
@@ -97,6 +99,7 @@ func (s *senderNode) OnEnvelope(node.Env, *msg.Envelope) {}
 func (s *senderNode) OnTimer(node.Env, node.TimerKey)    {}
 
 func TestTimers(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	r := NewRouter()
 	defer r.Close()
 	c := newCollector(0)
@@ -116,6 +119,7 @@ func TestTimers(t *testing.T) {
 }
 
 func TestCrashAndRestore(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	r := NewRouter()
 	defer r.Close()
 	recv := newCollector(1)
@@ -132,6 +136,7 @@ func TestCrashAndRestore(t *testing.T) {
 }
 
 func TestCloseIsIdempotentAndStopsNodes(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	r := NewRouter()
 	recv := newCollector(1)
 	r.Attach(1, recv)
@@ -142,6 +147,7 @@ func TestCloseIsIdempotentAndStopsNodes(t *testing.T) {
 }
 
 func TestBridgeBetweenRouters(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	// Two processes: router A hosts node 1, router B hosts node 2.
 	ra, rb := NewRouter(), NewRouter()
 	defer ra.Close()
@@ -171,6 +177,7 @@ func TestBridgeBetweenRouters(t *testing.T) {
 }
 
 func TestBridgeDiscardsGarbage(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	r := NewRouter()
 	defer r.Close()
 	b := NewBridge(r, nil)
@@ -199,6 +206,7 @@ func TestBridgeDiscardsGarbage(t *testing.T) {
 }
 
 func TestGatewayRoundTrip(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	r := NewRouter()
 	defer r.Close()
 

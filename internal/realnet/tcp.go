@@ -456,10 +456,16 @@ func (g *Gateway) Close() {
 	g.mu.Lock()
 	g.closed = true
 	l := g.listener
+	// Snapshot under the lock, close outside it: Close on a wedged conn may
+	// block, and accept/teardown paths contend on g.mu.
+	conns := make([]net.Conn, 0, len(g.active))
 	for conn := range g.active {
-		conn.Close()
+		conns = append(conns, conn)
 	}
 	g.mu.Unlock()
+	for _, conn := range conns {
+		conn.Close()
+	}
 	if l != nil {
 		l.Close()
 	}

@@ -67,6 +67,10 @@ type Stats struct {
 	BadMACs uint64
 	// DirectReads counts speculative read executions (baseline mode).
 	DirectReads uint64
+	// Unhandled counts authenticated messages of a kind the replica has no
+	// handler for (client-side kinds like BFTReply, or transport-level
+	// kinds like Batch that never arrive as bare envelopes).
+	Unhandled uint64
 }
 
 var _ node.Handler = (*Replica)(nil)
@@ -121,8 +125,7 @@ func (r *Replica) OnTimer(env node.Env, key node.TimerKey) {
 
 // OnEnvelope implements node.Handler.
 func (r *Replica) OnEnvelope(env node.Env, e *msg.Envelope) {
-	switch e.Kind {
-	case msg.KindChannelData:
+	if e.Kind == msg.KindChannelData {
 		r.onChannelData(env, e)
 		return
 	}
@@ -177,6 +180,11 @@ func (r *Replica) OnEnvelope(env node.Env, e *msg.Envelope) {
 				r.apply(env, acts)
 			}
 		}
+	default:
+		// ChannelData is intercepted above; BFTReply is client-bound and
+		// Batch only travels inside PREPAREs. Count anything else so a new
+		// message kind that is wired here but not handled shows up.
+		r.stats.Unhandled++
 	}
 }
 

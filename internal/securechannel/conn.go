@@ -75,7 +75,11 @@ func (c *Conn) Read(p []byte) (int, error) {
 	c.readMu.Lock()
 	defer c.readMu.Unlock()
 	for len(c.readBuf) == 0 {
-		record, err := wire.ReadFrame(c.raw)
+		// readMu exists to serialize concurrent readers around exactly this
+		// blocking read: record boundaries would interleave otherwise. Only
+		// other Read calls contend on it, which is the semantics net.Conn
+		// promises, and Close on the raw conn unblocks it.
+		record, err := wire.ReadFrame(c.raw) //lint:allow lockcheck readMu is the read-serialization lock; holding it across the frame read is its purpose
 		if err != nil {
 			return 0, err
 		}
@@ -108,7 +112,9 @@ func (c *Conn) Write(p []byte) (int, error) {
 		if err != nil {
 			return written, err
 		}
-		if err := wire.WriteFrame(c.raw, record); err != nil {
+		// Same serialization-around-I/O pattern as Read: writeMu keeps
+		// records whole under concurrent Write calls; only writers contend.
+		if err := wire.WriteFrame(c.raw, record); err != nil { //lint:allow lockcheck writeMu is the write-serialization lock; holding it across the frame write is its purpose
 			return written, err
 		}
 		written += len(chunk)

@@ -9,6 +9,8 @@ import (
 	"net"
 	"testing"
 	"testing/quick"
+
+	"github.com/troxy-bft/troxy/internal/testutil"
 )
 
 func testIdentity(t *testing.T) (ed25519.PublicKey, ed25519.PrivateKey) {
@@ -202,6 +204,7 @@ func TestQuickSealOpen(t *testing.T) {
 }
 
 func TestConnAdapter(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	pub, priv := testIdentity(t)
 	clientRaw, serverRaw := net.Pipe()
 	t.Cleanup(func() {

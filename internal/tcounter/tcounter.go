@@ -90,7 +90,7 @@ type Subsystem struct {
 	owner msg.NodeID
 
 	mu       sync.Mutex
-	key      []byte
+	key      []byte // troxy:secret certification key shared among the deployment's trusted counters
 	mac      hash.Hash
 	counters map[uint32]uint64
 	certs    uint64

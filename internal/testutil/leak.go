@@ -1,0 +1,136 @@
+// Package testutil provides shared test helpers. It must only be imported
+// from _test.go files.
+package testutil
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// CheckGoroutines snapshots the goroutines alive when it is called and, via
+// t.Cleanup, fails the test if new ones are still running once the test body
+// (including its own deferred Close calls) has finished. Shutdown is
+// asynchronous almost everywhere — read loops notice a closed conn only when
+// their blocking Read returns — so the check polls for a grace period before
+// declaring a leak.
+//
+// Call it first in the test, before anything that spawns goroutines:
+//
+//	func TestServer(t *testing.T) {
+//		testutil.CheckGoroutines(t)
+//		...
+//	}
+func CheckGoroutines(t testing.TB) {
+	t.Helper()
+	base := make(map[string]bool)
+	for _, g := range liveGoroutines() {
+		base[g.id] = true
+	}
+	t.Cleanup(func() {
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			leaked := leakedSince(base)
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				for _, g := range leaked {
+					t.Errorf("leaked goroutine:\n%s", g.stack)
+				}
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	})
+}
+
+// goroutine is one parsed entry of a full runtime.Stack dump.
+type goroutine struct {
+	id    string
+	stack string
+}
+
+// leakedSince returns goroutines that are neither in the baseline snapshot
+// nor recognizably benign.
+func leakedSince(base map[string]bool) []goroutine {
+	var leaked []goroutine
+	for _, g := range liveGoroutines() {
+		if !base[g.id] && !benign(g.stack) {
+			leaked = append(leaked, g)
+		}
+	}
+	return leaked
+}
+
+// benign reports stacks that are allowed to outlive a test: the runtime's and
+// the testing package's own workers, which come and go on their own schedule.
+func benign(stack string) bool {
+	for _, marker := range []string{
+		"testing.(*T).Run(",
+		"testing.Main(",
+		"testing.runTests(",
+		"testing.(*M).startAlarm",
+		"runtime.ReadTrace",
+		"os/signal.signal_recv",
+		"runtime.gc(",
+	} {
+		if strings.Contains(stack, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// liveGoroutines parses a full runtime.Stack dump into per-goroutine records.
+// The current goroutine is excluded (it is the one running the check).
+func liveGoroutines() []goroutine {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	self := currentGoroutineID()
+	var gs []goroutine
+	for _, block := range strings.Split(string(buf), "\n\n") {
+		id, ok := parseGoroutineID(block)
+		if !ok || id == self {
+			continue
+		}
+		gs = append(gs, goroutine{id: id, stack: block})
+	}
+	return gs
+}
+
+func currentGoroutineID() string {
+	buf := make([]byte, 64)
+	buf = buf[:runtime.Stack(buf, false)]
+	id, _ := parseGoroutineID(string(buf))
+	return id
+}
+
+// parseGoroutineID extracts the numeric ID from a "goroutine N [state]:"
+// header line.
+func parseGoroutineID(block string) (string, bool) {
+	const prefix = "goroutine "
+	if !strings.HasPrefix(block, prefix) {
+		return "", false
+	}
+	rest := block[len(prefix):]
+	end := strings.IndexByte(rest, ' ')
+	if end <= 0 {
+		return "", false
+	}
+	id := rest[:end]
+	for i := 0; i < len(id); i++ {
+		if id[i] < '0' || id[i] > '9' {
+			return "", false
+		}
+	}
+	return id, true
+}

@@ -1,0 +1,76 @@
+package testutil
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseGoroutineID(t *testing.T) {
+	cases := []struct {
+		in   string
+		id   string
+		ok   bool
+		desc string
+	}{
+		{"goroutine 17 [running]:\nmain.main()", "17", true, "running header"},
+		{"goroutine 1 [chan receive]:\nfoo()", "1", true, "blocked header"},
+		{"not a header", "", false, "garbage"},
+		{"goroutine x [running]:", "", false, "non-numeric id"},
+		{"goroutine ", "", false, "truncated"},
+	}
+	for _, c := range cases {
+		id, ok := parseGoroutineID(c.in)
+		if id != c.id || ok != c.ok {
+			t.Errorf("%s: parseGoroutineID = (%q, %v), want (%q, %v)", c.desc, id, ok, c.id, c.ok)
+		}
+	}
+}
+
+func TestLeakedSinceDetectsAndDrains(t *testing.T) {
+	base := make(map[string]bool)
+	for _, g := range liveGoroutines() {
+		base[g.id] = true
+	}
+
+	block := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		<-block
+		close(done)
+	}()
+
+	// The blocked goroutine must show up as a leak against the baseline.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		leaked := leakedSince(base)
+		if len(leaked) == 1 && strings.Contains(leaked[0].stack, "TestLeakedSinceDetectsAndDrains") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("blocked goroutine not reported as leaked: %v", leaked)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// After it exits, the report must drain to empty.
+	close(block)
+	<-done
+	deadline = time.Now().Add(2 * time.Second)
+	for {
+		if len(leakedSince(base)) == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("leak report did not drain after the goroutine exited")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestCheckGoroutinesCleanExit(t *testing.T) {
+	CheckGoroutines(t)
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}
