@@ -7,7 +7,7 @@ GO ?= go
 STATICCHECK := honnef.co/go/tools/cmd/staticcheck@2025.1
 GOVULNCHECK := golang.org/x/vuln/cmd/govulncheck@v1.1.4
 
-.PHONY: build test check lint staticcheck govulncheck bench fuzz chaos chaos-realnet
+.PHONY: build test check lint staticcheck govulncheck bench bench-quick fuzz chaos chaos-realnet
 
 build:
 	$(GO) build ./...
@@ -62,6 +62,14 @@ govulncheck:
 
 bench:
 	$(GO) test -bench . -benchmem ./...
+
+# bench-quick is the allocation gate (run in CI on every push/PR): the encode
+# hot-path benchmarks in internal/msg, dominated by BenchmarkAppendEnvelopeFrame,
+# which fails itself if the pooled frame-encode path allocates at all. The
+# benchtime is short because the gate is the allocs/op assertion, not ns/op —
+# timing numbers for the record live in EXPERIMENTS.md.
+bench-quick:
+	$(GO) test -run xxx -bench 'Encode|AppendEnvelopeFrame|BatchDigest' -benchmem -benchtime 1000x ./internal/msg/
 
 # Seeded fault-injection suite (see EXPERIMENTS.md "Chaos"): network fault
 # schedules and Byzantine replica harnesses under the race detector. -short

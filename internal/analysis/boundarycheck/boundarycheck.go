@@ -69,12 +69,17 @@ var allowedSymbols = map[string]map[string]bool{
 		// protocol a legacy client speaks toward the Troxy. The server side
 		// (ServerHandshake, ServerConn) holds the service identity key and
 		// exists only inside the enclave boundary.
-		"NewClientHandshake":      true,
-		"ClientHandshake":         true,
-		"ClientHandshake.*":       true,
-		"Session":                 true,
-		"Session.Seal":            true,
-		"Session.Open":            true,
+		"NewClientHandshake": true,
+		"ClientHandshake":    true,
+		"ClientHandshake.*":  true,
+		"Session":            true,
+		"Session.Seal":       true,
+		"Session.Open":       true,
+		// Coalesced-record siblings of Seal/Open: one AEAD pass per flushed
+		// batch. Same trust story — record protection is exactly what the
+		// client side of the channel is for.
+		"Session.SealFrames":      true,
+		"Session.OpenFrames":      true,
 		"Session.Established":     true,
 		"Conn":                    true,
 		"Conn.*":                  true,

@@ -212,23 +212,27 @@ func (c *TCPClient) tryOnce(plaintext []byte) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		replyPlain, err := c.sess.Open(frame)
+		// Plain or coalesced record: a reply batched with stale replies from
+		// earlier attempts still arrives in one authenticated unit.
+		replies, err := c.sess.OpenFrames(frame)
 		if err != nil {
 			// Tampered or out-of-order channel data: treat the channel as
 			// corrupted and fail over (Section III-D).
 			return nil, err
 		}
-		reply, err := msg.DecodeChannelReply(replyPlain)
-		if err != nil {
-			return nil, err
+		for _, replyPlain := range replies {
+			reply, err := msg.DecodeChannelReply(replyPlain)
+			if err != nil {
+				return nil, err
+			}
+			if reply.Seq != c.seq {
+				continue // stale reply from a previous attempt
+			}
+			if reply.Status != msg.StatusOK {
+				return reply.Result, fmt.Errorf("legacyclient: service error (%d)", reply.Status)
+			}
+			return reply.Result, nil
 		}
-		if reply.Seq != c.seq {
-			continue // stale reply from a previous attempt
-		}
-		if reply.Status != msg.StatusOK {
-			return reply.Result, fmt.Errorf("legacyclient: service error (%d)", reply.Status)
-		}
-		return reply.Result, nil
 	}
 }
 

@@ -272,7 +272,9 @@ func (m *Machine) OnEnvelope(env node.Env, e *msg.Envelope) {
 		return
 	}
 
-	plaintext, err := cs.sess.Open(cd.Payload)
+	// Plain or coalesced record from the Troxy: every sub-frame verified
+	// before any of them is interpreted.
+	frames, err := cs.sess.OpenFrames(cd.Payload)
 	if err != nil {
 		// Tampered or replayed data on the channel: reconnect (Section
 		// III-D fault handling).
@@ -280,10 +282,16 @@ func (m *Machine) OnEnvelope(env node.Env, e *msg.Envelope) {
 		m.failover(env, cs)
 		return
 	}
-	env.Charge(node.ProfileJava, node.ChargeAEAD, len(plaintext))
+	total := 0
+	for _, f := range frames {
+		total += len(f)
+	}
+	env.Charge(node.ProfileJava, node.ChargeAEAD, total)
 
 	if m.cfg.HTTP {
-		cs.respBuf = append(cs.respBuf, plaintext...)
+		for _, plaintext := range frames {
+			cs.respBuf = append(cs.respBuf, plaintext...)
+		}
 		resp, consumed, err := httpfront.ExtractResponse(cs.respBuf)
 		if err != nil || resp == nil {
 			return
@@ -293,11 +301,13 @@ func (m *Machine) OnEnvelope(env node.Env, e *msg.Envelope) {
 		return
 	}
 
-	reply, err := msg.DecodeChannelReply(plaintext)
-	if err != nil || reply.Seq != cs.seq || !cs.inflight {
-		return
+	for _, plaintext := range frames {
+		reply, err := msg.DecodeChannelReply(plaintext)
+		if err != nil || reply.Seq != cs.seq || !cs.inflight {
+			continue
+		}
+		m.complete(env, cs, reply.Result)
 	}
-	m.complete(env, cs, reply.Result)
 }
 
 func (m *Machine) complete(env node.Env, cs *clientState, result []byte) {

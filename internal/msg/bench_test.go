@@ -3,6 +3,8 @@ package msg
 import (
 	"fmt"
 	"testing"
+
+	"github.com/troxy-bft/troxy/internal/wire"
 )
 
 // Allocation benchmarks for the encode hot path. The pooled writers in
@@ -57,5 +59,34 @@ func BenchmarkBatchDigest16(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		batch.Digest()
+	}
+}
+
+// BenchmarkAppendEnvelopeFrame measures the specialized transport's encode
+// path: frame header plus envelope appended into a pooled writer that
+// becomes a ring slot, with no intermediate copy. The benchmark gates, not
+// just reports: any allocation per op fails it (`make bench-quick` runs it
+// in CI), because one stray alloc here multiplies by every frame the
+// transport sends.
+func BenchmarkAppendEnvelopeFrame(b *testing.B) {
+	env := Seal(0, 1, &Commit{View: 1, Seq: 7,
+		Cert: CounterCert{Replica: 1, Counter: 1, Value: 7, MAC: make([]byte, 32)}})
+	w := wire.GetWriter()
+	defer wire.PutWriter(w)
+	if allocs := testing.AllocsPerRun(1000, func() {
+		w.Reset()
+		if err := AppendEnvelopeFrame(w, env); err != nil {
+			b.Fatal(err)
+		}
+	}); allocs != 0 {
+		b.Fatalf("pooled frame encode allocates %.1f/op, want 0", allocs)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Reset()
+		if err := AppendEnvelopeFrame(w, env); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -248,6 +248,22 @@ func EncodeEnvelope(e *Envelope) []byte {
 	return w.CopyBytes()
 }
 
+// AppendEnvelopeFrame encodes e, complete with its 4-byte transport frame
+// header, directly into w. It is the zero-allocation sibling of
+// EncodeEnvelope for the specialized transport: the pooled writer becomes a
+// ring slot and its buffer a single iovec entry of the vectored write, so no
+// intermediate copy is made. The error mirrors wire.WriteFrame's oversize
+// check.
+func AppendEnvelopeFrame(w *wire.Writer, e *Envelope) error {
+	mark := w.BeginFrame()
+	w.U32(uint32(e.From))
+	w.U32(uint32(e.To))
+	w.U8(uint8(e.Kind))
+	w.Bytes32(e.Body)
+	w.Bytes32(e.MAC)
+	return w.EndFrame(mark)
+}
+
 // DecodeEnvelope parses a transport frame into an Envelope.
 func DecodeEnvelope(b []byte) (*Envelope, error) {
 	r := wire.NewReader(b)

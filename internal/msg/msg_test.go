@@ -5,6 +5,8 @@ import (
 	"reflect"
 	"testing"
 	"testing/quick"
+
+	"github.com/troxy-bft/troxy/internal/wire"
 )
 
 func sampleRequest() OrderRequest {
@@ -204,5 +206,50 @@ func TestKindString(t *testing.T) {
 	}
 	if Kind(200).String() != "Kind(200)" {
 		t.Errorf("unknown kind string = %q", Kind(200).String())
+	}
+}
+
+func TestAppendEnvelopeFrameMatchesEncodeEnvelope(t *testing.T) {
+	// The zero-copy transport encoder must emit exactly WriteFrame's bytes:
+	// a 4-byte length header followed by the EncodeEnvelope encoding, so
+	// receivers cannot tell which path framed an envelope.
+	e := Seal(3, 0, &Checkpoint{Seq: 7, StateDigest: DigestOf([]byte("x"))})
+	e.MAC = []byte("mac-bytes")
+	w := wire.GetWriter()
+	defer wire.PutWriter(w)
+	if err := AppendEnvelopeFrame(w, e); err != nil {
+		t.Fatalf("AppendEnvelopeFrame: %v", err)
+	}
+	flat := EncodeEnvelope(e)
+	if got := w.Bytes(); len(got) != len(flat)+4 || !bytes.Equal(got[4:], flat) {
+		t.Errorf("frame body diverges from EncodeEnvelope (got %d bytes, want %d+4)",
+			len(got), len(flat))
+	}
+	frame, err := wire.ReadFrame(bytes.NewReader(w.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	got, err := DecodeEnvelope(frame)
+	if err != nil {
+		t.Fatalf("DecodeEnvelope: %v", err)
+	}
+	if !reflect.DeepEqual(got, e) {
+		t.Errorf("envelope mismatch: got %#v, want %#v", got, e)
+	}
+}
+
+func TestAppendEnvelopeFrameZeroAlloc(t *testing.T) {
+	// Hard allocation gate for the pooled frame path (the benchmark variant
+	// in bench_test.go gates the same property under -bench): encoding into
+	// a warm caller-held writer must not allocate at all.
+	e := Seal(0, 1, &ChannelData{ConnID: 9, Payload: bytes.Repeat([]byte{0xab}, 1024)})
+	w := wire.NewWriter(4096)
+	if allocs := testing.AllocsPerRun(1000, func() {
+		w.Reset()
+		if err := AppendEnvelopeFrame(w, e); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("pooled frame encode allocates %.1f/op, want 0", allocs)
 	}
 }

@@ -179,14 +179,22 @@ func (m *Middlebox) onChannelData(env node.Env, e *msg.Envelope) {
 	if !sess.sc.Established() {
 		return
 	}
-	plaintext, err := sess.sc.Open(cd.Payload)
+	// Plain or coalesced record: one AEAD pass authenticates every sub-frame
+	// before any of them reach the cache.
+	frames, err := sess.sc.OpenFrames(cd.Payload)
 	if err != nil {
 		return
 	}
-	env.Charge(node.ProfileJava, node.ChargeAEAD, len(plaintext))
+	total := 0
+	for _, f := range frames {
+		total += len(f)
+	}
+	env.Charge(node.ProfileJava, node.ChargeAEAD, total)
 
 	if m.cfg.HTTP {
-		sess.httpBuf = append(sess.httpBuf, plaintext...)
+		for _, plaintext := range frames {
+			sess.httpBuf = append(sess.httpBuf, plaintext...)
+		}
 		for {
 			op, consumed, err := httpfront.ExtractRequest(sess.httpBuf)
 			if err != nil || op == nil {
@@ -198,11 +206,13 @@ func (m *Middlebox) onChannelData(env node.Env, e *msg.Envelope) {
 		}
 	}
 
-	frame, err := msg.DecodeChannelRequest(plaintext)
-	if err != nil {
-		return
+	for _, plaintext := range frames {
+		frame, err := msg.DecodeChannelRequest(plaintext)
+		if err != nil {
+			return
+		}
+		m.handleOp(env, sess, frame.Client, frame.Seq, frame.Op)
 	}
-	m.handleOp(env, sess, frame.Client, frame.Seq, frame.Op)
 }
 
 // handleOp routes one client operation through the sketch cache.

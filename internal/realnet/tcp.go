@@ -14,15 +14,40 @@ import (
 	"github.com/troxy-bft/troxy/internal/wire"
 )
 
+// Transport selects the egress path of a Bridge or Gateway.
+type Transport int
+
+const (
+	// TransportRing is the specialized transport: senders enqueue pooled
+	// pre-encoded frames into a bounded per-peer ring; a drainer goroutine
+	// flushes the whole ring in one vectored write, on a size trigger or
+	// after yielding one scheduler quantum to stragglers. Ingress reads are
+	// chunked to match: one syscall and one allocation consume a whole
+	// coalesced burst. Encoding allocates nothing in steady state.
+	TransportRing Transport = iota
+
+	// TransportBuffered is the legacy path: one encode allocation per frame,
+	// a channel per peer, and a bufio.Writer flushed when the queue
+	// momentarily drains (flush-on-idle). Kept selectable so the benchmark
+	// matrix can measure the ring against it.
+	TransportBuffered
+)
+
 // Bridge connects a Router to peer processes over TCP. Envelopes addressed
-// to non-local nodes are framed (wire.WriteFrame) and sent over a persistent
-// connection to the peer process hosting the destination node; incoming
-// frames are injected into the local router.
+// to non-local nodes are framed and sent over a persistent connection to the
+// peer process hosting the destination node; incoming frames are injected
+// into the local router.
 //
 // The address book maps node IDs to "host:port" listen addresses. Multiple
 // node IDs may map to the same address (one process hosting several nodes).
+//
+// Fault injection happens in Router.Send, above this layer: the fault judge
+// sees every envelope individually before it is encoded into a ring or
+// queue, so drop/corrupt/jitter plans keep per-message granularity no matter
+// how many frames a flush coalesces.
 type Bridge struct {
-	router *Router
+	router    *Router
+	transport Transport
 
 	mu       sync.Mutex
 	addrs    map[msg.NodeID]string
@@ -34,37 +59,36 @@ type Bridge struct {
 	wg sync.WaitGroup
 }
 
-// bridgeQueueLen bounds the per-peer outbound queue; a full queue drops the
-// envelope (the network is unreliable by assumption).
+// bridgeQueueLen bounds the per-peer outbound queue of the buffered
+// transport; a full queue drops the envelope (the network is unreliable by
+// assumption).
 const bridgeQueueLen = 4096
 
-// bridgeBufSize is the bufio buffer on each outbound connection. Frames are
-// coalesced into it and flushed only when the queue momentarily drains, so a
-// burst (a cut batch's PREPARE plus the commits behind it) goes out in one
-// write instead of one syscall per envelope.
+// bridgeBufSize is the bufio buffer on each buffered-transport connection.
 const bridgeBufSize = 64 << 10
 
 // Dial backoff bounds: a failed dial is retried with jittered exponential
-// backoff while the frame that triggered it (and everything queued behind
-// it) waits in the outbound queue, instead of being dropped silently. The
-// queue bounds memory; only overflow drops frames, and those are counted.
+// backoff while the frames that triggered it wait in the ring or queue,
+// instead of being dropped silently. The ring bounds memory; only overflow
+// drops frames, and those are counted.
 const (
 	bridgeBackoffMin = 25 * time.Millisecond
 	bridgeBackoffMax = 2 * time.Second
 )
 
-// bridgeConn is one outbound peer connection. Senders enqueue encoded
-// frames; a dedicated writer goroutine owns the socket, writes frames
-// through a bufio.Writer, and flushes when idle.
+// bridgeConn is one outbound peer connection. Exactly one of out (buffered
+// transport) or ring (ring transport) is non-nil; a dedicated goroutine owns
+// the socket either way.
 type bridgeConn struct {
 	mu     sync.Mutex
 	closed bool
-	out    chan []byte
+	out    chan []byte   // buffered transport
+	ring   *sendRing     // ring transport
 	done   chan struct{} // closed with the conn; interrupts dial backoff
 
-	// drops counts frames dropped on queue overflow (the peer has been
-	// unreachable long enough to fill the queue), exposed per peer through
-	// Bridge.Drops like Gateway.SendFailures.
+	// drops counts frames dropped on queue overflow by the buffered
+	// transport (ring overflow is counted in the ring itself); exposed per
+	// peer through Bridge.Drops like Gateway.SendFailures.
 	drops atomic.Uint64
 }
 
@@ -83,30 +107,64 @@ func (bc *bridgeConn) enqueue(frame []byte) {
 
 func (bc *bridgeConn) close() {
 	bc.mu.Lock()
-	defer bc.mu.Unlock()
-	if !bc.closed {
-		bc.closed = true
-		close(bc.out)
-		close(bc.done)
+	wasClosed := bc.closed
+	bc.closed = true
+	bc.mu.Unlock()
+	if wasClosed {
+		return
 	}
+	if bc.out != nil {
+		close(bc.out)
+	}
+	if bc.ring != nil {
+		bc.ring.close()
+	}
+	close(bc.done)
 }
 
-// sleep waits for d or until the connection is torn down; it reports whether
-// the writer should keep going.
-func (bc *bridgeConn) sleep(d time.Duration) bool {
+// sleepOrDone waits for d or until done closes; it reports whether the
+// caller should keep going.
+func sleepOrDone(d time.Duration, done <-chan struct{}) bool {
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {
 	case <-t.C:
 		return true
-	case <-bc.done:
+	case <-done:
 		return false
 	}
 }
 
-// writeLoop drains the outbound queue onto a lazily dialed connection,
-// flushing the buffered writer only when no more frames are immediately
-// available (flush-on-idle write coalescing).
+func (bc *bridgeConn) sleep(d time.Duration) bool { return sleepOrDone(d, bc.done) }
+
+// dial establishes the peer connection with jittered exponential backoff,
+// keeping queued frames while the peer is unreachable. It returns nil when
+// the bridge closed first.
+func (bc *bridgeConn) dial(addr string, rng *rand.Rand) net.Conn {
+	backoff := time.Duration(0)
+	for {
+		c, err := net.DialTimeout("tcp", addr, 3*time.Second)
+		if err == nil {
+			return c
+		}
+		if backoff == 0 {
+			backoff = bridgeBackoffMin
+		} else if backoff < bridgeBackoffMax {
+			backoff *= 2
+			if backoff > bridgeBackoffMax {
+				backoff = bridgeBackoffMax
+			}
+		}
+		wait := backoff/2 + time.Duration(rng.Int63n(int64(backoff)/2+1))
+		if !bc.sleep(wait) {
+			return nil // bridge closed while the peer was unreachable
+		}
+	}
+}
+
+// writeLoop is the buffered transport's writer: it drains the outbound queue
+// onto a lazily dialed connection, flushing the buffered writer only when no
+// more frames are immediately available (flush-on-idle write coalescing).
 func (bc *bridgeConn) writeLoop(addr string) {
 	var conn net.Conn
 	var bw *bufio.Writer
@@ -122,31 +180,12 @@ func (bc *bridgeConn) writeLoop(addr string) {
 		}
 	}()
 	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
-	backoff := time.Duration(0)
 	for frame := range bc.out {
-		for conn == nil {
-			c, err := net.DialTimeout("tcp", addr, 3*time.Second)
-			if err == nil {
-				conn = c
-				bw = bufio.NewWriterSize(conn, bridgeBufSize)
-				backoff = 0
-				break
+		if conn == nil {
+			if conn = bc.dial(addr, rng); conn == nil {
+				return
 			}
-			// Redial with jittered exponential backoff, keeping the frame:
-			// the peer may simply not be up yet, and dropping here would
-			// silently lose every frame sent before it starts.
-			if backoff == 0 {
-				backoff = bridgeBackoffMin
-			} else if backoff < bridgeBackoffMax {
-				backoff *= 2
-				if backoff > bridgeBackoffMax {
-					backoff = bridgeBackoffMax
-				}
-			}
-			wait := backoff/2 + time.Duration(rng.Int63n(int64(backoff)/2+1))
-			if !bc.sleep(wait) {
-				return // bridge closed while the peer was unreachable
-			}
+			bw = bufio.NewWriterSize(conn, bridgeBufSize)
 		}
 		if err := wire.WriteFrame(bw, frame); err != nil {
 			fail()
@@ -175,8 +214,56 @@ func (bc *bridgeConn) writeLoop(addr string) {
 	}
 }
 
+// drainLoop is the ring transport's writer: woken when the first frame of a
+// burst lands, it yields one scheduler quantum so the burst's producers can
+// finish (unless the size trigger is already met), swaps the whole ring out,
+// and pushes it to the socket in one vectored write. Frames survive dial backoff
+// in the batch; a write error costs the in-flight batch (the network is
+// unreliable by assumption) and forces a redial.
+func (bc *bridgeConn) drainLoop(addr string) {
+	var conn net.Conn
+	var iov [][]byte
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+	for {
+		select {
+		case <-bc.done:
+			// Closing released the ring's frames; nothing left to flush.
+			return
+		case <-bc.ring.wake:
+		}
+		bc.ring.accumulate()
+		for {
+			batch := bc.ring.take()
+			if len(batch) == 0 {
+				break
+			}
+			if conn == nil {
+				if conn = bc.dial(addr, rng); conn == nil {
+					releaseBatch(batch)
+					return
+				}
+			}
+			var err error
+			iov, err = flushBatch(conn, iov, batch)
+			bc.ring.flushes.Add(1)
+			bc.ring.frames.Add(uint64(len(batch)))
+			releaseBatch(batch)
+			if err != nil {
+				conn.Close()
+				conn = nil
+			}
+		}
+	}
+}
+
 // NewBridge creates a bridge for router with the given address book and
-// installs itself as the router's remote sender.
+// installs itself as the router's remote sender. The ring transport is the
+// default; SetTransport switches before traffic starts.
 func NewBridge(router *Router, addrs map[msg.NodeID]string) *Bridge {
 	b := &Bridge{
 		router:  router,
@@ -189,6 +276,14 @@ func NewBridge(router *Router, addrs map[msg.NodeID]string) *Bridge {
 	}
 	router.SetRemoteSender(b.send)
 	return b
+}
+
+// SetTransport selects the egress path. Call before the first send; peers
+// already connected keep their transport.
+func (b *Bridge) SetTransport(t Transport) {
+	b.mu.Lock()
+	b.transport = t
+	b.mu.Unlock()
 }
 
 // Listen starts accepting peer connections on addr. Incoming envelopes are
@@ -243,10 +338,22 @@ func (b *Bridge) Addr() net.Addr {
 	return b.listener.Addr()
 }
 
+// readLoop injects frames from an accepted peer connection into the router.
+// On the ring transport ingress is batched to match the peer's vectored
+// egress: a ChunkReader consumes a coalesced burst at one read syscall and
+// one chunk allocation instead of two syscalls and an allocation per frame.
 func (b *Bridge) readLoop(conn net.Conn) {
 	defer conn.Close()
+	b.mu.Lock()
+	transport := b.transport
+	b.mu.Unlock()
+	readFrame := func() ([]byte, error) { return wire.ReadFrame(conn) }
+	if transport == TransportRing {
+		cr := wire.NewChunkReader(conn)
+		readFrame = cr.ReadFrame
+	}
 	for {
-		frame, err := wire.ReadFrame(conn)
+		frame, err := readFrame()
 		if err != nil {
 			return
 		}
@@ -271,29 +378,75 @@ func (b *Bridge) send(e *msg.Envelope) {
 		b.mu.Unlock()
 		return
 	}
+	transport := b.transport
 	bc, ok := b.conns[addr]
 	if !ok {
-		bc = &bridgeConn{out: make(chan []byte, bridgeQueueLen), done: make(chan struct{})}
+		bc = &bridgeConn{done: make(chan struct{})}
+		if transport == TransportRing {
+			bc.ring = newSendRing()
+		} else {
+			bc.out = make(chan []byte, bridgeQueueLen)
+		}
 		b.conns[addr] = bc
 		b.wg.Add(1)
 		go func() {
 			defer b.wg.Done()
-			bc.writeLoop(addr)
+			if bc.ring != nil {
+				bc.drainLoop(addr)
+			} else {
+				bc.writeLoop(addr)
+			}
 		}()
 	}
 	b.mu.Unlock()
 
+	if bc.ring != nil {
+		// Zero-allocation path: the envelope (frame header included) encodes
+		// into a pooled writer that travels through the ring to the writev
+		// iovec and back to the pool.
+		w := wire.GetWriter()
+		if err := msg.AppendEnvelopeFrame(w, e); err != nil {
+			wire.PutWriter(w)
+			bc.ring.drops.Add(1)
+			return
+		}
+		bc.ring.push(w)
+		return
+	}
 	bc.enqueue(msg.EncodeEnvelope(e))
 }
 
 // Drops returns, per peer address, how many outbound frames were dropped on
-// queue overflow (the peer was unreachable long enough to fill the queue).
+// queue or ring overflow (the peer was unreachable long enough to fill it).
 func (b *Bridge) Drops() map[string]uint64 {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	out := make(map[string]uint64, len(b.conns))
 	for addr, bc := range b.conns {
-		out[addr] = bc.drops.Load()
+		n := bc.drops.Load()
+		if bc.ring != nil {
+			n += bc.ring.drops.Load()
+		}
+		out[addr] = n
+	}
+	return out
+}
+
+// FlushStats returns, per peer address, the ring transport's flush counters.
+// Peers on the buffered transport report zero.
+func (b *Bridge) FlushStats() map[string]RingStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make(map[string]RingStats, len(b.conns))
+	for addr, bc := range b.conns {
+		if bc.ring != nil {
+			out[addr] = RingStats{
+				Flushes: bc.ring.flushes.Load(),
+				Frames:  bc.ring.frames.Load(),
+			}
+		} else {
+			out[addr] = RingStats{}
+		}
 	}
 	return out
 }
@@ -335,9 +488,15 @@ func (b *Bridge) Close() {
 // and ChannelData envelopes addressed to the synthetic ID are written back
 // to the socket. The replica's untrusted connection handling (Section III-C:
 // sockets and worker threads live outside the Troxy) is exactly this.
+//
+// With the ring transport (default), replies are encoded into pooled frames
+// and drained to the client socket by a per-connection goroutine in vectored
+// writes, so the router's handler goroutine never blocks on client I/O. The
+// buffered transport keeps the legacy blocking write in the handler.
 type Gateway struct {
-	router  *Router
-	replica msg.NodeID
+	router    *Router
+	replica   msg.NodeID
+	transport Transport
 
 	mu     sync.Mutex
 	nextID msg.NodeID
@@ -345,9 +504,14 @@ type Gateway struct {
 	active map[net.Conn]struct{}
 
 	// sendFailures counts replies that could not be written back to a client
-	// socket. They used to be dropped silently; now every drop is counted
-	// and logged so a misbehaving client or a saturated link is visible.
+	// socket (write error or egress-ring overflow). They used to be dropped
+	// silently; now every drop is counted and logged so a misbehaving client
+	// or a saturated link is visible.
 	sendFailures atomic.Uint64
+
+	// flushes/frames aggregate the per-connection egress rings.
+	flushes atomic.Uint64
+	frames  atomic.Uint64
 
 	wg       sync.WaitGroup
 	listener net.Listener
@@ -355,6 +519,11 @@ type Gateway struct {
 
 // SendFailures returns how many client-bound frames failed to send.
 func (g *Gateway) SendFailures() uint64 { return g.sendFailures.Load() }
+
+// FlushStats returns the aggregated egress-ring flush counters.
+func (g *Gateway) FlushStats() RingStats {
+	return RingStats{Flushes: g.flushes.Load(), Frames: g.frames.Load()}
+}
 
 // NewGateway creates a gateway that forwards client connections to replica,
 // assigning synthetic node IDs starting at firstClientID.
@@ -365,6 +534,13 @@ func NewGateway(router *Router, replica, firstClientID msg.NodeID) *Gateway {
 		nextID:  firstClientID,
 		active:  make(map[net.Conn]struct{}),
 	}
+}
+
+// SetTransport selects the reply egress path. Call before Serve.
+func (g *Gateway) SetTransport(t Transport) {
+	g.mu.Lock()
+	g.transport = t
+	g.mu.Unlock()
 }
 
 // Serve accepts connections on l until the gateway is closed.
@@ -386,6 +562,7 @@ func (g *Gateway) Serve(l net.Listener) {
 		id := g.nextID
 		g.nextID++
 		g.active[conn] = struct{}{}
+		transport := g.transport
 		g.mu.Unlock()
 		g.wg.Add(1)
 		go func() {
@@ -395,15 +572,17 @@ func (g *Gateway) Serve(l net.Listener) {
 				delete(g.active, conn)
 				g.mu.Unlock()
 			}()
-			g.handle(conn, id)
+			g.handle(conn, id, transport)
 		}()
 	}
 }
 
 // gatewayHandler is the per-connection node: it relays ChannelData
-// envelopes from the replica back to the client socket.
+// envelopes from the replica back to the client socket — through the egress
+// ring when one is attached, directly otherwise.
 type gatewayHandler struct {
 	conn net.Conn
+	ring *sendRing // nil on the buffered transport
 	gw   *Gateway
 }
 
@@ -421,6 +600,20 @@ func (h gatewayHandler) OnEnvelope(env node.Env, e *msg.Envelope) {
 	if !ok {
 		return
 	}
+	if h.ring != nil {
+		w := wire.GetWriter()
+		if err := wire.AppendFramePayload(w, cd.Payload); err != nil {
+			wire.PutWriter(w)
+			h.gw.sendFailures.Add(1)
+			return
+		}
+		if !h.ring.push(w) {
+			n := h.gw.sendFailures.Add(1)
+			env.Logf("realnet: gateway egress ring to %v full (%d dropped total)",
+				h.conn.RemoteAddr(), n)
+		}
+		return
+	}
 	if err := wire.WriteFrame(h.conn, cd.Payload); err != nil {
 		// Usually the client hung up; the read loop will notice and tear the
 		// connection node down. Count and log the drop either way.
@@ -434,13 +627,64 @@ func (gatewayHandler) OnTimer(node.Env, node.TimerKey) {}
 
 var _ node.Handler = gatewayHandler{}
 
-func (g *Gateway) handle(conn net.Conn, id msg.NodeID) {
+// drainClient flushes a client connection's egress ring until done closes.
+// Write errors drop the in-flight batch (counted); the connection's read
+// loop notices the broken socket and tears the node down.
+func (g *Gateway) drainClient(conn net.Conn, ring *sendRing, done <-chan struct{}) {
+	var iov [][]byte
+	for {
+		select {
+		case <-done:
+			return
+		case <-ring.wake:
+		}
+		ring.accumulate()
+		for {
+			batch := ring.take()
+			if len(batch) == 0 {
+				break
+			}
+			var err error
+			iov, err = flushBatch(conn, iov, batch)
+			g.flushes.Add(1)
+			g.frames.Add(uint64(len(batch)))
+			if err != nil {
+				g.sendFailures.Add(uint64(len(batch)))
+			}
+			releaseBatch(batch)
+		}
+	}
+}
+
+func (g *Gateway) handle(conn net.Conn, id msg.NodeID, transport Transport) {
 	defer conn.Close()
-	g.router.Attach(id, gatewayHandler{conn: conn, gw: g})
+	h := gatewayHandler{conn: conn, gw: g}
+	if transport == TransportRing {
+		ring := newSendRing()
+		done := make(chan struct{})
+		h.ring = ring
+		g.wg.Add(1)
+		go func() {
+			defer g.wg.Done()
+			g.drainClient(conn, ring, done)
+		}()
+		defer func() {
+			close(done)
+			ring.close()
+		}()
+	}
+	g.router.Attach(id, h)
 	defer g.router.Detach(id)
 
+	// Ring ingress mirrors ring egress: batched chunk reads instead of
+	// per-frame syscalls and allocations.
+	readFrame := func() ([]byte, error) { return wire.ReadFrame(conn) }
+	if transport == TransportRing {
+		cr := wire.NewChunkReader(conn)
+		readFrame = cr.ReadFrame
+	}
 	for {
-		frame, err := wire.ReadFrame(conn)
+		frame, err := readFrame()
 		if err != nil {
 			return
 		}

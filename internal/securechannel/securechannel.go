@@ -27,6 +27,7 @@ import (
 	"crypto/ed25519"
 	"crypto/hkdf"
 	"crypto/sha256"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -37,6 +38,11 @@ const (
 	frameClientHello byte = iota + 1
 	frameServerHello
 	frameRecord
+	// frameCoalesced is a record whose plaintext carries several
+	// length-prefixed sub-frames sealed under one AES-GCM operation — the
+	// record-layer analogue of the transport's vectored writes: crypto cost
+	// amortizes with the flush size instead of being paid per message.
+	frameCoalesced
 )
 
 // Overhead is the per-record ciphertext expansion (type byte + GCM tag).
@@ -62,9 +68,17 @@ var (
 	ErrNotEstablished = errors.New("securechannel: not established")
 )
 
-// Session is an established secure channel endpoint. It is not safe for
-// concurrent use; callers serialize access (the Troxy state machine and the
-// net.Conn adapter both do).
+// MaxCoalescedPlaintext bounds the total plaintext of one coalesced record
+// (sub-frame headers included). It is deliberately larger than the stream
+// adapter's per-chunk limit: a flushed ring of small frames should fit one
+// record, which is the whole point of coalescing.
+const MaxCoalescedPlaintext = 64 * 1024
+
+// Session is an established secure channel endpoint. The two directions are
+// independent: Seal/SealFrames touch only the send state and
+// Open/OpenFrames only the receive state, so one writer and one reader may
+// run concurrently — but concurrent writers (or concurrent readers) must
+// serialize, as the Troxy state machine and the net.Conn adapter both do.
 type Session struct {
 	sendAEAD cipher.AEAD
 	recvAEAD cipher.AEAD
@@ -80,12 +94,46 @@ func (s *Session) Seal(plaintext []byte) ([]byte, error) {
 	if !s.Established() {
 		return nil, ErrNotEstablished
 	}
-	nonce := make([]byte, 12)
-	putSeq(nonce, s.sendSeq)
+	var nonce [12]byte
+	putSeq(nonce[:], s.sendSeq)
 	s.sendSeq++
 	out := make([]byte, 1, 1+len(plaintext)+16)
 	out[0] = frameRecord
-	return s.sendAEAD.Seal(out, nonce, plaintext, out[:1]), nil
+	return s.sendAEAD.Seal(out, nonce[:], plaintext, out[:1]), nil
+}
+
+// SealFrames encrypts a whole flush of frames into one coalesced record:
+// one nonce, one AES-GCM pass, one tag covering every sub-frame. The frames
+// are laid out length-prefixed inside the plaintext so the receiver
+// recovers the original message boundaries. An empty flush is a caller bug
+// and errors rather than emitting a record that burns a sequence number for
+// nothing; a flush whose total exceeds MaxCoalescedPlaintext must be split
+// by the caller (the Conn flusher does).
+func (s *Session) SealFrames(frames [][]byte) ([]byte, error) {
+	if !s.Established() {
+		return nil, ErrNotEstablished
+	}
+	if len(frames) == 0 {
+		return nil, fmt.Errorf("%w: empty flush", ErrRecord)
+	}
+	total := 0
+	for _, f := range frames {
+		total += 4 + len(f)
+	}
+	if total > MaxCoalescedPlaintext {
+		return nil, fmt.Errorf("%w: coalesced flush of %d bytes", ErrRecord, total)
+	}
+	pt := make([]byte, 0, total)
+	for _, f := range frames {
+		pt = binary.LittleEndian.AppendUint32(pt, uint32(len(f)))
+		pt = append(pt, f...)
+	}
+	var nonce [12]byte
+	putSeq(nonce[:], s.sendSeq)
+	s.sendSeq++
+	out := make([]byte, 1, 1+total+16)
+	out[0] = frameCoalesced
+	return s.sendAEAD.Seal(out, nonce[:], pt, out[:1]), nil
 }
 
 // Open authenticates and decrypts one record. A record can be opened exactly
@@ -97,14 +145,67 @@ func (s *Session) Open(record []byte) ([]byte, error) {
 	if len(record) < Overhead || record[0] != frameRecord {
 		return nil, ErrRecord
 	}
-	nonce := make([]byte, 12)
-	putSeq(nonce, s.recvSeq)
-	pt, err := s.recvAEAD.Open(nil, nonce, record[1:], record[:1])
+	var nonce [12]byte
+	putSeq(nonce[:], s.recvSeq)
+	pt, err := s.recvAEAD.Open(nil, nonce[:], record[1:], record[:1])
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrRecord, err)
 	}
 	s.recvSeq++
 	return pt, nil
+}
+
+// OpenFrames authenticates and decrypts one record and returns the frames
+// it carries: a plain record yields its plaintext as a single frame, a
+// coalesced record yields each sub-frame in order. The entire record
+// authenticates in one AEAD operation *before* any frame is handed out, so
+// ingress verification cost amortizes over the flush exactly as sealing
+// did — no sub-frame from a tampered record is ever dispatched.
+//
+// The record type byte rides in the AEAD's additional data, so a plain
+// record cannot be replayed as a coalesced one or vice versa. A structurally
+// malformed coalesced record that nevertheless authenticates means the peer
+// holds the session keys and is broken or malicious; the record is rejected
+// wholesale (and the sequence number has advanced, poisoning the channel,
+// which is the correct response).
+func (s *Session) OpenFrames(record []byte) ([][]byte, error) {
+	if !s.Established() {
+		return nil, ErrNotEstablished
+	}
+	if len(record) < Overhead {
+		return nil, ErrRecord
+	}
+	typ := record[0]
+	if typ != frameRecord && typ != frameCoalesced {
+		return nil, ErrRecord
+	}
+	var nonce [12]byte
+	putSeq(nonce[:], s.recvSeq)
+	pt, err := s.recvAEAD.Open(nil, nonce[:], record[1:], record[:1])
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrRecord, err)
+	}
+	s.recvSeq++
+	if typ == frameRecord {
+		return [][]byte{pt}, nil
+	}
+	var frames [][]byte
+	for off := 0; off < len(pt); {
+		if len(pt)-off < 4 {
+			return nil, fmt.Errorf("%w: truncated sub-frame header", ErrRecord)
+		}
+		n := int(binary.LittleEndian.Uint32(pt[off:]))
+		off += 4
+		if n > len(pt)-off {
+			return nil, fmt.Errorf("%w: truncated sub-frame", ErrRecord)
+		}
+		frames = append(frames, pt[off:off+n:off+n])
+		off += n
+	}
+	if len(frames) == 0 {
+		return nil, fmt.Errorf("%w: empty coalesced record", ErrRecord)
+	}
+	return frames, nil
 }
 
 func putSeq(nonce []byte, seq uint64) {

@@ -7,8 +7,10 @@ import (
 	"errors"
 	"io"
 	"net"
+	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"github.com/troxy-bft/troxy/internal/testutil"
 )
@@ -269,5 +271,310 @@ func TestRecordSize(t *testing.T) {
 	}
 	if RecordSize(100) != 4+len(rec) {
 		t.Errorf("RecordSize(100) = %d, want %d", RecordSize(100), 4+len(rec))
+	}
+}
+
+// sealRawCoalesced bypasses SealFrames' structural checks and seals an
+// arbitrary plaintext as a coalesced record. It models a peer that holds the
+// session keys but violates the sub-frame layout — the only way a malformed
+// coalesced record can ever authenticate.
+func sealRawCoalesced(t *testing.T, s *Session, pt []byte) []byte {
+	t.Helper()
+	var nonce [12]byte
+	putSeq(nonce[:], s.sendSeq)
+	s.sendSeq++
+	out := make([]byte, 1, 1+len(pt)+16)
+	out[0] = frameCoalesced
+	return s.sendAEAD.Seal(out, nonce[:], pt, out[:1])
+}
+
+func TestCoalescedRoundTripBothDirections(t *testing.T) {
+	client, server := handshake(t)
+	frames := [][]byte{[]byte("one"), {}, []byte("three"), bytes.Repeat([]byte{9}, 4096)}
+
+	rec, err := client.SealFrames(frames)
+	if err != nil {
+		t.Fatalf("SealFrames: %v", err)
+	}
+	got, err := server.OpenFrames(rec)
+	if err != nil {
+		t.Fatalf("OpenFrames: %v", err)
+	}
+	if len(got) != len(frames) {
+		t.Fatalf("got %d frames, want %d", len(got), len(frames))
+	}
+	for i := range frames {
+		if !bytes.Equal(got[i], frames[i]) {
+			t.Errorf("frame %d mismatch: %d bytes vs %d", i, len(got[i]), len(frames[i]))
+		}
+	}
+
+	rec, err = server.SealFrames([][]byte{[]byte("reply-a"), []byte("reply-b")})
+	if err != nil {
+		t.Fatalf("server SealFrames: %v", err)
+	}
+	got, err = client.OpenFrames(rec)
+	if err != nil {
+		t.Fatalf("client OpenFrames: %v", err)
+	}
+	if len(got) != 2 || string(got[0]) != "reply-a" || string(got[1]) != "reply-b" {
+		t.Errorf("server→client frames = %q", got)
+	}
+}
+
+func TestOpenFramesAcceptsPlainRecord(t *testing.T) {
+	// A mixed stream of plain and coalesced records must open in sequence
+	// through the one OpenFrames entry point: receivers should not need to
+	// know which egress path the peer used.
+	client, server := handshake(t)
+	r1, _ := client.Seal([]byte("plain"))
+	r2, err := client.SealFrames([][]byte{[]byte("co-1"), []byte("co-2")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3, _ := client.Seal([]byte("plain-again"))
+
+	got, err := server.OpenFrames(r1)
+	if err != nil || len(got) != 1 || string(got[0]) != "plain" {
+		t.Fatalf("plain via OpenFrames = %q, %v", got, err)
+	}
+	got, err = server.OpenFrames(r2)
+	if err != nil || len(got) != 2 || string(got[1]) != "co-2" {
+		t.Fatalf("coalesced after plain = %q, %v", got, err)
+	}
+	if _, err := server.OpenFrames(r3); err != nil {
+		t.Fatalf("plain after coalesced: %v", err)
+	}
+}
+
+func TestSealFramesEmptyFlushRejected(t *testing.T) {
+	client, _ := handshake(t)
+	if _, err := client.SealFrames(nil); !errors.Is(err, ErrRecord) {
+		t.Errorf("SealFrames(nil) error = %v", err)
+	}
+	if _, err := client.SealFrames([][]byte{}); !errors.Is(err, ErrRecord) {
+		t.Errorf("SealFrames(empty) error = %v", err)
+	}
+	// The rejected flushes must not have burned a sequence number.
+	if _, err := client.Seal([]byte("still in sync")); err != nil {
+		t.Fatal(err)
+	}
+	if client.sendSeq != 1 {
+		t.Errorf("sendSeq after rejected flushes = %d, want 1", client.sendSeq)
+	}
+}
+
+func TestSealFramesMaxSizeFlush(t *testing.T) {
+	client, server := handshake(t)
+	// One frame whose header+payload exactly fills MaxCoalescedPlaintext.
+	exact := make([]byte, MaxCoalescedPlaintext-4)
+	rec, err := client.SealFrames([][]byte{exact})
+	if err != nil {
+		t.Fatalf("max-size flush rejected: %v", err)
+	}
+	got, err := server.OpenFrames(rec)
+	if err != nil || len(got) != 1 || len(got[0]) != len(exact) {
+		t.Fatalf("max-size round trip: %d frames, %v", len(got), err)
+	}
+	// One byte over must be rejected before any sealing happens.
+	over := make([]byte, MaxCoalescedPlaintext-4+1)
+	if _, err := client.SealFrames([][]byte{over}); !errors.Is(err, ErrRecord) {
+		t.Errorf("oversized flush error = %v", err)
+	}
+	if client.sendSeq != 1 {
+		t.Errorf("sendSeq after oversized flush = %d, want 1", client.sendSeq)
+	}
+}
+
+func TestOpenFramesTruncatedSubFrame(t *testing.T) {
+	cases := []struct {
+		name string
+		pt   []byte
+	}{
+		{"empty plaintext", nil},
+		{"truncated header", []byte{1, 0, 0}},
+		{"length beyond payload", []byte{5, 0, 0, 0, 'a', 'b'}},
+		{"good frame then truncated trailer", append([]byte{1, 0, 0, 0, 'x'}, 9, 0, 0, 0, 'y')},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			client, server := handshake(t)
+			rec := sealRawCoalesced(t, client, tc.pt)
+			if _, err := server.OpenFrames(rec); !errors.Is(err, ErrRecord) {
+				t.Errorf("malformed coalesced plaintext %q error = %v", tc.pt, err)
+			}
+		})
+	}
+}
+
+func TestOpenFramesCrossTypeRejected(t *testing.T) {
+	// The record type byte is AEAD additional data: a plain record cannot be
+	// reinterpreted as coalesced (its plaintext bytes would be parsed as
+	// sub-frame headers) nor a coalesced one as plain.
+	client, server := handshake(t)
+	rec, _ := client.Seal([]byte("plain"))
+	rec[0] = frameCoalesced
+	if _, err := server.OpenFrames(rec); !errors.Is(err, ErrRecord) {
+		t.Errorf("plain-as-coalesced error = %v", err)
+	}
+
+	client2, server2 := handshake(t)
+	rec2, err := client2.SealFrames([][]byte{[]byte("co")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec2[0] = frameRecord
+	if _, err := server2.Open(rec2); !errors.Is(err, ErrRecord) {
+		t.Errorf("coalesced-as-plain error = %v", err)
+	}
+}
+
+func TestCoalescedReplayAndTamperRejected(t *testing.T) {
+	client, server := handshake(t)
+	rec, err := client.SealFrames([][]byte{[]byte("a"), []byte("b")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := append([]byte(nil), rec...)
+	tampered[len(tampered)-1] ^= 1
+	if _, err := server.OpenFrames(tampered); !errors.Is(err, ErrRecord) {
+		t.Errorf("tampered coalesced record error = %v", err)
+	}
+	// The failed open must not advance recvSeq: the genuine record still opens.
+	if _, err := server.OpenFrames(rec); err != nil {
+		t.Fatalf("genuine record after tamper rejection: %v", err)
+	}
+	if _, err := server.OpenFrames(rec); !errors.Is(err, ErrRecord) {
+		t.Errorf("replayed coalesced record error = %v", err)
+	}
+}
+
+func TestOpenFramesNotEstablished(t *testing.T) {
+	var s *Session
+	if _, err := s.OpenFrames([]byte{frameCoalesced}); !errors.Is(err, ErrNotEstablished) {
+		t.Errorf("nil session error = %v", err)
+	}
+	if _, err := (&Session{}).SealFrames([][]byte{[]byte("x")}); !errors.Is(err, ErrNotEstablished) {
+		t.Errorf("zero session error = %v", err)
+	}
+}
+
+// dribbleConn delivers reads a few bytes at a time, so a record's length
+// prefix and body arrive split across many TCP reads.
+type dribbleConn struct {
+	net.Conn
+	chunk int
+}
+
+func (d *dribbleConn) Read(p []byte) (int, error) {
+	if len(p) > d.chunk {
+		p = p[:d.chunk]
+	}
+	return d.Conn.Read(p)
+}
+
+func connPair(t *testing.T, wrapServer func(net.Conn) net.Conn) (client, server *Conn) {
+	t.Helper()
+	pub, priv := testIdentity(t)
+	clientRaw, serverRaw := net.Pipe()
+	t.Cleanup(func() {
+		clientRaw.Close()
+		serverRaw.Close()
+	})
+	raw := net.Conn(serverRaw)
+	if wrapServer != nil {
+		raw = wrapServer(raw)
+	}
+	type res struct {
+		conn *Conn
+		err  error
+	}
+	serverCh := make(chan res, 1)
+	go func() {
+		c, err := ServerConn(raw, priv)
+		serverCh <- res{c, err}
+	}()
+	cli, err := ClientConn(clientRaw, pub)
+	if err != nil {
+		t.Fatalf("ClientConn: %v", err)
+	}
+	sr := <-serverCh
+	if sr.err != nil {
+		t.Fatalf("ServerConn: %v", sr.err)
+	}
+	return cli, sr.conn
+}
+
+func TestConnCoalescedRecordSplitAcrossReads(t *testing.T) {
+	// A coalesced record split across many small TCP reads must reassemble:
+	// the frame reader buffers until the whole record arrived, then the
+	// record authenticates as a unit.
+	testutil.CheckGoroutines(t)
+	client, server := connPair(t, func(raw net.Conn) net.Conn {
+		return &dribbleConn{Conn: raw, chunk: 3}
+	})
+
+	payload := bytes.Repeat([]byte("split me "), 128)
+	go func() {
+		if _, err := client.Write(payload); err != nil {
+			t.Errorf("client write: %v", err)
+		}
+	}()
+	got := make([]byte, len(payload))
+	if _, err := io.ReadFull(server, got); err != nil {
+		t.Fatalf("server read: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Error("payload corrupted across dribbled reads")
+	}
+}
+
+func TestConnConcurrentWritersGroupCommit(t *testing.T) {
+	// Concurrent writers ride each other's flushes; every byte must arrive
+	// exactly once and each writer's payload must stay contiguous enough to
+	// be recovered (we use fixed-size cells so reassembly is order-free).
+	testutil.CheckGoroutines(t)
+	client, server := connPair(t, nil)
+
+	const writers, cell = 8, 512
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(id byte) {
+			defer wg.Done()
+			buf := bytes.Repeat([]byte{id}, cell)
+			if _, err := client.Write(buf); err != nil {
+				t.Errorf("writer %d: %v", id, err)
+			}
+		}(byte(i + 1))
+	}
+
+	got := make([]byte, writers*cell)
+	if _, err := io.ReadFull(server, got); err != nil {
+		t.Fatalf("server read: %v", err)
+	}
+	wg.Wait()
+	counts := make(map[byte]int)
+	for _, b := range got {
+		counts[b]++
+	}
+	for i := 1; i <= writers; i++ {
+		if counts[byte(i)] != cell {
+			t.Errorf("writer %d delivered %d bytes, want %d", i, counts[byte(i)], cell)
+		}
+	}
+}
+
+func TestConnWriteAfterPeerClose(t *testing.T) {
+	// A failed flush poisons the conn: the sticky error surfaces on every
+	// later Write instead of silently desynchronizing record sequence state.
+	client, server := connPair(t, nil)
+	server.Close()
+	client.SetWriteDeadline(time.Now().Add(50 * time.Millisecond))
+	if _, err := client.Write([]byte("doomed")); err == nil {
+		t.Fatal("write to closed peer succeeded")
+	}
+	if _, err := client.Write([]byte("still doomed")); err == nil {
+		t.Fatal("sticky flush error not surfaced")
 	}
 }

@@ -97,14 +97,22 @@ func (s *Server) OnEnvelope(env node.Env, e *msg.Envelope) {
 	if !sess.sc.Established() {
 		return
 	}
-	plaintext, err := sess.sc.Open(cd.Payload)
+	// Plain or coalesced record: one AEAD pass authenticates every sub-frame
+	// before any of them execute.
+	frames, err := sess.sc.OpenFrames(cd.Payload)
 	if err != nil {
 		return
 	}
-	env.Charge(node.ProfileJava, node.ChargeAEAD, len(plaintext))
+	total := 0
+	for _, f := range frames {
+		total += len(f)
+	}
+	env.Charge(node.ProfileJava, node.ChargeAEAD, total)
 
 	if s.cfg.HTTP {
-		sess.httpBuf = append(sess.httpBuf, plaintext...)
+		for _, plaintext := range frames {
+			sess.httpBuf = append(sess.httpBuf, plaintext...)
+		}
 		for {
 			op, consumed, err := httpfront.ExtractRequest(sess.httpBuf)
 			if err != nil || op == nil {
@@ -115,11 +123,13 @@ func (s *Server) OnEnvelope(env node.Env, e *msg.Envelope) {
 		}
 	}
 
-	frame, err := msg.DecodeChannelRequest(plaintext)
-	if err != nil {
-		return
+	for _, plaintext := range frames {
+		frame, err := msg.DecodeChannelRequest(plaintext)
+		if err != nil {
+			return
+		}
+		s.execute(env, sess, frame.Seq, frame.Op, false)
 	}
-	s.execute(env, sess, frame.Seq, frame.Op, false)
 }
 
 func (s *Server) execute(env node.Env, sess *session, seq uint64, op []byte, http bool) {

@@ -310,13 +310,18 @@ func (c *Core) HandleClientData(now time.Duration, connID uint64, from msg.NodeI
 	if !sess.sc.Established() {
 		return out, fmt.Errorf("%w: record before handshake", ErrBadChannel)
 	}
-	plaintext, err := sess.sc.Open(payload)
+	// A record may be plain or coalesced (a batch of sub-frames sealed under
+	// one AES-GCM pass by the specialized transport); either way the whole
+	// record authenticates before any sub-frame is processed.
+	frames, err := sess.sc.OpenFrames(payload)
 	if err != nil {
 		return out, fmt.Errorf("%w: %v", ErrBadChannel, err)
 	}
 
 	if c.cfg.HTTP {
-		sess.httpBuf = append(sess.httpBuf, plaintext...)
+		for _, plaintext := range frames {
+			sess.httpBuf = append(sess.httpBuf, plaintext...)
+		}
 		for {
 			op, consumed, err := httpfront.ExtractRequest(sess.httpBuf)
 			if err != nil {
@@ -336,11 +341,13 @@ func (c *Core) HandleClientData(now time.Duration, connID uint64, from msg.NodeI
 		return out, nil
 	}
 
-	frame, err := msg.DecodeChannelRequest(plaintext)
-	if err != nil {
-		return out, fmt.Errorf("%w: %v", ErrBadChannel, err)
+	for _, plaintext := range frames {
+		frame, err := msg.DecodeChannelRequest(plaintext)
+		if err != nil {
+			return out, fmt.Errorf("%w: %v", ErrBadChannel, err)
+		}
+		out.merge(c.handleOperation(now, sess, frame.Client, frame.Seq, frame.Op))
 	}
-	out.merge(c.handleOperation(now, sess, frame.Client, frame.Seq, frame.Op))
 	return out, nil
 }
 

@@ -321,6 +321,127 @@ func ReadFrame(r io.Reader) ([]byte, error) {
 	return payload, nil
 }
 
+// In-place frame building: the specialized transport encodes the 4-byte
+// frame header and the payload into one pooled buffer, so a ring slot is a
+// single contiguous iovec entry for the vectored write — no intermediate
+// copy, no per-frame allocation.
+
+// BeginFrame reserves space for a frame header at the writer's current
+// position and returns a mark to pass to EndFrame once the payload has been
+// appended.
+func (w *Writer) BeginFrame() int {
+	w.U32(0)
+	return w.Len()
+}
+
+// EndFrame patches the header reserved by BeginFrame with the number of
+// payload bytes appended since. It fails if the payload outgrew MaxFrameLen.
+func (w *Writer) EndFrame(mark int) error {
+	n := w.Len() - mark
+	if n > MaxFrameLen {
+		return fmt.Errorf("%w: frame of %d bytes", ErrTooLarge, n)
+	}
+	binary.LittleEndian.PutUint32(w.buf[mark-4:mark], uint32(n))
+	return nil
+}
+
+// AppendFramePayload appends one complete length-prefixed frame carrying
+// payload to w. It is WriteFrame without the io.Writer: the frame lands in
+// w's buffer, ready to join a vectored write.
+func AppendFramePayload(w *Writer, payload []byte) error {
+	mark := w.BeginFrame()
+	w.Raw(payload)
+	return w.EndFrame(mark)
+}
+
+// Batched frame ingress: the ring transport's receive side mirrors its send
+// side. ReadFrame on a raw connection costs two blocking reads and one
+// allocation per frame; a ChunkReader instead drains whatever the socket has
+// buffered into a large chunk with a single read syscall and slices frames
+// out of it, so a coalesced burst arriving from a vectored write is consumed
+// at one syscall and one allocation per chunk rather than per frame.
+
+// chunkSize is the ingress chunk allocation unit. Frames larger than a chunk
+// get a dedicated allocation of their exact size.
+const chunkSize = 64 << 10
+
+// ChunkReader reads length-prefixed frames from r in batched chunks.
+// It is not safe for concurrent use.
+type ChunkReader struct {
+	r   io.Reader
+	buf []byte // current chunk; never reused once frames alias it
+	off int    // consumed bytes
+	end int    // filled bytes
+}
+
+// NewChunkReader returns a ChunkReader over r.
+func NewChunkReader(r io.Reader) *ChunkReader {
+	return &ChunkReader{r: r}
+}
+
+// ReadFrame returns the next frame's payload. The slice aliases the reader's
+// current chunk and stays valid indefinitely: chunks are never recycled, so
+// the garbage collector reclaims one when every frame sliced from it is dead.
+// Errors match ReadFrame's: a clean close at a frame boundary surfaces as a
+// header read error wrapping io.EOF.
+func (c *ChunkReader) ReadFrame() ([]byte, error) {
+	for {
+		if c.end-c.off >= 4 {
+			n := int(binary.LittleEndian.Uint32(c.buf[c.off:]))
+			if n > MaxFrameLen {
+				return nil, fmt.Errorf("%w: frame of %d bytes", ErrTooLarge, n)
+			}
+			if c.end-c.off >= 4+n {
+				payload := c.buf[c.off+4 : c.off+4+n : c.off+4+n]
+				c.off += 4 + n
+				return payload, nil
+			}
+			if err := c.fill(4 + n); err != nil {
+				return nil, fmt.Errorf("read frame payload: %w", err)
+			}
+			continue
+		}
+		if err := c.fill(4); err != nil {
+			return nil, fmt.Errorf("read frame header: %w", err)
+		}
+	}
+}
+
+// fill grows the buffered window to at least need bytes, starting a fresh
+// chunk when the current one's tail cannot hold them. Pending bytes are
+// copied to the new chunk, never compacted in place: frames already returned
+// still alias the old one.
+func (c *ChunkReader) fill(need int) error {
+	if len(c.buf)-c.off < need {
+		size := chunkSize
+		if need > size {
+			size = need
+		}
+		buf := make([]byte, size)
+		copy(buf, c.buf[c.off:c.end])
+		c.end -= c.off
+		c.off = 0
+		c.buf = buf
+	}
+	for c.end-c.off < need {
+		n, err := c.r.Read(c.buf[c.end:])
+		c.end += n
+		if c.end-c.off >= need {
+			return nil
+		}
+		if err != nil {
+			if err == io.EOF && c.end > c.off {
+				return io.ErrUnexpectedEOF
+			}
+			return err
+		}
+		if n == 0 {
+			return io.ErrUnexpectedEOF
+		}
+	}
+	return nil
+}
+
 // PutU64 encodes v into an 8-byte little-endian slice. It is a convenience
 // for building MAC inputs.
 func PutU64(v uint64) []byte {

@@ -3,6 +3,8 @@ package wire
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
+	"io"
 	"testing"
 	"testing/quick"
 )
@@ -240,5 +242,159 @@ func TestWriterConveniences(t *testing.T) {
 	}
 	if got := r.String(); got != "ab" {
 		t.Errorf("string = %q", got)
+	}
+}
+
+func TestBeginEndFrameMatchesWriteFrame(t *testing.T) {
+	// The in-place frame builder must produce byte-identical output to the
+	// streaming WriteFrame path: receivers cannot tell which encoder ran.
+	payloads := [][]byte{{}, []byte("a"), bytes.Repeat([]byte{7}, 100000)}
+	w := NewWriter(0)
+	var want bytes.Buffer
+	for _, p := range payloads {
+		mark := w.BeginFrame()
+		w.Raw(p)
+		if err := w.EndFrame(mark); err != nil {
+			t.Fatalf("EndFrame: %v", err)
+		}
+		if err := WriteFrame(&want, p); err != nil {
+			t.Fatalf("WriteFrame: %v", err)
+		}
+	}
+	if !bytes.Equal(w.Bytes(), want.Bytes()) {
+		t.Error("BeginFrame/EndFrame encoding diverges from WriteFrame")
+	}
+	r := bytes.NewReader(w.Bytes())
+	for _, p := range payloads {
+		got, err := ReadFrame(r)
+		if err != nil {
+			t.Fatalf("ReadFrame: %v", err)
+		}
+		if !bytes.Equal(got, p) {
+			t.Errorf("frame mismatch: got %d bytes, want %d", len(got), len(p))
+		}
+	}
+}
+
+func TestAppendFramePayload(t *testing.T) {
+	w := NewWriter(0)
+	if err := AppendFramePayload(w, []byte("xyz")); err != nil {
+		t.Fatalf("AppendFramePayload: %v", err)
+	}
+	got, err := ReadFrame(bytes.NewReader(w.Bytes()))
+	if err != nil || !bytes.Equal(got, []byte("xyz")) {
+		t.Errorf("round trip = %q, %v", got, err)
+	}
+}
+
+func TestEndFrameRejectsOversizedPayload(t *testing.T) {
+	// A Writer whose cursor sits MaxFrameLen+4 bytes past the header mark
+	// models a payload one byte over the limit without building one byte at
+	// a time.
+	w := &Writer{buf: make([]byte, 4+MaxFrameLen+4)}
+	if err := w.EndFrame(4); err == nil {
+		t.Error("EndFrame accepted a payload beyond MaxFrameLen")
+	}
+}
+
+func TestFrameEncodeZeroAlloc(t *testing.T) {
+	// The pooled frame path is the transport's allocation budget: encoding a
+	// frame into a caller-held Writer must not allocate at all once the
+	// buffer has grown to size (the ring reuses writers across flushes).
+	payload := bytes.Repeat([]byte{0x5c}, 1024)
+	w := NewWriter(2048)
+	if allocs := testing.AllocsPerRun(1000, func() {
+		w.Reset()
+		mark := w.BeginFrame()
+		w.Raw(payload)
+		if err := w.EndFrame(mark); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("frame encode allocates %.1f times per op, want 0", allocs)
+	}
+}
+
+// chunkingReader hands out at most n bytes per Read, exercising partial
+// fills and frames spanning chunk refills.
+type chunkingReader struct {
+	data []byte
+	n    int
+}
+
+func (c *chunkingReader) Read(p []byte) (int, error) {
+	if len(c.data) == 0 {
+		return 0, io.EOF
+	}
+	n := c.n
+	if n > len(p) {
+		n = len(p)
+	}
+	if n > len(c.data) {
+		n = len(c.data)
+	}
+	copy(p, c.data[:n])
+	c.data = c.data[n:]
+	return n, nil
+}
+
+func TestChunkReaderRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{
+		{},
+		[]byte("a"),
+		bytes.Repeat([]byte{3}, 100),
+		bytes.Repeat([]byte{7}, chunkSize+5), // larger than one chunk
+		[]byte("tail"),
+	}
+	for _, p := range payloads {
+		if err := WriteFrame(&buf, p); err != nil {
+			t.Fatalf("WriteFrame: %v", err)
+		}
+	}
+	// Dribble the stream in awkward sizes so frames straddle refills and
+	// chunk boundaries.
+	for _, step := range []int{1, 3, 1000, 1 << 20} {
+		cr := NewChunkReader(&chunkingReader{data: append([]byte(nil), buf.Bytes()...), n: step})
+		var got [][]byte
+		for range payloads {
+			p, err := cr.ReadFrame()
+			if err != nil {
+				t.Fatalf("step %d: ReadFrame: %v", step, err)
+			}
+			got = append(got, p)
+		}
+		// Earlier frames must survive later reads: chunks are never recycled.
+		for i, p := range payloads {
+			if !bytes.Equal(got[i], p) {
+				t.Errorf("step %d: frame %d mismatch: got %d bytes, want %d", step, i, len(got[i]), len(p))
+			}
+		}
+		if _, err := cr.ReadFrame(); !errors.Is(err, io.EOF) {
+			t.Errorf("step %d: at stream end got %v, want io.EOF", step, err)
+		}
+	}
+}
+
+func TestChunkReaderTruncatedFrame(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 1; cut < len(full); cut++ {
+		cr := NewChunkReader(bytes.NewReader(full[:cut]))
+		if _, err := cr.ReadFrame(); !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Errorf("cut at %d: got %v, want io.ErrUnexpectedEOF", cut, err)
+		}
+	}
+}
+
+func TestChunkReaderRejectsHugeHeader(t *testing.T) {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(MaxFrameLen+1))
+	cr := NewChunkReader(bytes.NewReader(hdr[:]))
+	if _, err := cr.ReadFrame(); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("got %v, want ErrTooLarge", err)
 	}
 }
