@@ -7,7 +7,7 @@ GO ?= go
 STATICCHECK := honnef.co/go/tools/cmd/staticcheck@2025.1
 GOVULNCHECK := golang.org/x/vuln/cmd/govulncheck@v1.1.4
 
-.PHONY: build test check lint staticcheck govulncheck bench bench-quick fuzz chaos chaos-realnet
+.PHONY: build test check lint staticcheck govulncheck bench bench-quick fuzz chaos chaos-realnet race
 
 build:
 	$(GO) build ./...
@@ -28,8 +28,10 @@ check: lint staticcheck govulncheck
 
 # lint runs go vet with the repository's own analyzer suite layered on top:
 # boundarycheck, copydiscipline, determinism, senderr (syntactic), plus
-# secretflow, lockcheck, exhaustive (on the internal/analysis/dataflow
-# engine) — see cmd/troxy-lint and DESIGN.md "Trust-boundary enforcement".
+# secretflow, lockcheck, exhaustive, quorumcheck (on the dataflow engine and
+# the interproc call-graph/summary layer) — see cmd/troxy-lint and DESIGN.md
+# "Trust-boundary enforcement". TROXY_LINT_TIMING=1 prints per-analyzer wall
+# time to stderr.
 # Any diagnostic fails the build. Suppressions use
 # `//lint:allow <analyzer> <reason>` on or above the offending line; a
 # suppression with an unknown analyzer name or a missing reason is itself
@@ -70,6 +72,18 @@ bench:
 # timing numbers for the record live in EXPERIMENTS.md.
 bench-quick:
 	$(GO) test -run xxx -bench 'Encode|AppendEnvelopeFrame|BatchDigest' -benchmem -benchtime 1000x ./internal/msg/
+
+# race is the focused race-detector gate: the seeded chaos schedules at the
+# module root plus the two most goroutine-heavy packages — the pipelined
+# ordering core (internal/hybster, out-of-order slots with a windowed
+# in-flight limit) and the TCP runtime (internal/realnet, per-peer send
+# rings) — at quick scale (-short trims the seed sets). `make check` still
+# races the whole tree; this target is the fast pre-push loop and a named
+# CI step, so a race in the hot packages fails a step that says which suite
+# tripped instead of disappearing into the full-tree run.
+race:
+	$(GO) test -race -count=1 -short -run 'TestChaos' .
+	$(GO) test -race -count=1 -short ./internal/hybster/ ./internal/realnet/
 
 # Seeded fault-injection suite (see EXPERIMENTS.md "Chaos"): network fault
 # schedules and Byzantine replica harnesses under the race detector. -short

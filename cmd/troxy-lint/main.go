@@ -9,11 +9,20 @@
 //	                map iteration in the replicated core
 //	senderr         no silently dropped errors on wire encode/send paths
 //	secretflow      secret key material never reaches logs, host-side wire
-//	                encoders, or the ecall return path
-//	lockcheck       no locks held across blocking operations, re-acquired
-//	                through same-package calls, or leaked past a return
+//	                encoders, or the ecall return path — including through
+//	                same-package helper calls, via inter-procedural summaries
+//	lockcheck       no locks held across blocking operations (direct or
+//	                transitive through same-package calls), re-acquired
+//	                through helper chains, or leaked past a return
 //	exhaustive      switches over msg.Kind / msg.Message cover every
 //	                declared message kind or carry an explicit default
+//	quorumcheck     vote counts compared only against the canonical quorum
+//	                helpers, with the non-skipping orientation
+//
+// secretflow and lockcheck share the internal/analysis/interproc call-graph
+// and summary engine; their cross-function findings are reported at the call
+// site (put the //lint:allow there). Set TROXY_LINT_TIMING=1 for
+// per-analyzer wall time on stderr.
 //
 // Malformed //lint:allow comments (stale analyzer name, missing reason) are
 // reported by the unsuppressable "allowaudit" pass built into the drivers.
@@ -31,6 +40,7 @@ import (
 	"github.com/troxy-bft/troxy/internal/analysis/determinism"
 	"github.com/troxy-bft/troxy/internal/analysis/exhaustive"
 	"github.com/troxy-bft/troxy/internal/analysis/lockcheck"
+	"github.com/troxy-bft/troxy/internal/analysis/quorumcheck"
 	"github.com/troxy-bft/troxy/internal/analysis/secretflow"
 	"github.com/troxy-bft/troxy/internal/analysis/senderr"
 )
@@ -44,5 +54,6 @@ func main() {
 		secretflow.Analyzer,
 		lockcheck.Analyzer,
 		exhaustive.Analyzer,
+		quorumcheck.Analyzer,
 	)
 }

@@ -19,8 +19,17 @@
 //
 // The reason is mandatory by convention (reviewed, not machine-checked):
 // every allow marks a deliberate, documented exception to a trust-boundary
-// or determinism invariant. Test files (*_test.go) are never reported
-// against; the analyzers guard production code.
+// or determinism invariant. Inter-procedural findings (a tainted argument
+// reaching a sink inside a callee, a lock held across a call that
+// transitively blocks) are reported at the *call site*, never inside the
+// callee — so the allow goes on the call, where the exception is actually
+// taken, and stays attached to the code that owns the decision. Test files
+// (*_test.go) are never reported against; the analyzers guard production
+// code.
+//
+// Setting TROXY_LINT_TIMING=1 in the environment prints per-analyzer wall
+// time per package to stderr (the variable reaches the vettool subprocesses
+// through go vet's inherited environment).
 package analysis
 
 import (
@@ -28,8 +37,10 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"os"
 	"sort"
 	"strings"
+	"time"
 )
 
 // ModulePath is the import path of this repository's module; the analyzers
@@ -51,6 +62,7 @@ var KnownAnalyzerNames = map[string]bool{
 	"secretflow":     true,
 	"lockcheck":      true,
 	"exhaustive":     true,
+	"quorumcheck":    true,
 }
 
 // An Analyzer describes one static check of the suite.
@@ -148,6 +160,7 @@ func Under(rel, root string) bool {
 // in file/line order: findings in _test.go files and findings suppressed by
 // //lint:allow comments are dropped.
 func Analyze(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	timing := os.Getenv("TROXY_LINT_TIMING") != ""
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -159,11 +172,16 @@ func Analyze(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 			path:      pkg.Path,
 			report:    func(d Diagnostic) { diags = append(diags, d) },
 		}
+		start := time.Now()
 		if err := a.Run(pass); err != nil {
 			diags = append(diags, Diagnostic{
 				Analyzer: a.Name,
 				Message:  fmt.Sprintf("internal error: %v", err),
 			})
+		}
+		if timing {
+			fmt.Fprintf(os.Stderr, "troxy-lint timing: %-14s %-50s %8.2fms\n",
+				a.Name, pkg.Path, float64(time.Since(start).Microseconds())/1000)
 		}
 	}
 	sites := parseAllows(pkg)

@@ -118,6 +118,13 @@ func (s *State) join(o *State) bool {
 type CallInfo struct {
 	// ArgTainted is true when the receiver or any argument evaluated tainted.
 	ArgTainted bool
+	// RecvTainted is true when the call is a method call (or selector-based
+	// call) whose base expression evaluated tainted.
+	RecvTainted bool
+	// ArgsTainted holds the per-argument taint, in source order, for
+	// summary-based inter-procedural transfer. Nil when the engine had no
+	// arguments to evaluate.
+	ArgsTainted []bool
 	// Deferred is true for the call expression of a defer statement. Its
 	// arguments are evaluated here (Go semantics) but the callee runs at
 	// return, which the engine does not model — analyzers should report at
@@ -643,23 +650,35 @@ func (e *engine) call(call *ast.CallExpr, st *State) bool {
 	}
 
 	argTainted := false
+	recvTainted := false
 	// A method call's receiver counts as an argument.
 	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
 		if e.expr(sel.X, st) {
 			argTainted = true
+			recvTainted = true
 		}
 	} else if e.expr(call.Fun, st) {
 		argTainted = true
 	}
-	for _, a := range call.Args {
+	var argsTainted []bool
+	if len(call.Args) > 0 {
+		argsTainted = make([]bool, len(call.Args))
+	}
+	for i, a := range call.Args {
 		if e.expr(a, st) {
 			argTainted = true
+			argsTainted[i] = true
 		}
 	}
 
 	e.onNode(call, st, false)
 	if e.h.TransferCall != nil {
-		return e.h.TransferCall(call, CallInfo{ArgTainted: argTainted, Reporting: e.reporting}, st)
+		return e.h.TransferCall(call, CallInfo{
+			ArgTainted:  argTainted,
+			RecvTainted: recvTainted,
+			ArgsTainted: argsTainted,
+			Reporting:   e.reporting,
+		}, st)
 	}
 	return false
 }
@@ -710,23 +729,36 @@ func (e *engine) builtin(name string, call *ast.CallExpr, st *State) bool {
 // model; lockcheck pre-scans defers syntactically instead).
 func (e *engine) deferredCall(call *ast.CallExpr, st *State) {
 	argTainted := false
+	recvTainted := false
 	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
 		e.funcLit(lit)
 	} else if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
 		if e.expr(sel.X, st) {
 			argTainted = true
+			recvTainted = true
 		}
 	} else if e.expr(call.Fun, st) {
 		argTainted = true
 	}
-	for _, a := range call.Args {
+	var argsTainted []bool
+	if len(call.Args) > 0 {
+		argsTainted = make([]bool, len(call.Args))
+	}
+	for i, a := range call.Args {
 		if e.expr(a, st) {
 			argTainted = true
+			argsTainted[i] = true
 		}
 	}
 	e.onNode(call, st, true)
 	if e.h.TransferCall != nil {
-		e.h.TransferCall(call, CallInfo{ArgTainted: argTainted, Deferred: true, Reporting: e.reporting}, st)
+		e.h.TransferCall(call, CallInfo{
+			ArgTainted:  argTainted,
+			RecvTainted: recvTainted,
+			ArgsTainted: argsTainted,
+			Deferred:    true,
+			Reporting:   e.reporting,
+		}, st)
 	}
 }
 

@@ -10,23 +10,33 @@
 //
 //   - a blocking operation while holding a lock: a channel send (unless in
 //     a select with a default arm — non-blocking by construction), a
-//     net.Conn method call, frame I/O (internal/wire ReadFrame/WriteFrame),
-//     or an ecall transition (internal/enclave ECall) — each can block
-//     indefinitely on a peer while every other goroutine piles up on the
-//     held lock;
+//     net.Conn method call or net.Buffers vectored write, frame I/O
+//     (internal/wire ReadFrame/WriteFrame), or an ecall transition
+//     (internal/enclave ECall) — each can block indefinitely on a peer
+//     while every other goroutine piles up on the held lock;
+//   - a call into a same-package function whose *transitive* may-effect
+//     summary (internal/analysis/interproc: call graph + bottom-up SCC
+//     fixpoint) includes a blocking channel send, socket/frame I/O, or an
+//     ecall — closing the helper-function blind spot: wrapping
+//     wire.WriteFrame in flushAll() no longer hides it from the lock scope;
 //   - a call back into a same-package function that acquires a lock this
-//     function already holds (the self-deadlock shape), using a per-package
-//     summary of which receiver locks each method takes;
+//     function already holds (the self-deadlock shape), using the
+//     inter-procedural receiver-lock summaries, which propagate through
+//     same-receiver helper chains;
 //   - Unlock/RUnlock of a lock not held on any path reaching it;
 //   - a return while a manually-managed lock is still held: an early return
 //     that skips the unlock leaks the lock; locks covered by a defer'd
 //     unlock anywhere in the function are exempt.
 //
-// Known limits, by design: the analysis is intra-procedural — a helper that
-// locks in one function and unlocks in another (a lock handoff) is reported
-// at the return and needs a //lint:allow with its protocol documented.
-// sync.Locker values passed as interfaces are not tracked; RLock/RLock
-// recursion (deadlock-prone only with a pending writer) is accepted.
+// Known limits, by design: the summaries stop at the package boundary — a
+// helper that locks in one function and unlocks in another (a lock handoff)
+// is reported at the return and needs a //lint:allow with its protocol
+// documented; reports for transitive effects are placed at the call site
+// inside the lock scope (the natural allow position). Calls through func
+// values and interface implementations outside the package are invisible to
+// the summaries. sync.Locker values passed as interfaces are not tracked;
+// RLock/RLock recursion (deadlock-prone only with a pending writer) is
+// accepted.
 package lockcheck
 
 import (
@@ -38,6 +48,7 @@ import (
 
 	"github.com/troxy-bft/troxy/internal/analysis"
 	"github.com/troxy-bft/troxy/internal/analysis/dataflow"
+	"github.com/troxy-bft/troxy/internal/analysis/interproc"
 )
 
 // Analyzer is the lockcheck analyzer.
@@ -68,12 +79,12 @@ func run(pass *analysis.Pass) error {
 		return nil
 	}
 
-	summaries := collectSummaries(pass)
+	graph := interproc.Build(pass.Files, pass.TypesInfo, pass.Pkg, nil)
 	nonBlocking := collectNonBlockingSends(pass)
 
 	for _, f := range pass.Files {
 		for _, fn := range functions(f) {
-			checkFunc(pass, fn, summaries, nonBlocking)
+			checkFunc(pass, fn, graph, nonBlocking)
 		}
 	}
 	return nil
@@ -106,7 +117,7 @@ func functions(f *ast.File) []fnInfo {
 	return out
 }
 
-func checkFunc(pass *analysis.Pass, fn fnInfo, summaries map[*types.Func][]summaryLock, nonBlocking map[ast.Node]bool) {
+func checkFunc(pass *analysis.Pass, fn fnInfo, graph *interproc.Graph, nonBlocking map[ast.Node]bool) {
 	deferred := collectDeferredUnlocks(pass, fn.body)
 
 	h := &dataflow.Hooks{
@@ -159,7 +170,10 @@ func checkFunc(pass *analysis.Pass, fn fnInfo, summaries map[*types.Func][]summa
 				}
 				return false
 			}
-			reportSelfDeadlock(pass, call, sel, st, summaries, info.Reporting)
+			if reportTransitiveEffect(pass, call, st, graph, info.Reporting) {
+				return false
+			}
+			reportSelfDeadlock(pass, call, sel, st, graph, info.Reporting)
 			return false
 		},
 		OnNode: func(n ast.Node, st *dataflow.State, deferredCall bool) {
@@ -277,6 +291,10 @@ func blockingCall(pass *analysis.Pass, call *ast.CallExpr, sel *ast.SelectorExpr
 		switch fn.Name() {
 		case "Read", "Write", "Accept", "Close":
 			return fmt.Sprintf("net %s call", fn.Name())
+		case "WriteTo":
+			// net.Buffers.WriteTo: the vectored write behind the ring
+			// transport's flush path.
+			return "net vectored write (Buffers.WriteTo)"
 		}
 		return ""
 	case analysis.ModulePath + "/internal/wire":
@@ -324,85 +342,54 @@ func isConnLike(pass *analysis.Pass, e ast.Expr) bool {
 	return true
 }
 
-// summaryLock is one lock a method acquires on its own receiver.
-type summaryLock struct {
-	path string
-	read bool
-}
-
-// collectSummaries records, for every method in the package, the receiver
-// locks its body acquires — the callee side of the self-deadlock check.
-func collectSummaries(pass *analysis.Pass) map[*types.Func][]summaryLock {
-	out := make(map[*types.Func][]summaryLock)
-	for _, f := range pass.Files {
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Recv == nil || fd.Body == nil || len(fd.Recv.List) == 0 {
-				continue
-			}
-			var recvObj types.Object
-			if names := fd.Recv.List[0].Names; len(names) == 1 {
-				recvObj = pass.TypesInfo.Defs[names[0]]
-			}
-			if recvObj == nil {
-				continue
-			}
-			fnObj, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
-			if fnObj == nil {
-				continue
-			}
-			var locks []summaryLock
-			ast.Inspect(fd.Body, func(n ast.Node) bool {
-				if _, ok := n.(*ast.FuncLit); ok {
-					return false // a goroutine's locks are its own
-				}
-				call, ok := n.(*ast.CallExpr)
-				if !ok {
-					return true
-				}
-				key, op, ok := lockOp(pass, call)
-				if !ok || key.root != recvObj {
-					return true
-				}
-				if op == "Lock" || op == "RLock" {
-					locks = append(locks, summaryLock{path: key.path, read: op == "RLock"})
-				}
-				return true
-			})
-			if len(locks) > 0 {
-				out[fnObj] = locks
+// reportTransitiveEffect flags a call into a same-package function whose
+// transitive summary includes a blocking effect, while a lock is held. The
+// report is placed at the call site — the line a //lint:allow must cover —
+// with the call path to the operation in the message. Reports whether a
+// diagnostic applies at this call.
+func reportTransitiveEffect(pass *analysis.Pass, call *ast.CallExpr, st *dataflow.State, graph *interproc.Graph, reporting bool) bool {
+	node := graph.Lookup(interproc.CalleeFunc(pass.TypesInfo, call))
+	if node == nil || node.Sum.Effects == 0 {
+		return false
+	}
+	if reporting {
+		bit := interproc.EffectSend
+		for _, b := range []interproc.Effect{interproc.EffectIO, interproc.EffectECall, interproc.EffectSend} {
+			if node.Sum.Effects&b != 0 {
+				bit = b
+				break
 			}
 		}
+		pass.Reportf(call.Pos(),
+			"call to %s (transitively: %s, via %s) while holding %s; a stalled peer blocks every goroutine contending for the lock",
+			node.Fn.Name(), bit, node.EffectTrace(bit), heldList(st))
 	}
-	return out
+	return true
 }
 
-// reportSelfDeadlock flags a call to a same-package method that acquires a
-// receiver lock the caller already holds on the same object.
-func reportSelfDeadlock(pass *analysis.Pass, call *ast.CallExpr, sel *ast.SelectorExpr, st *dataflow.State, summaries map[*types.Func][]summaryLock, reporting bool) {
+// reportSelfDeadlock flags a call to a same-package method that acquires —
+// directly or through same-receiver helper calls — a receiver lock the
+// caller already holds on the same object.
+func reportSelfDeadlock(pass *analysis.Pass, call *ast.CallExpr, sel *ast.SelectorExpr, st *dataflow.State, graph *interproc.Graph, reporting bool) {
 	if sel == nil || !reporting {
 		return
 	}
-	fn := callee(pass, call)
-	if fn == nil {
-		return
-	}
-	locks, ok := summaries[fn]
-	if !ok {
+	node := graph.Lookup(callee(pass, call))
+	if node == nil || len(node.Sum.RecvLocks) == 0 {
 		return
 	}
 	root, ok := keyOf(pass, sel.X)
 	if !ok {
 		return
 	}
-	for _, l := range locks {
-		held := lockKey{root.root, l.path, false}
-		heldR := lockKey{root.root, l.path, true}
+	for _, l := range node.Sum.RecvLocks {
+		held := lockKey{root.root, l.Path, false}
+		heldR := lockKey{root.root, l.Path, true}
 		// Write acquire conflicts with anything held; read acquire conflicts
 		// with a held write lock.
-		if st.Has(held) || (!l.read && st.Has(heldR)) {
+		if st.Has(held) || (!l.Read && st.Has(heldR)) {
 			pass.Reportf(call.Pos(),
-				"call to %s.%s re-acquires %s already held here; self-deadlock", root.root.Name(), fn.Name(), root.root.Name()+l.path)
+				"call to %s.%s re-acquires %s already held here; self-deadlock", root.root.Name(), node.Fn.Name(), root.root.Name()+l.Path)
 			return
 		}
 	}

@@ -11,5 +11,7 @@ func TestLockCheck(t *testing.T) {
 	analysistest.Run(t, lockcheck.Analyzer,
 		"github.com/troxy-bft/troxy/internal/realnet/lcpos",
 		"github.com/troxy-bft/troxy/internal/realnet/lcneg",
+		"github.com/troxy-bft/troxy/internal/realnet/lcinter",
+		"github.com/troxy-bft/troxy/internal/realnet/lcinterneg",
 	)
 }

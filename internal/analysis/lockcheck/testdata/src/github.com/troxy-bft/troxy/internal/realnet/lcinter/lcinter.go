@@ -1,0 +1,92 @@
+// Package lcinter must trigger lockcheck's inter-procedural cases: every
+// blocking operation here hides behind at least one same-package call, so
+// the intra-procedural engine (which saw only direct operations) provably
+// missed all of them. Reports land at the call site inside the lock scope —
+// the line a //lint:allow would have to cover.
+package lcinter
+
+import (
+	"net"
+	"sync"
+
+	"github.com/troxy-bft/troxy/internal/wire"
+)
+
+// G is a gateway-shaped component: a lock, a conn, a channel.
+type G struct {
+	mu   sync.Mutex
+	conn net.Conn
+	ch   chan int
+	n    int
+}
+
+// flushAll wraps the frame write — the helper-laundered I/O shape.
+func (g *G) flushAll(p []byte) {
+	wire.WriteFrame(g.conn, p)
+}
+
+func (g *G) lockedFlush(p []byte) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.flushAll(p) // want "call to flushAll \\(transitively: socket/frame I/O"
+}
+
+// flushDeep adds a second hop; the diagnostic traces the chain.
+func (g *G) flushDeep(p []byte) {
+	g.flushAll(p)
+}
+
+func (g *G) lockedDeepFlush(p []byte) {
+	g.mu.Lock()
+	g.flushDeep(p) // want "call to flushDeep \\(transitively: socket/frame I/O, via flushAll"
+	g.mu.Unlock()
+}
+
+// notify blocks on the channel.
+func (g *G) notify() {
+	g.ch <- 1
+}
+
+func (g *G) lockedNotify() {
+	g.mu.Lock()
+	g.notify() // want "call to notify \\(transitively: channel send"
+	g.mu.Unlock()
+}
+
+// drainA / drainB are mutually recursive; the send effect only reaches
+// drainA through the SCC fixpoint.
+func (g *G) drainA(n int) {
+	if n > 0 {
+		g.drainB(n - 1)
+	}
+}
+
+func (g *G) drainB(n int) {
+	g.ch <- n
+	g.drainA(n)
+}
+
+func (g *G) lockedDrain() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.drainA(3) // want "call to drainA \\(transitively: channel send"
+}
+
+// bumpLocked takes the receiver lock; bumpViaHelper launders the acquire
+// through a second method. The transitive receiver-lock summary still sees
+// it.
+func (g *G) bumpLocked() {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+}
+
+func (g *G) bumpViaHelper() {
+	g.bumpLocked()
+}
+
+func (g *G) lockedBump() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.bumpViaHelper() // want "call to g.bumpViaHelper re-acquires g.mu already held here; self-deadlock"
+}

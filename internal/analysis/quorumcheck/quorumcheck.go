@@ -1,0 +1,356 @@
+// Package quorumcheck encodes the paper's threshold arithmetic (Section IV:
+// a hybster certificate needs f+1 matching votes out of N = 2f+1 replicas;
+// the Troxy voter needs f+1 matching replies): vote counting must compare
+// against the canonical quorum helpers, not hand-rolled F/N arithmetic, and
+// must use the non-skipping comparison orientation. Gunn et al. (PAPERS.md)
+// document how easily hand-written threshold comparisons go wrong — an
+// `>`/`>=` mixup silently weakens a safety quorum by one vote, which no test
+// with a lucky schedule will catch.
+//
+// The analyzer runs over the protocol packages (internal/hybster and
+// internal/troxy subtrees) and inspects every ordering/equality comparison
+// where one side is a *count* — a len(...) expression or a variable whose
+// name says it counts votes (match/vot/vouch/ack/repl/count/seen/got/
+// valid/agree) — and the other side derives a quorum threshold:
+//
+//   - count vs. hand-rolled F/N arithmetic (`matching < c.cfg.F+1`,
+//     `votes > 2*cfg.F`): flagged — use the canonical helper so the
+//     threshold is defined exactly once;
+//   - count vs. len(replicas)-style arithmetic (`votes > len(peers)/2`):
+//     flagged — majority-of-membership is not a Byzantine quorum;
+//   - count vs. helper-result arithmetic (`matching >= c.quorum()+1`):
+//     flagged — the offset belongs inside a named helper;
+//   - count vs. a bare helper call with the skipping orientation
+//     (`count > quorum()`, `count <= quorum()`, and their mirrored forms):
+//     flagged as an off-by-one — reaching a threshold is `count >=
+//     quorum()`, missing it is `count < quorum()`; equality tests
+//     (fire-exactly-once-at-threshold) are accepted.
+//
+// A quorum helper is recognized by name (it contains "quorum", any case) or
+// by shape: a single-return function whose result is F/N arithmetic or a
+// call to another helper (computed to a fixpoint, so a helper delegating to
+// a Config-level helper still counts).
+//
+// Deliberately exempt: comparisons where both sides are config-derived
+// (`cfg.N != 2*cfg.F+1` — the constructor validating the relation is where
+// the arithmetic *belongs*), and bare `.F`/`.N` reads without arithmetic
+// (`i < c.cfg.N` loop bounds; `seen >= c.cfg.N` heard-from-everyone
+// checks — N is a membership count, not a derived threshold).
+package quorumcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"github.com/troxy-bft/troxy/internal/analysis"
+)
+
+// Analyzer is the quorumcheck analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "quorumcheck",
+	Doc:  "vote counts must be compared against the canonical quorum helpers, with the non-skipping orientation",
+	Run:  run,
+}
+
+// scopeRoots are the protocol subtrees whose vote counting the analyzer
+// polices.
+var scopeRoots = []string{"internal/hybster", "internal/troxy"}
+
+var countishRE = regexp.MustCompile(`(?i)(match|vot|vouch|ack|repl|count|seen|got|valid|agree)`)
+var membersRE = regexp.MustCompile(`(?i)(replica|peer|node|member)`)
+
+func run(pass *analysis.Pass) error {
+	rel, ok := analysis.RelPath(pass.Path())
+	if !ok {
+		return nil
+	}
+	inScope := false
+	for _, root := range scopeRoots {
+		if analysis.Under(rel, root) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return nil
+	}
+
+	helpers := collectHelpers(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			cmp, ok := n.(*ast.BinaryExpr)
+			if !ok {
+				return true
+			}
+			switch cmp.Op {
+			case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+			default:
+				return true
+			}
+			checkComparison(pass, helpers, cmp)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkComparison applies the quorum rules to one comparison.
+func checkComparison(pass *analysis.Pass, helpers map[*types.Func]bool, cmp *ast.BinaryExpr) {
+	l, r := ast.Unparen(cmp.X), ast.Unparen(cmp.Y)
+
+	// Config validated against config (cfg.N != 2*cfg.F+1) is the one place
+	// the raw arithmetic belongs.
+	if hasFNLeaf(pass, l) && hasFNLeaf(pass, r) {
+		return
+	}
+
+	// Orient: exactly one countish side, the other the candidate threshold.
+	var count, thr ast.Expr
+	var thrOnRight bool
+	switch {
+	case isCountish(pass, l) && !isCountish(pass, r):
+		count, thr, thrOnRight = l, r, true
+	case isCountish(pass, r) && !isCountish(pass, l):
+		count, thr, thrOnRight = r, l, false
+	default:
+		return
+	}
+	_ = count
+
+	switch classifyThreshold(pass, helpers, thr) {
+	case thrFNArith:
+		pass.Reportf(cmp.Pos(),
+			"count compared against hand-rolled quorum arithmetic; define the threshold once in a canonical quorum helper (f+1 / 2f+1) and compare against that")
+	case thrMembersArith:
+		pass.Reportf(cmp.Pos(),
+			"count compared against len-of-membership arithmetic; a majority of the membership is not a Byzantine quorum — use the canonical quorum helper")
+	case thrHelperArith:
+		pass.Reportf(cmp.Pos(),
+			"arithmetic on a quorum helper result obscures the threshold; move the offset into a named helper and compare against it directly")
+	case thrHelper:
+		if skipsThreshold(cmp.Op, thrOnRight) {
+			pass.Reportf(cmp.Pos(),
+				"off-by-one quorum comparison: reaching a threshold is `count >= quorum()` and missing it is `count < quorum()`; this orientation skips the exact-threshold case")
+		}
+	}
+}
+
+// skipsThreshold reports whether op, with the helper on the given side,
+// treats the exact-threshold count as not-reached: count > q, count <= q,
+// and the mirrored q < count / q >= count.
+func skipsThreshold(op token.Token, thrOnRight bool) bool {
+	if thrOnRight {
+		return op == token.GTR || op == token.LEQ
+	}
+	return op == token.LSS || op == token.GEQ
+}
+
+type thresholdKind int
+
+const (
+	thrNone thresholdKind = iota
+	thrHelper
+	thrHelperArith
+	thrFNArith
+	thrMembersArith
+)
+
+// classifyThreshold decides what kind of quorum threshold e is.
+func classifyThreshold(pass *analysis.Pass, helpers map[*types.Func]bool, e ast.Expr) thresholdKind {
+	e = ast.Unparen(e)
+	if call, ok := e.(*ast.CallExpr); ok && isHelperCall(pass, helpers, call) {
+		return thrHelper
+	}
+	if !hasArith(e) {
+		return thrNone
+	}
+	if containsHelperCall(pass, helpers, e) {
+		return thrHelperArith
+	}
+	if hasFNLeaf(pass, e) {
+		return thrFNArith
+	}
+	if hasMembersLen(e) {
+		return thrMembersArith
+	}
+	return thrNone
+}
+
+// collectHelpers recognizes the package's quorum helpers: by name
+// (containing "quorum") or by shape (single-return function whose result is
+// F/N arithmetic or a call to another helper), iterated to a fixpoint so
+// delegation chains resolve.
+func collectHelpers(pass *analysis.Pass) map[*types.Func]bool {
+	helpers := make(map[*types.Func]bool)
+	type candidate struct {
+		fn  *types.Func
+		ret ast.Expr
+	}
+	var candidates []candidate
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			if strings.Contains(strings.ToLower(fn.Name()), "quorum") {
+				helpers[fn] = true
+				continue
+			}
+			if len(fd.Body.List) != 1 {
+				continue
+			}
+			ret, ok := fd.Body.List[0].(*ast.ReturnStmt)
+			if !ok || len(ret.Results) != 1 {
+				continue
+			}
+			candidates = append(candidates, candidate{fn, ast.Unparen(ret.Results[0])})
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, c := range candidates {
+			if helpers[c.fn] {
+				continue
+			}
+			isFN := hasArith(c.ret) && hasFNLeaf(pass, c.ret)
+			call, isCall := c.ret.(*ast.CallExpr)
+			if isFN || (isCall && isHelperCall(pass, helpers, call)) {
+				helpers[c.fn] = true
+				changed = true
+			}
+		}
+	}
+	return helpers
+}
+
+func isHelperCall(pass *analysis.Pass, helpers map[*types.Func]bool, call *ast.CallExpr) bool {
+	fn := callee(pass, call)
+	if fn == nil {
+		return false
+	}
+	// Out-of-package helpers are recognized by name only (a Config-level
+	// Quorum() imported from another package).
+	return helpers[fn] || strings.Contains(strings.ToLower(fn.Name()), "quorum")
+}
+
+func containsHelperCall(pass *analysis.Pass, helpers map[*types.Func]bool, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isHelperCall(pass, helpers, call) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isCountish reports whether e reads as a tally: a len(...) expression or a
+// variable/field whose name says it counts.
+func isCountish(pass *analysis.Pass, e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "len" {
+			if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+				return true
+			}
+		}
+	case *ast.Ident:
+		return countishRE.MatchString(x.Name)
+	case *ast.SelectorExpr:
+		return countishRE.MatchString(x.Sel.Name)
+	}
+	return false
+}
+
+// hasFNLeaf reports whether e contains a read of an F or N config field
+// (selector .F/.N, or a bare F/N identifier), possibly through int
+// conversions.
+func hasFNLeaf(pass *analysis.Pass, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SelectorExpr:
+			if x.Sel.Name == "F" || x.Sel.Name == "N" {
+				found = true
+			}
+			return false // don't descend into x.X: c.cfg is not a leaf
+		case *ast.Ident:
+			if x.Name == "F" || x.Name == "N" {
+				if _, isVar := objOf(pass, x).(*types.Var); isVar {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// hasArith reports whether e contains an arithmetic operator — what turns a
+// bare config read into a derived threshold.
+func hasArith(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if b, ok := n.(*ast.BinaryExpr); ok {
+			switch b.Op {
+			case token.ADD, token.SUB, token.MUL, token.QUO, token.REM:
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// hasMembersLen reports whether e contains len(x) where x names the
+// membership (replicas, peers, nodes, members).
+func hasMembersLen(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		if id, isIdent := ast.Unparen(call.Fun).(*ast.Ident); isIdent && id.Name == "len" && len(call.Args) == 1 {
+			name := ""
+			switch a := ast.Unparen(call.Args[0]).(type) {
+			case *ast.Ident:
+				name = a.Name
+			case *ast.SelectorExpr:
+				name = a.Sel.Name
+			}
+			if membersRE.MatchString(name) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func callee(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pass.TypesInfo.Uses[f].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.TypesInfo.Uses[f.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+func objOf(pass *analysis.Pass, id *ast.Ident) types.Object {
+	if obj := pass.TypesInfo.Uses[id]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Defs[id]
+}

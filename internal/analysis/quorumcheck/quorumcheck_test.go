@@ -1,0 +1,15 @@
+package quorumcheck_test
+
+import (
+	"testing"
+
+	"github.com/troxy-bft/troxy/internal/analysis/analysistest"
+	"github.com/troxy-bft/troxy/internal/analysis/quorumcheck"
+)
+
+func TestQuorumCheck(t *testing.T) {
+	analysistest.Run(t, quorumcheck.Analyzer,
+		"github.com/troxy-bft/troxy/internal/hybster/qcpos",
+		"github.com/troxy-bft/troxy/internal/troxy/qcneg",
+	)
+}

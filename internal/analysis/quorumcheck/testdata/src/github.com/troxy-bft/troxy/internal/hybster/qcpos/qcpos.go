@@ -1,0 +1,61 @@
+// Package qcpos must trigger quorumcheck: every threshold-arithmetic shape
+// the analyzer rejects.
+package qcpos
+
+// Config mirrors the protocol config: N = 2F+1.
+type Config struct {
+	N, F int
+}
+
+// Quorum is the canonical helper.
+func (c Config) Quorum() int { return c.F + 1 }
+
+type core struct {
+	cfg      Config
+	replicas []int
+}
+
+// certSize and threshold are quorum helpers by shape, not by name: a
+// single-return F-arithmetic body, and a delegation to it (the fixpoint).
+func (c *core) certSize() int  { return c.cfg.F + 1 }
+func (c *core) threshold() int { return c.certSize() }
+
+func (c *core) handRolled(matching int) bool {
+	return matching >= c.cfg.F+1 // want "hand-rolled quorum arithmetic"
+}
+
+func (c *core) handRolledDouble(votes int) bool {
+	return votes > 2*c.cfg.F // want "hand-rolled quorum arithmetic"
+}
+
+func (c *core) handRolledMirror(acks int) bool {
+	return c.cfg.F+1 <= acks // want "hand-rolled quorum arithmetic"
+}
+
+func (c *core) majorityOfMembers(votes int) bool {
+	return votes > len(c.replicas)/2 // want "len-of-membership arithmetic"
+}
+
+func (c *core) helperPlusOne(matching int) bool {
+	return matching >= c.cfg.Quorum()+1 // want "arithmetic on a quorum helper result"
+}
+
+func (c *core) offByOneOver(matching int) bool {
+	return matching > c.cfg.Quorum() // want "off-by-one quorum comparison"
+}
+
+func (c *core) offByOneUnder(acks int) bool {
+	return acks <= c.cfg.Quorum() // want "off-by-one quorum comparison"
+}
+
+func (c *core) offByOneMirror(matching int) bool {
+	return c.cfg.Quorum() >= matching // want "off-by-one quorum comparison"
+}
+
+func (c *core) offByOneViaShapeHelper(matching int) bool {
+	return matching > c.threshold() // want "off-by-one quorum comparison"
+}
+
+func (c *core) lenCountOffByOne(votes []int) bool {
+	return len(votes) <= c.cfg.Quorum() // want "off-by-one quorum comparison"
+}

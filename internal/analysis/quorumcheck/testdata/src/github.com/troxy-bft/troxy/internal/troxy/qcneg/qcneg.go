@@ -1,0 +1,67 @@
+// Package qcneg must stay silent: the canonical comparisons and the
+// deliberate exemptions.
+package qcneg
+
+type Config struct {
+	N, F int
+}
+
+func (c Config) Quorum() int { return c.F + 1 }
+
+type core struct {
+	cfg  Config
+	seen map[int]bool
+}
+
+// Constructor validation is where the raw F/N arithmetic belongs: both
+// sides are config-derived.
+func validate(cfg Config) bool {
+	return cfg.N != 2*cfg.F+1
+}
+
+// Loop bounds over the membership are bare N reads, not derived thresholds.
+func (c *core) walk() int {
+	total := 0
+	for i := 0; i < c.cfg.N; i++ {
+		total += i
+	}
+	return total
+}
+
+// The canonical orientations: reached is >=, not-reached is <.
+func (c *core) reached(matching int) bool {
+	return matching >= c.cfg.Quorum()
+}
+
+func (c *core) notReached(votes []int) bool {
+	return len(votes) < c.cfg.Quorum()
+}
+
+// Exactly-at-threshold equality fires a completion action once.
+func (c *core) justReached(acks int) bool {
+	return acks == c.cfg.Quorum()
+}
+
+// Mirrored allowed orientation.
+func (c *core) mirrorReached(matching int) bool {
+	return c.cfg.Quorum() <= matching
+}
+
+// Heard-from-everyone compares against bare N: a membership count, not a
+// derived threshold.
+func (c *core) heardAll(count int) bool {
+	return count >= c.cfg.N
+}
+
+// Bounds checks on IDs are not vote counting (no countish side).
+func (c *core) validID(id int) bool {
+	return id >= 0 && id < c.cfg.N
+}
+
+// Slicing by the helper is not a comparison at all.
+func (c *core) prefix(ids []int) []int {
+	if len(ids) < c.cfg.Quorum() {
+		return nil
+	}
+	return ids[:c.cfg.Quorum()]
+}

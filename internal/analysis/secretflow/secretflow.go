@@ -30,14 +30,24 @@
 //     value — enclave.ECall copies results into untrusted memory, so
 //     returning secret material is a leak regardless of copying.
 //
-// Known limits, by design: the tracking is intra-procedural. A call with
-// tainted arguments declassifies by default (Seal, Encrypt, Sign, mac.Sum
-// legitimately transform secrets into publishable bytes; the engine cannot
-// see inside the callee), so a helper that launders a secret through an
-// identity function escapes notice — the discipline is compositional, and
-// the helper's own body faces the same analyzer. Error values never carry
-// taint: errors are built for display, and wrapping one that came out of a
-// derivation call is not a leak.
+// Taint also propagates *through* same-package calls, via the
+// inter-procedural summaries of internal/analysis/interproc: a tainted
+// argument to a helper whose summary says the parameter reaches a log/wire
+// sink is reported at the call site; a helper whose summary says the
+// parameter flows to a result (an identity or copying helper) taints the
+// call's results; and a helper that derives key material internally and
+// returns it (the laundering shape) yields tainted results with no tainted
+// input at all. The summaries are computed bottom-up over the call graph's
+// SCCs with a fixpoint, so mutual recursion converges.
+//
+// Known limits, by design: summaries stop at the package boundary — an
+// out-of-package call with tainted arguments still declassifies by default
+// (Seal, Encrypt, Sign, mac.Sum legitimately transform secrets into
+// publishable bytes), and the discipline stays compositional: the other
+// package's bodies face the same analyzer. Calls through func values and
+// interface implementations outside the package are invisible to the
+// summaries. Error values never carry taint: errors are built for display,
+// and wrapping one that came out of a derivation call is not a leak.
 package secretflow
 
 import (
@@ -47,6 +57,7 @@ import (
 
 	"github.com/troxy-bft/troxy/internal/analysis"
 	"github.com/troxy-bft/troxy/internal/analysis/dataflow"
+	"github.com/troxy-bft/troxy/internal/analysis/interproc"
 )
 
 // Analyzer is the secretflow analyzer.
@@ -78,24 +89,44 @@ func run(pass *analysis.Pass) error {
 	handlers := collectHandlers(pass)
 	enclosing := collectEnclosing(pass)
 
-	h := &dataflow.Hooks{
-		Info: pass.TypesInfo,
-		Source: func(e ast.Expr) bool {
-			switch x := e.(type) {
-			case *ast.Ident:
-				if obj := identObj(pass, x); obj != nil && annotated[obj] {
-					return true
-				}
-			case *ast.SelectorExpr:
-				if obj := pass.TypesInfo.Uses[x.Sel]; obj != nil && annotated[obj] {
-					return true
-				}
-			}
-			if tv, ok := pass.TypesInfo.Types[e]; ok && tv.IsValue() && isSecretType(tv.Type) {
+	source := func(e ast.Expr) bool {
+		switch x := e.(type) {
+		case *ast.Ident:
+			if obj := identObj(pass, x); obj != nil && annotated[obj] {
 				return true
 			}
-			return false
-		},
+		case *ast.SelectorExpr:
+			if obj := pass.TypesInfo.Uses[x.Sel]; obj != nil && annotated[obj] {
+				return true
+			}
+		}
+		if tv, ok := pass.TypesInfo.Types[e]; ok && tv.IsValue() && isSecretType(tv.Type) {
+			return true
+		}
+		return false
+	}
+	// callSink classifies an out-of-package callee as a sink for the summary
+	// engine (and mirrors the direct reporting below).
+	callSink := func(fn *types.Func) interproc.SinkKind {
+		pkgPath := fn.Pkg().Path()
+		var k interproc.SinkKind
+		if sinkPkgs[pkgPath] {
+			k |= interproc.SinkLog
+		}
+		if !trusted && analysis.NormalizePath(pkgPath) == wirePkg {
+			k |= interproc.SinkWire
+		}
+		return k
+	}
+	graph := interproc.Build(pass.Files, pass.TypesInfo, pass.Pkg, &interproc.TaintSpec{
+		Source:     source,
+		Derivation: isDerivation,
+		CallSink:   callSink,
+	})
+
+	h := &dataflow.Hooks{
+		Info:   pass.TypesInfo,
+		Source: source,
 		TransferCall: func(call *ast.CallExpr, info dataflow.CallInfo, st *dataflow.State) bool {
 			fn := callee(pass, call)
 			if fn == nil || fn.Pkg() == nil {
@@ -103,6 +134,36 @@ func run(pass *analysis.Pass) error {
 			}
 			if isDerivation(fn) {
 				return true
+			}
+			if node := graph.Lookup(fn); node != nil {
+				// Same-package call: apply the callee's summary — sinks its
+				// body (transitively) feeds from tainted inputs, reported at
+				// this call site, plus result taint.
+				res := node.Sum.ResultsTainted
+				var sinks interproc.SinkKind
+				if info.RecvTainted {
+					sinks |= node.Sum.RecvFlow.Sinks
+					res = res || node.Sum.RecvFlow.ToResult
+				}
+				for i, t := range info.ArgsTainted {
+					if !t {
+						continue
+					}
+					f := node.Sum.ArgFlow(i)
+					sinks |= f.Sinks
+					res = res || f.ToResult
+				}
+				if info.Reporting {
+					if sinks&interproc.SinkLog != 0 {
+						pass.Reportf(call.Pos(),
+							"secret-tainted argument to %s reaches a formatting/logging sink inside the callee; key material must never be formatted or logged", fn.Name())
+					}
+					if sinks&interproc.SinkWire != 0 {
+						pass.Reportf(call.Pos(),
+							"secret-tainted argument to %s reaches a wire encoder inside the callee; only ciphertext may leave the trusted packages", fn.Name())
+					}
+				}
+				return res
 			}
 			if !info.ArgTainted || !info.Reporting {
 				return false

@@ -11,6 +11,7 @@ func TestSecretFlow(t *testing.T) {
 	analysistest.Run(t, secretflow.Analyzer,
 		"github.com/troxy-bft/troxy/internal/securechannel/sfpos",
 		"github.com/troxy-bft/troxy/internal/securechannel/sfneg",
+		"github.com/troxy-bft/troxy/internal/securechannel/sfinter",
 		"github.com/troxy-bft/troxy/internal/realnet/sfwire",
 	)
 }

@@ -21,9 +21,20 @@ func leakFrame(dst *bytes.Buffer) error {
 	return wire.WriteFrame(dst, sessionTicket) // want "secret-tainted value written to the wire via wire.WriteFrame outside the enclave surface"
 }
 
-// forwardCiphertext is clean: the bytes came from a declassifying call.
+// forwardCopied is the cross-function case the intra-procedural engine
+// provably missed (it treated any call as declassifying): the in-package
+// copy helper's summary says its parameter flows to its result, so the
+// "ciphertext" still carries the secret bytes.
+func forwardCopied(w *wire.Writer) {
+	ct := copyBytes(sessionTicket)
+	w.Raw(ct) // want "secret-tainted value written to the wire via wire.Raw outside the enclave surface"
+}
+
+// forwardCiphertext is clean: the seal stub's result does not derive from
+// its input (a real seal returns fresh ciphertext bytes), and the summary
+// proves it.
 func forwardCiphertext(w *wire.Writer) {
-	ct := encrypt(sessionTicket)
+	ct := seal(sessionTicket)
 	w.Raw(ct)
 }
 
@@ -33,4 +44,12 @@ func plainPayload(w *wire.Writer, payload []byte) {
 	w.Raw(payload)
 }
 
-func encrypt(b []byte) []byte { return append([]byte(nil), b...) }
+func copyBytes(b []byte) []byte { return append([]byte(nil), b...) }
+
+func seal(b []byte) []byte {
+	ct := make([]byte, 16)
+	for range b {
+		ct[0]++
+	}
+	return ct
+}

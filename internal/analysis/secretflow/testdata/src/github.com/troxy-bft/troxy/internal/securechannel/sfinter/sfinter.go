@@ -1,0 +1,95 @@
+// Package sfinter must trigger secretflow's inter-procedural cases: every
+// finding here crosses a function boundary, so the intra-procedural engine
+// (which declassified at every call) provably missed all of them — the
+// call-graph summaries are what make them visible. Reports land at the call
+// site, never inside the helper.
+package sfinter
+
+import (
+	"crypto/ed25519"
+	"fmt"
+)
+
+// S holds trusted key material.
+type S struct {
+	// troxy:secret
+	master []byte
+}
+
+// logHex is a laundering log helper: its own body has no taint source, so
+// the old engine reported nothing anywhere. Its summary records that the
+// parameter reaches a fmt sink.
+func logHex(v []byte) {
+	fmt.Printf("%x\n", v)
+}
+
+func (s *S) leakViaHelper() {
+	logHex(s.master) // want "secret-tainted argument to logHex reaches a formatting/logging sink inside the callee"
+}
+
+// clone flows its parameter to its result; the summary's ToResult bit
+// carries taint through the call.
+func clone(b []byte) []byte {
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+func (s *S) leakViaClone() {
+	c := clone(s.master)
+	fmt.Println(c) // want "secret-tainted value reaches fmt.Println"
+}
+
+// exportKey derives secret material internally and returns it — the
+// laundering-helper shape: no tainted inputs, intrinsically tainted result.
+func (s *S) exportKey() []byte {
+	out := s.master
+	return out
+}
+
+func (s *S) leakLaundered() {
+	fmt.Println(s.exportKey()) // want "secret-tainted value reaches fmt.Println"
+}
+
+// pingLog / pongLog are mutually recursive: the parameter-to-sink flow only
+// converges through the SCC fixpoint.
+func pingLog(v []byte, n int) {
+	if n == 0 {
+		fmt.Println(v)
+		return
+	}
+	pongLog(v, n-1)
+}
+
+func pongLog(v []byte, n int) {
+	pingLog(v, n)
+}
+
+func leakViaRecursion(key ed25519.PrivateKey) {
+	pongLog(key, 3) // want "secret-tainted argument to pongLog reaches a formatting/logging sink inside the callee"
+}
+
+// digestLen is clean: the helper consumes the secret but neither sinks it
+// nor returns anything derived from it (a secret's length is not a secret).
+func digestLen(b []byte) int {
+	return len(b)
+}
+
+func (s *S) cleanHelperUse() {
+	n := digestLen(s.master)
+	fmt.Println(n)
+}
+
+// sealStub is clean: its result does not derive from the input, so callers
+// may log it.
+func sealStub(b []byte) []byte {
+	ct := make([]byte, 16)
+	for range b {
+		ct[0]++
+	}
+	return ct
+}
+
+func (s *S) cleanSealedLog() {
+	fmt.Println(sealStub(s.master))
+}

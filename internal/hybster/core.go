@@ -97,6 +97,12 @@ type Config struct {
 	App app.Application
 }
 
+// Quorum is the certificate size: f+1 distinct replicas suffice because
+// trusted counters remove equivocation (Section II — hybrid fault model
+// quorums, not PBFT's 2f+1). Every vote-count comparison goes through this
+// helper — quorumcheck rejects hand-rolled F-arithmetic.
+func (c Config) Quorum() int { return c.F + 1 }
+
 // Outbound receives the core's outputs. Implementations route messages
 // through the replica's authenticated transport and deliver execution
 // results to the reply path (Troxy voter or BFT client).
@@ -332,8 +338,8 @@ func (c *Core) rejectCert(from msg.NodeID) {
 // claiming to come from source were rejected.
 func (c *Core) RejectedCertsFrom(source msg.NodeID) uint64 { return c.rejectedBy[source] }
 
-// quorum is the certificate size: f+1 distinct replicas.
-func (c *Core) quorum() int { return c.cfg.F + 1 }
+// quorum is the certificate size, delegated to the canonical Config helper.
+func (c *Core) quorum() int { return c.cfg.Quorum() }
 
 func prepareDigest(view, seq uint64, reqDigest msg.Digest) msg.Digest {
 	w := wire.NewWriter(64)

@@ -99,6 +99,12 @@ type Config struct {
 	HTTP bool
 }
 
+// Quorum is the reply-vote threshold: f+1 matching replies guarantee at
+// least one comes from a correct replica (Section III-C). Every vote-count
+// comparison goes through this helper — quorumcheck rejects hand-rolled
+// F-arithmetic.
+func (c Config) Quorum() int { return c.F + 1 }
+
 // Actions is what the untrusted replica part must do after an ecall: send
 // encrypted records to clients, hand requests to the ordering protocol, and
 // transmit cache messages to peer replicas. The Troxy itself never touches
@@ -581,7 +587,7 @@ func (c *Core) HandleReply(now time.Duration, rep *msg.OrderedReply) (Actions, e
 			matching++
 		}
 	}
-	if matching < c.cfg.F+1 {
+	if matching < c.cfg.Quorum() {
 		return out, nil
 	}
 
