@@ -7,7 +7,7 @@ GO ?= go
 STATICCHECK := honnef.co/go/tools/cmd/staticcheck@2025.1
 GOVULNCHECK := golang.org/x/vuln/cmd/govulncheck@v1.1.4
 
-.PHONY: build test check lint staticcheck govulncheck bench bench-quick fuzz chaos chaos-realnet race
+.PHONY: build test check lint staticcheck govulncheck bench bench-quick fuzz chaos chaos-realnet race soak soak-quick
 
 build:
 	$(GO) build ./...
@@ -95,9 +95,22 @@ chaos:
 # Wall-clock chaos variant: the simulator's seeded plans replayed on the
 # goroutine/TCP runtime — two routers joined by a TCP bridge whose listener
 # comes up late (exercising the bridge's dial backoff), with sloppy-deadline
-# liveness/convergence checkers instead of virtual-time assertions.
+# liveness/convergence checkers instead of virtual-time assertions. Covers
+# both the network-fault seeds and the Byzantine host wrapper.
 chaos-realnet:
-	$(GO) test -race -count=1 -run 'TestChaosRealnetNetworkFaults' -v .
+	$(GO) test -race -count=1 -run 'TestChaosRealnet' -v .
+
+# Large-state crash/restart soak (see EXPERIMENTS.md "Soak"): rolling
+# crash/restart under a value-heavy workload at pipeline depth 4, asserting
+# convergence, linearizability, bounded catch-up time, and a flat memory
+# ceiling across cycles. soak-quick is the deterministic CI shape; soak runs
+# the full-length schedule (TROXY_SOAK_FULL=1) for the numbers in
+# EXPERIMENTS.md.
+soak-quick:
+	$(GO) test -count=1 -run 'TestSoakLargeState' -v .
+
+soak:
+	TROXY_SOAK_FULL=1 $(GO) test -count=1 -timeout 30m -run 'TestSoakLargeState' -v .
 
 # Short fuzz smoke over the wire-facing decoders and the secure channel's
 # frame parsing. Interesting inputs found here are promoted into the
@@ -111,3 +124,8 @@ fuzz:
 	$(GO) test -run xxx -fuzz 'FuzzClientFinish$$' -fuzztime 10s ./internal/securechannel/
 	$(GO) test -run xxx -fuzz 'FuzzSessionOpen$$' -fuzztime 10s ./internal/securechannel/
 	$(GO) test -run xxx -fuzz 'FuzzIsHandshakeFrame$$' -fuzztime 10s ./internal/securechannel/
+	$(GO) test -run xxx -fuzz 'FuzzManifestDecode$$' -fuzztime 10s ./internal/hybster/
+	$(GO) test -run xxx -fuzz 'FuzzSnapshotHead$$' -fuzztime 10s ./internal/hybster/
+	$(GO) test -run xxx -fuzz 'FuzzChunkAssembly$$' -fuzztime 10s ./internal/hybster/
+	$(GO) test -run xxx -fuzz 'FuzzRestoreSink$$' -fuzztime 10s ./internal/app/
+	$(GO) test -run xxx -fuzz 'FuzzSnapshotIter$$' -fuzztime 10s ./internal/app/

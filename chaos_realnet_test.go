@@ -67,23 +67,64 @@ func reserveAddr(t *testing.T) string {
 	return addr
 }
 
+// chaosRealnetOpts configures one wall-clock chaos run: a network-fault plan,
+// Byzantine host wrappers, or both.
+type chaosRealnetOpts struct {
+	seed int64
+	plan faultplane.Plan
+	// byz wraps the listed replicas' hosts with Byzantine message-level
+	// behaviors at their router attach point.
+	byz map[msg.NodeID]faultplane.Behavior
+}
+
+// chaosRealnetResult hands the cluster back for behavior-specific assertions.
+type chaosRealnetResult struct {
+	cl   *Cluster
+	hist *faultplane.History
+}
+
 // TestChaosRealnetNetworkFaults replays the simulator chaos seeds on the
 // real runtime with the ordering pipeline enabled: same plans, same
 // invariants, but real goroutines, real TCP framing, and wall-clock timers.
 func TestChaosRealnetNetworkFaults(t *testing.T) {
+	ids := []msg.NodeID{0, 1, 2}
+	clients := []msg.NodeID{100, 101}
+	seeds := []int64{11, 12}
 	if testing.Short() {
-		t.Run("seed=11", func(t *testing.T) { runChaosRealnet(t, 11) })
-		return
+		seeds = seeds[:1]
 	}
-	for _, seed := range []int64{11, 12} {
-		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) { runChaosRealnet(t, seed) })
+	for _, seed := range seeds {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runChaosRealnet(t, chaosRealnetOpts{
+				seed: seed,
+				plan: faultplane.RandomPlan(seed, ids, clients, 2*time.Second),
+			})
+		})
 	}
 }
 
-func runChaosRealnet(t *testing.T, seed int64) {
-	ids := []msg.NodeID{0, 1, 2}
-	clients := []msg.NodeID{100, 101}
-	plan := faultplane.RandomPlan(seed, ids, clients, 2*time.Second)
+// TestChaosRealnetByzantine arms one faulty replica on the real runtime:
+// replica 1's host tampers with ordered replies after its own Troxy has
+// tagged them, crossing real TCP framing toward the voters. The network
+// itself is clean (no fault plan) — the misbehavior is entirely the
+// replica's — and all invariants must hold with the tag-verification
+// defense observably engaged.
+func TestChaosRealnetByzantine(t *testing.T) {
+	res := runChaosRealnet(t, chaosRealnetOpts{
+		seed: 22,
+		byz:  map[msg.NodeID]faultplane.Behavior{1: faultplane.CorruptReplies},
+	})
+	bad := uint64(0)
+	for i := 0; i < 3; i++ {
+		bad += res.cl.TroxyStats(i).BadReplies
+	}
+	if bad == 0 {
+		t.Error("no corrupted reply was dropped by tag verification")
+	}
+}
+
+func runChaosRealnet(t *testing.T, o chaosRealnetOpts) chaosRealnetResult {
+	seed, plan := o.seed, o.plan
 
 	cl, err := NewCluster(ClusterConfig{
 		Mode:               ETroxy,
@@ -135,9 +176,19 @@ func runChaosRealnet(t *testing.T, seed int64) {
 	routerA.SetFault(faultplane.NewInjector(seed, plan))
 	faultplane.ScheduleCrashes(wallScheduler{}, dualRestorer{[]*realnet.Router{routerA, routerB}}, plan)
 
-	routerA.Attach(0, cl.Replicas[0])
-	routerA.Attach(1, cl.Replicas[1])
-	routerB.Attach(2, cl.Replicas[2])
+	// Byzantine hosts are wrapped at their attach point, exactly as in the
+	// simulator suite: the wrapper impersonates the compromised replica at
+	// message level, and everything it emits crosses the real transport.
+	attach := func(r *realnet.Router, id msg.NodeID) {
+		if mode, ok := o.byz[id]; ok {
+			r.Attach(id, faultplane.NewByzantine(cl.Replicas[id], id, cl.Directory, mode))
+			return
+		}
+		r.Attach(id, cl.Replicas[id])
+	}
+	attach(routerA, 0)
+	attach(routerA, 1)
+	attach(routerB, 2)
 
 	hist := &faultplane.History{}
 	const perMachine = 4
@@ -252,11 +303,14 @@ func runChaosRealnet(t *testing.T, seed int64) {
 		}
 	}
 
-	// (d) No correct-peer certificate rejected (all replicas are correct in
-	// the network-fault plans).
+	// (d) No correct-peer certificate rejected: rejections may only be
+	// attributed to Byzantine replicas.
 	for i := 0; i < cl.Config.N; i++ {
+		if _, bad := o.byz[msg.NodeID(i)]; bad {
+			continue
+		}
 		for j := 0; j < cl.Config.N; j++ {
-			if i == j {
+			if _, bad := o.byz[msg.NodeID(j)]; bad || i == j {
 				continue
 			}
 			if rej := cl.Replicas[i].Core().RejectedCertsFrom(msg.NodeID(j)); rej != 0 {
@@ -264,4 +318,5 @@ func runChaosRealnet(t *testing.T, seed int64) {
 			}
 		}
 	}
+	return chaosRealnetResult{cl, hist}
 }

@@ -108,6 +108,17 @@ type ClusterConfig struct {
 	// must use the same value.
 	PipelineDepth int
 
+	// SnapshotChunkSize, StateChunkWindow and StateFetchTimeout tune
+	// chunked checkpoint state transfer: snapshots are carved into
+	// SnapshotChunkSize-byte chunks (identical on all replicas — it shapes
+	// the voted manifest), a fetching replica keeps at most StateChunkWindow
+	// chunks in flight, and unanswered fetch rounds retry after
+	// StateFetchTimeout with exponential backoff and peer rotation. Zero
+	// values use package defaults.
+	SnapshotChunkSize int
+	StateChunkWindow  int
+	StateFetchTimeout time.Duration
+
 	// MonitorWindow, MonitorThreshold and ProbeInterval tune the conflict
 	// monitor (zero values use package defaults).
 	MonitorWindow    int
@@ -267,6 +278,9 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 				BatchSize:          cfg.BatchSize,
 				BatchDelay:         cfg.BatchDelay,
 				PipelineDepth:      cfg.PipelineDepth,
+				SnapshotChunkSize:  cfg.SnapshotChunkSize,
+				StateChunkWindow:   cfg.StateChunkWindow,
+				StateFetchTimeout:  cfg.StateFetchTimeout,
 				Profile:            node.ProfileJava,
 				Authority:          authority,
 				App:                application,

@@ -13,6 +13,8 @@ func allKinds(k msg.Kind) int {
 		return 2
 	case msg.KindBatch:
 		return 3
+	case msg.KindStateChunk, msg.KindStatePrefix:
+		return 4
 	}
 	return 0
 }
@@ -38,6 +40,10 @@ func allTypes(m msg.Message) int {
 		return 3
 	case *msg.Batch:
 		return 4
+	case *msg.StateChunk:
+		return 5
+	case *msg.StatePrefix:
+		return 6
 	case nil:
 		return -1
 	}

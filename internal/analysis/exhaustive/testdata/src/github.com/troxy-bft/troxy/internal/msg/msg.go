@@ -10,6 +10,8 @@ const (
 	KindPrepare
 	KindCommit
 	KindBatch
+	KindStateChunk
+	KindStatePrefix
 )
 
 // Message is one protocol message.
@@ -32,3 +34,11 @@ func (*Commit) Kind() Kind { return KindCommit }
 type Batch struct{ Seqs []uint64 }
 
 func (*Batch) Kind() Kind { return KindBatch }
+
+type StateChunk struct{ Index uint32 }
+
+func (*StateChunk) Kind() Kind { return KindStateChunk }
+
+type StatePrefix struct{ Seq uint64 }
+
+func (*StatePrefix) Kind() Kind { return KindStatePrefix }

@@ -1,0 +1,87 @@
+package app
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/troxy-bft/troxy/internal/wire"
+)
+
+// FuzzRestoreSink feeds arbitrary bytes through the streaming restore path in
+// arbitrary split sizes. The sink parses state-transfer chunk payloads from
+// peers, so it must never panic, and it must agree with the monolithic
+// Restore: a stream the sink commits is exactly a snapshot Restore accepts,
+// with the identical resulting state — and vice versa, a stream the sink
+// refuses must not be a valid snapshot.
+func FuzzRestoreSink(f *testing.F) {
+	s := NewStore()
+	s.Execute([]byte("PUT alpha 1"))
+	s.Execute([]byte("PUT beta two words"))
+	valid := s.Snapshot()
+	f.Add(valid, byte(3))
+	f.Add(valid[:len(valid)-2], byte(1)) // truncated mid-entry
+	f.Add(append(append([]byte(nil), valid...), 0xEE), byte(5))
+	// Oversize claim: one entry promised, its key length far beyond the cap.
+	f.Add([]byte{1, 0, 0, 0, 0xff, 0xff, 0xff, 0xff}, byte(2))
+	f.Add([]byte{}, byte(1))
+	f.Fuzz(func(t *testing.T, data []byte, step byte) {
+		st := NewStore()
+		sink := st.RestoreSink()
+		stride := int(step)%7 + 1
+		var writeErr error
+		for off := 0; off < len(data) && writeErr == nil; off += stride {
+			writeErr = sink.Write(data[off:min(off+stride, len(data))])
+		}
+		committed := false
+		if writeErr == nil {
+			committed = sink.Commit() == nil
+		}
+
+		direct := NewStore()
+		directErr := direct.Restore(data)
+		if committed != (directErr == nil) {
+			// The one legitimate divergence: Restore tolerates duplicate
+			// U32 length claims the sink also tolerates — so any mismatch
+			// is a real parser disagreement.
+			t.Fatalf("sink committed=%v, Restore err=%v — streaming and monolithic restore disagree", committed, directErr)
+		}
+		if !committed {
+			return
+		}
+		if !bytes.Equal(st.Snapshot(), direct.Snapshot()) {
+			t.Fatal("streaming and monolithic restore produced different states")
+		}
+		// Committed state is canonical: its snapshot restores to itself.
+		again := NewStore()
+		if err := again.Restore(st.Snapshot()); err != nil {
+			t.Fatalf("re-restore of committed state failed: %v", err)
+		}
+	})
+}
+
+// FuzzSnapshotIter checks the iterator against the monolithic snapshot for
+// arbitrary store contents and piece sizes: concatenated pieces must be
+// byte-identical to Snapshot() regardless of how the state splits.
+func FuzzSnapshotIter(f *testing.F) {
+	f.Add([]byte("PUT a 1\x00PUT b 2\x00DEL a"), uint16(7))
+	f.Add([]byte("PUT k v"), uint16(1))
+	f.Add([]byte{}, uint16(64))
+	f.Fuzz(func(t *testing.T, script []byte, maxPiece uint16) {
+		s := NewStore()
+		for _, op := range bytes.Split(script, []byte{0}) {
+			s.Execute(op)
+		}
+		it := s.SnapshotIter(int(maxPiece))
+		w := wire.NewWriter(64)
+		for {
+			p, ok := it.Next()
+			if !ok {
+				break
+			}
+			w.Raw(p)
+		}
+		if !bytes.Equal(w.Bytes(), s.Snapshot()) {
+			t.Fatalf("iterated snapshot differs from monolithic (%d vs %d bytes)", w.Len(), len(s.Snapshot()))
+		}
+	})
+}

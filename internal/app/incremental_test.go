@@ -1,0 +1,160 @@
+package app
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func populatedStore(t *testing.T, n int) *Store {
+	t.Helper()
+	s := NewStore()
+	for i := 0; i < n; i++ {
+		op := fmt.Sprintf("PUT key-%04d value-%d-%s", i, i, string(bytes.Repeat([]byte{'x'}, i%37)))
+		if got := s.Execute([]byte(op)); string(got) != "OK" {
+			t.Fatalf("populate: %q -> %q", op, got)
+		}
+	}
+	return s
+}
+
+// The incremental contract: concatenated iterator pieces equal Snapshot()
+// byte for byte, for both the Store fast path and the materializing fallback.
+func TestSnapshotIterMatchesSnapshot(t *testing.T) {
+	s := populatedStore(t, 300)
+	want := s.Snapshot()
+	for _, max := range []int{1, 7, 64, 1024, 1 << 20} {
+		var got []byte
+		pieces := 0
+		it := SnapshotIterOf(s, max)
+		for {
+			p, ok := it.Next()
+			if !ok {
+				break
+			}
+			got = append(got, p...)
+			pieces++
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("max=%d: concatenated pieces differ from Snapshot (%d vs %d bytes)", max, len(got), len(want))
+		}
+		if max <= 64 && pieces < 2 {
+			t.Fatalf("max=%d: expected multiple pieces, got %d", max, pieces)
+		}
+	}
+}
+
+// Feeding the stream through a RestoreSink at arbitrary split points must
+// reproduce the source state, including splits inside an entry.
+func TestRestoreSinkArbitrarySplits(t *testing.T) {
+	src := populatedStore(t, 200)
+	snap := src.Snapshot()
+	for _, step := range []int{1, 3, 5, 100, len(snap)} {
+		dst := NewStore()
+		sk := RestoreSinkOf(dst)
+		for off := 0; off < len(snap); off += step {
+			end := min(off+step, len(snap))
+			if err := sk.Write(snap[off:end]); err != nil {
+				t.Fatalf("step=%d: Write: %v", step, err)
+			}
+		}
+		if err := sk.Commit(); err != nil {
+			t.Fatalf("step=%d: Commit: %v", step, err)
+		}
+		if !bytes.Equal(dst.Snapshot(), snap) {
+			t.Fatalf("step=%d: restored state diverges", step)
+		}
+	}
+}
+
+func TestRestoreSinkRejectsBadStreams(t *testing.T) {
+	snap := populatedStore(t, 20).Snapshot()
+
+	t.Run("truncated", func(t *testing.T) {
+		sk := NewStore().RestoreSink()
+		if err := sk.Write(snap[:len(snap)-3]); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+		if err := sk.Commit(); err == nil {
+			t.Fatal("Commit accepted a truncated stream")
+		}
+	})
+
+	t.Run("trailing", func(t *testing.T) {
+		sk := NewStore().RestoreSink()
+		if err := sk.Write(append(bytes.Clone(snap), 0xFF)); err == nil {
+			if err := sk.Commit(); err == nil {
+				t.Fatal("sink accepted trailing garbage")
+			}
+		}
+	})
+
+	t.Run("oversize-claim", func(t *testing.T) {
+		sk := NewStore().RestoreSink()
+		bad := []byte{1, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF} // 1 entry, 4 GiB key
+		if err := sk.Write(bad); err == nil {
+			t.Fatal("sink accepted an oversize length claim")
+		}
+	})
+
+	t.Run("commit-is-atomic", func(t *testing.T) {
+		dst := populatedStore(t, 5)
+		before := dst.Snapshot()
+		sk := dst.RestoreSink()
+		if err := sk.Write(snap[:8]); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+		if err := sk.Commit(); err == nil {
+			t.Fatal("Commit accepted an incomplete stream")
+		}
+		if !bytes.Equal(dst.Snapshot(), before) {
+			t.Fatal("failed restore mutated the store")
+		}
+	})
+}
+
+// A non-incremental application gets the materializing fallback and must
+// round-trip the same way. plainApp forwards only the base Application
+// methods so it does not satisfy Incremental.
+type plainApp struct{ s *Store }
+
+func (p plainApp) Execute(op []byte) []byte { return p.s.Execute(op) }
+func (p plainApp) IsRead(op []byte) bool    { return p.s.IsRead(op) }
+func (p plainApp) Keys(op []byte) []string  { return p.s.Keys(op) }
+func (p plainApp) Snapshot() []byte         { return p.s.Snapshot() }
+func (p plainApp) Restore(b []byte) error   { return p.s.Restore(b) }
+
+func TestFallbackAdapters(t *testing.T) {
+	src := populatedStore(t, 50)
+	snap := src.Snapshot()
+
+	var got []byte
+	it := SnapshotIterOf(plainApp{src}, 16)
+	for {
+		p, ok := it.Next()
+		if !ok {
+			break
+		}
+		got = append(got, p...)
+	}
+	if !bytes.Equal(got, snap) {
+		t.Fatal("fallback iterator diverges from Snapshot")
+	}
+
+	dst := NewStore()
+	sk := RestoreSinkOf(plainApp{dst})
+	if _, ok := sk.(*bufferSink); !ok {
+		t.Fatalf("expected bufferSink fallback, got %T", sk)
+	}
+	for off := 0; off < len(snap); off += 9 {
+		if err := sk.Write(snap[off:min(off+9, len(snap))]); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+	}
+	if err := sk.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	if !bytes.Equal(dst.Snapshot(), snap) {
+		t.Fatal("fallback sink restored divergent state")
+	}
+}

@@ -1,6 +1,7 @@
 package app
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -134,3 +135,120 @@ func (s *Store) Restore(snapshot []byte) error {
 
 // Len returns the number of stored keys (used by tests and examples).
 func (s *Store) Len() int { return len(s.data) }
+
+var _ Incremental = (*Store)(nil)
+
+// SnapshotIter implements Incremental. The concatenation of the yielded
+// pieces is byte-identical to Snapshot(): a U32 entry count followed by
+// sorted (key, value) string pairs. Entries are encoded lazily, so a
+// gigabyte-scale store never materializes its full snapshot; only the sorted
+// key slice is captured up front. The iterator must be drained before the
+// store executes further operations.
+func (s *Store) SnapshotIter(maxPiece int) ChunkIterator {
+	keys := make([]string, 0, len(s.data))
+	for k := range s.data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return &storeIter{s: s, keys: keys, max: maxPiece}
+}
+
+type storeIter struct {
+	s      *Store
+	keys   []string
+	i      int
+	max    int
+	header bool
+}
+
+func (it *storeIter) Next() ([]byte, bool) {
+	if it.header && it.i >= len(it.keys) {
+		return nil, false
+	}
+	w := wire.NewWriter(min(it.max+256, 64<<10))
+	if !it.header {
+		w.U32(uint32(len(it.keys)))
+		it.header = true
+	}
+	for it.i < len(it.keys) && w.Len() < it.max {
+		k := it.keys[it.i]
+		w.String(k)
+		w.String(it.s.data[k])
+		it.i++
+	}
+	return w.CopyBytes(), true
+}
+
+// RestoreSink implements Incremental. The sink parses the snapshot stream
+// entry by entry as bytes arrive, keeping only the tail of an entry split
+// across Write calls, so peak extra memory is one entry plus the staged map —
+// never a second full copy of the encoded snapshot.
+func (s *Store) RestoreSink() RestoreSink {
+	return &storeSink{s: s, total: -1}
+}
+
+type storeSink struct {
+	s     *Store
+	carry []byte
+	data  map[string]string
+	total int // declared entry count; -1 until the header has been read
+	got   int
+	err   error
+}
+
+func (sk *storeSink) Write(p []byte) error {
+	if sk.err != nil {
+		return sk.err
+	}
+	sk.carry = append(sk.carry, p...)
+	for {
+		if sk.total < 0 {
+			if len(sk.carry) < 4 {
+				return nil
+			}
+			r := wire.NewReader(sk.carry[:4])
+			sk.total = int(r.U32())
+			sk.carry = sk.carry[4:]
+			sk.data = make(map[string]string, min(sk.total, 4096))
+			continue
+		}
+		if sk.got >= sk.total {
+			if len(sk.carry) > 0 {
+				sk.err = fmt.Errorf("app: restore store: %d trailing bytes", len(sk.carry))
+				return sk.err
+			}
+			sk.carry = nil
+			return nil
+		}
+		r := wire.NewReader(sk.carry)
+		k := r.String()
+		v := r.String()
+		if errors.Is(r.Err(), wire.ErrTooLarge) {
+			sk.err = fmt.Errorf("app: restore store: %w", r.Err())
+			return sk.err
+		}
+		if r.Err() != nil {
+			// Entry split across Write calls: keep the partial bytes and
+			// wait for more. (Upstream chunk digests guarantee the stream
+			// terminates, and Commit rejects a still-incomplete entry.)
+			return nil
+		}
+		sk.carry = sk.carry[len(sk.carry)-r.Remaining():]
+		sk.data[k] = v
+		sk.got++
+	}
+}
+
+func (sk *storeSink) Commit() error {
+	if sk.err != nil {
+		return sk.err
+	}
+	if sk.total < 0 || sk.got < sk.total || len(sk.carry) > 0 {
+		sk.err = fmt.Errorf("app: restore store: truncated stream (%d/%d entries, %d carry bytes)",
+			sk.got, sk.total, len(sk.carry))
+		return sk.err
+	}
+	sk.s.data = sk.data
+	sk.err = errors.New("app: restore sink already committed")
+	return nil
+}

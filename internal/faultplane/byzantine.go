@@ -35,6 +35,13 @@ const (
 	// receivers reject the stale-certified mutation (RejectedCertsFrom
 	// attributes it to this replica) and make progress on honest traffic.
 	EquivocateCerts
+
+	// CorruptStateChunks flips a byte in every outgoing state-transfer
+	// chunk. The chunk no longer hashes to the manifest's per-chunk digest,
+	// so a fetching replica must reject it (attributed via
+	// RejectedCertsFrom) and complete the transfer from another digest
+	// voter via its retry/rotation timer.
+	CorruptStateChunks
 )
 
 // Byzantine wraps a replica's handler, impersonating the compromised
@@ -156,6 +163,21 @@ func (b *Byzantine) send(raw node.Env, e *msg.Envelope) {
 		}
 		com.BatchDigest[0] ^= 0x01
 		b.sealSend(raw, e.To, com)
+		return
+	case msg.KindStateChunk:
+		if b.mode&CorruptStateChunks == 0 {
+			break
+		}
+		m, err := e.Open()
+		if err != nil {
+			break
+		}
+		ch, ok := m.(*msg.StateChunk)
+		if !ok || len(ch.Data) == 0 {
+			break
+		}
+		ch.Data[0] ^= 0x01
+		b.sealSend(raw, e.To, ch)
 		return
 	default:
 		// The harness only tampers with replies and ordering certificates;

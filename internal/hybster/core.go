@@ -32,7 +32,6 @@ package hybster
 import (
 	"crypto/sha256"
 	"fmt"
-	"sort"
 	"time"
 
 	"github.com/troxy-bft/troxy/internal/app"
@@ -95,6 +94,24 @@ type Config struct {
 
 	// App is the replicated application.
 	App app.Application
+
+	// SnapshotChunkSize is the chunk size for checkpoint snapshots and
+	// state transfer, in bytes. Zero means 64 KiB. Like N and F it must be
+	// identical on all replicas: it shapes the chunk manifest whose digest
+	// CHECKPOINT votes agree on.
+	SnapshotChunkSize int
+
+	// StateChunkWindow bounds how many chunks a state-transferring replica
+	// requests (and buffers out of order) at a time; peak extra fetch
+	// memory is StateChunkWindow × SnapshotChunkSize regardless of total
+	// state size. Zero means 16.
+	StateChunkWindow int
+
+	// StateFetchTimeout is the base re-request timeout for an unanswered
+	// state-transfer round; retries back off exponentially with jitter and
+	// rotate across the peers that voted the stable digest. Zero means
+	// 400ms.
+	StateFetchTimeout time.Duration
 }
 
 // Quorum is the certificate size: f+1 distinct replicas suffice because
@@ -143,6 +160,41 @@ type Metrics struct {
 	// defer path should never have parked (only PREPARE and COMMIT are
 	// deferred across views); nonzero means a protocol bug.
 	DroppedDeferred uint64
+
+	// Chunked state transfer (statesync.go). StateChunksServed counts
+	// chunks sent to fetching peers; StateChunksReceived counts chunks a
+	// fetch accepted; StateChunkRejects counts chunks refused (wrong
+	// digest, wrong length, out of window). StateFetchRetries counts fetch
+	// timer firings that re-requested, StateFetchRotations the peer
+	// switches among the digest voters. MaxFetchBufferBytes is the peak
+	// bytes held in the out-of-order chunk window — the soak asserts it
+	// stays bounded by StateChunkWindow × SnapshotChunkSize, not state
+	// size. PrefixEntriesInstalled counts certified-prefix entries
+	// re-admitted after an install; PrefixResumes counts installs that
+	// admitted at least one. CommitResyncs counts commit-continuity jumps
+	// for peers whose counter stream we lost across their state transfer.
+	StateChunksServed      uint64
+	StateChunksReceived    uint64
+	StateChunkRejects      uint64
+	StateFetchRetries      uint64
+	StateFetchRotations    uint64
+	MaxFetchBufferBytes    uint64
+	PrefixEntriesInstalled uint64
+	PrefixResumes          uint64
+	CommitResyncs          uint64
+
+	// View synchronization for replicas that slept through a view change (a
+	// NEW-VIEW is broadcast once; a replica crashed or partitioned at that
+	// moment never sees it and nothing retransmits it). ViewSolicits counts
+	// NEW-VIEW solicitations sent after deferring a certified message from a
+	// future view; NewViewRelays counts solicitations this replica answered
+	// with its stored NEW-VIEW; ViewAdoptions counts views this replica
+	// installed without having voted a VIEW-CHANGE for them — i.e. views
+	// learned from relayed or state-transfer evidence rather than joined
+	// live.
+	ViewSolicits  uint64
+	NewViewRelays uint64
+	ViewAdoptions uint64
 }
 
 type entry struct {
@@ -187,9 +239,12 @@ type Core struct {
 
 	lastExec  uint64
 	stableSeq uint64
-	// stableDigest/stableSnapshot describe the last stable checkpoint.
-	stableDigest   msg.Digest
-	stableSnapshot []byte
+	// stableDigest/stableChunks describe the last stable checkpoint.
+	// stableChunks is nil when this replica cannot serve it (it installed
+	// the checkpoint via state transfer without retaining the composite, or
+	// its own state diverged from the agreed digest).
+	stableDigest msg.Digest
+	stableChunks *chunkedSnapshot
 
 	log map[uint64]*entry
 
@@ -209,9 +264,9 @@ type Core struct {
 
 	// Checkpoint votes: seq -> replica -> digest.
 	checkpoints map[uint64]map[msg.NodeID]msg.Digest
-	// ownCheckpoints retains this replica's snapshots per unstable
+	// ownCheckpoints retains this replica's chunked snapshots per unstable
 	// checkpoint seq so a stable one can be served to lagging peers.
-	ownCheckpoints map[uint64][]byte
+	ownCheckpoints map[uint64]*chunkedSnapshot
 
 	// Client dedup and reply retransmission.
 	clients map[uint64]*clientRecord
@@ -242,19 +297,25 @@ type Core struct {
 	vcs     map[uint64]map[msg.NodeID]*msg.ViewChange
 	vcVoted uint64
 
+	// curNewView retains the NEW-VIEW that installed the current view (nil
+	// in the initial view), for two consumers: state-transfer prefixes carry
+	// it so a joiner adopts the view with the snapshot, and NewViewRequest
+	// solicitations from stale replicas are answered with it. vcSolicited is
+	// the highest view this replica has solicited evidence for;
+	// deferSinceSolicit counts deferrals since, so a lost solicitation is
+	// eventually retried while higher-view traffic keeps arriving.
+	curNewView        *msg.NewView
+	vcSolicited       uint64
+	deferSinceSolicit int
+
 	// deferred holds messages for future views until the view is installed
 	// (the network may reorder a NEW-VIEW behind the new leader's first
 	// PREPAREs).
 	deferred []deferredMsg
 
-	// State transfer.
-	fetchingSeq    uint64
-	fetchingDigest msg.Digest
-	fetching       bool
-	// fetchRewind marks a divergence-recovery transfer: the reply is allowed
-	// to install a snapshot at or below lastExec, rolling the replica back
-	// onto the quorum-agreed state.
-	fetchRewind bool
+	// State transfer (statesync.go): the in-progress chunked fetch, nil
+	// when idle.
+	fetch *stateFetch
 
 	metrics Metrics
 
@@ -268,12 +329,16 @@ type Core struct {
 const (
 	defaultCheckpointInterval = 128
 	defaultViewChangeTimeout  = 2 * time.Second
+	defaultSnapshotChunkSize  = 64 << 10
+	defaultStateChunkWindow   = 16
+	defaultStateFetchTimeout  = 400 * time.Millisecond
 )
 
 // timer kinds
 const (
 	timerProgress = "hybster/progress"
 	timerBatch    = "hybster/batch"
+	timerFetch    = "hybster/fetch"
 )
 
 // New creates a protocol core.
@@ -287,6 +352,15 @@ func New(cfg Config, out Outbound) *Core {
 	if cfg.ViewChangeTimeout == 0 {
 		cfg.ViewChangeTimeout = defaultViewChangeTimeout
 	}
+	if cfg.SnapshotChunkSize <= 0 {
+		cfg.SnapshotChunkSize = defaultSnapshotChunkSize
+	}
+	if cfg.StateChunkWindow <= 0 {
+		cfg.StateChunkWindow = defaultStateChunkWindow
+	}
+	if cfg.StateFetchTimeout <= 0 {
+		cfg.StateFetchTimeout = defaultStateFetchTimeout
+	}
 	c := &Core{
 		cfg:             cfg,
 		out:             out,
@@ -296,7 +370,7 @@ func New(cfg Config, out Outbound) *Core {
 		nextCommitValue: make(map[msg.NodeID][]uint64),
 		pendingCommits:  make(map[msg.NodeID]map[uint64]*msg.Commit),
 		checkpoints:     make(map[uint64]map[msg.NodeID]msg.Digest),
-		ownCheckpoints:  make(map[uint64][]byte),
+		ownCheckpoints:  make(map[uint64]*chunkedSnapshot),
 		clients:         make(map[uint64]*clientRecord),
 		pendingLocal:    make(map[msg.Digest]*msg.OrderRequest),
 		vcs:             make(map[uint64]map[msg.NodeID]*msg.ViewChange),
@@ -436,6 +510,8 @@ func (c *Core) OnTimer(env node.Env, key node.TimerKey) {
 		}
 	case timerBatch:
 		c.cutBatch(env)
+	case timerFetch:
+		c.onFetchTimer(env)
 	case timerViewChange:
 		c.onViewChangeTimer(env, key.ID)
 	}
@@ -676,11 +752,37 @@ func (c *Core) OnForward(env node.Env, from msg.NodeID, fwd *msg.Forward) {
 	c.enqueue(env, &req, req.Digest())
 }
 
-// deferToView parks a message for a view that has not been installed yet.
-func (c *Core) deferToView(from msg.NodeID, view uint64, m msg.Message) {
+// deferToView parks a message for a view that has not been installed yet —
+// and solicits the missing NEW-VIEW. A certified message from a future view
+// is proof its sender installed a view this replica never saw; the NEW-VIEW
+// broadcast is not retransmitted, so a replica that was crashed or cut off at
+// that moment would otherwise defer the cluster's live traffic forever and
+// silently stop contributing to quorums. One solicitation per view suffices
+// in the common case; while deferral persists it is refreshed periodically in
+// case the request or its answer was itself lost.
+func (c *Core) deferToView(env node.Env, from msg.NodeID, view uint64, m msg.Message) {
 	if len(c.deferred) < maxDeferred {
 		c.deferred = append(c.deferred, deferredMsg{from: from, view: view, m: m})
 	}
+	c.deferSinceSolicit++
+	if view > c.vcSolicited || c.deferSinceSolicit >= 64 {
+		c.vcSolicited = view
+		c.deferSinceSolicit = 0
+		c.metrics.ViewSolicits++
+		c.out.Send(env, from, &msg.NewViewRequest{View: view})
+	}
+}
+
+// OnNewViewRequest answers a stale replica's solicitation with the NEW-VIEW
+// that installed our current view. Anything at or above the requested view
+// un-wedges the requester (it verifies and adopts whatever it receives), so
+// the comparison is against what we hold, not equality.
+func (c *Core) OnNewViewRequest(env node.Env, from msg.NodeID, req *msg.NewViewRequest) {
+	if c.curNewView == nil || c.curNewView.View < req.View {
+		return
+	}
+	c.metrics.NewViewRelays++
+	c.out.Send(env, from, c.curNewView)
 }
 
 // replayDeferred re-dispatches messages parked for the now-current view.
@@ -711,7 +813,7 @@ func (c *Core) replayDeferred(env node.Env) {
 // OnPrepare handles the leader's ordering proposal.
 func (c *Core) OnPrepare(env node.Env, from msg.NodeID, prep *msg.Prepare) {
 	if prep.View > c.view {
-		c.deferToView(from, prep.View, prep)
+		c.deferToView(env, from, prep.View, prep)
 		return
 	}
 	if prep.View != c.view || c.inVC {
@@ -815,7 +917,7 @@ func (c *Core) acceptPrepare(env node.Env, prep *msg.Prepare, reqDigests []msg.D
 // OnCommit handles a commit acknowledgment.
 func (c *Core) OnCommit(env node.Env, from msg.NodeID, com *msg.Commit) {
 	if com.View > c.view {
-		c.deferToView(from, com.View, com)
+		c.deferToView(env, from, com.View, com)
 		return
 	}
 	if com.View != c.view || c.inVC {
@@ -843,6 +945,15 @@ func (c *Core) OnCommit(env node.Env, from msg.NodeID, com *msg.Commit) {
 			c.pendingCommits[from] = byVal
 		}
 		byVal[com.Cert.Value] = com
+		// A peer that installed a checkpoint via state transfer advanced its
+		// own counters past the gap it jumped, so the values we still expect
+		// from it will never arrive and its commits would buffer here
+		// forever — a slow leak and a lost voucher stream. Once the buffer
+		// clearly exceeds anything in-flight ordering can explain, jump our
+		// expectations forward to what the peer actually sends.
+		if len(byVal) > c.lanes()*8 {
+			c.resyncCommits(env, from)
+		}
 		return
 	}
 	if com.Cert.Value < next {
@@ -986,18 +1097,19 @@ func (c *Core) maybeCheckpoint(env node.Env) {
 	// state (see snapshot.go): both are replicated state, and a state
 	// transfer that carried only the application half would let a
 	// view-change re-proposal replay a gap-covered request on the
-	// transferred replica alone.
-	snap := c.encodeSnapshot(c.cfg.App.Snapshot())
-	digest := msg.DigestOf(snap)
-	env.Charge(c.cfg.Profile, node.ChargeHash, len(snap))
-	c.ownCheckpoints[seq] = snap
-	cp := &msg.Checkpoint{Seq: seq, StateDigest: digest}
+	// transferred replica alone. What peers vote on is the digest of the
+	// chunk manifest derived from the composite, so a lagging replica can
+	// later verify individual chunks against it.
+	cs := c.buildChunkedSnapshot()
+	env.Charge(c.cfg.Profile, node.ChargeHash, len(cs.data)+len(cs.manifestBytes))
+	c.ownCheckpoints[seq] = cs
+	cp := &msg.Checkpoint{Seq: seq, StateDigest: cs.digest}
 	for i := 0; i < c.cfg.N; i++ {
 		if to := msg.NodeID(i); to != c.cfg.Self {
 			c.out.Send(env, to, cp)
 		}
 	}
-	c.recordCheckpoint(env, c.cfg.Self, seq, digest)
+	c.recordCheckpoint(env, c.cfg.Self, seq, cs.digest)
 }
 
 // OnCheckpoint handles a peer's checkpoint announcement.
@@ -1031,9 +1143,9 @@ func (c *Core) recordCheckpoint(env node.Env, from msg.NodeID, seq uint64, diges
 	c.stableSeq = seq
 	c.stableDigest = digest
 	c.metrics.StableSeq = seq
-	if snap, ok := c.ownCheckpoints[seq]; ok {
-		if msg.DigestOf(snap) == digest {
-			c.stableSnapshot = snap
+	if cs, ok := c.ownCheckpoints[seq]; ok {
+		if cs.digest == digest {
+			c.stableChunks = cs
 		} else {
 			// We executed through seq but our state does not match the
 			// quorum-agreed digest: this replica has silently diverged
@@ -1041,34 +1153,22 @@ func (c *Core) recordCheckpoint(env node.Env, from msg.NodeID, seq uint64, diges
 			// carried the client table). Never serve the wrong bytes, and
 			// rewind onto the agreed state via a state transfer that is
 			// allowed to move lastExec backwards.
-			c.stableSnapshot = nil
+			c.stableChunks = nil
 			env.Logf("hybster: replica %d diverged at checkpoint %d (own digest != agreed); rewinding via state transfer", c.cfg.Self, seq)
-			if peer, ok := c.checkpointPeer(votes, digest); ok {
-				c.requestState(env, peer, seq, digest, true)
-			}
+			c.requestState(env, seq, digest, true, votes)
 		}
 	} else if c.lastExec < seq {
 		// We agreed on a checkpoint we cannot reach by execution: fetch the
-		// snapshot from a peer (state transfer).
-		c.requestState(env, from, seq, digest, false)
+		// snapshot from the peers that voted it (state transfer).
+		c.stableChunks = nil
+		c.requestState(env, seq, digest, false, votes)
+	} else {
+		// Reachable by our own execution but we never snapshotted it (e.g.
+		// we installed this very checkpoint via state transfer, which does
+		// not retain the serving composite). We cannot serve it.
+		c.stableChunks = nil
 	}
 	c.gc(seq)
-}
-
-// checkpointPeer picks a deterministic peer whose checkpoint vote matches the
-// agreed digest, to serve as the state-transfer source.
-func (c *Core) checkpointPeer(votes map[msg.NodeID]msg.Digest, digest msg.Digest) (msg.NodeID, bool) {
-	ids := make([]msg.NodeID, 0, len(votes))
-	for id := range votes {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
-		if id != c.cfg.Self && votes[id] == digest {
-			return id, true
-		}
-	}
-	return msg.NoNode, false
 }
 
 func (c *Core) gc(stable uint64) {
@@ -1087,88 +1187,15 @@ func (c *Core) gc(stable uint64) {
 			delete(c.ownCheckpoints, seq)
 		}
 	}
-}
-
-// requestState starts a state transfer for the stable checkpoint at seq.
-// rewind marks a divergence recovery: the reply may then install below
-// lastExec (see OnStateReply).
-func (c *Core) requestState(env node.Env, from msg.NodeID, seq uint64, digest msg.Digest, rewind bool) {
-	if c.fetching && c.fetchingSeq >= seq && !rewind {
-		return
-	}
-	c.fetching = true
-	c.fetchRewind = rewind
-	c.fetchingSeq = seq
-	c.fetchingDigest = digest
-	c.metrics.StateTransfers++
-	c.out.Send(env, from, &msg.StateRequest{Seq: seq})
-}
-
-// OnStateRequest serves a stable snapshot to a lagging peer.
-func (c *Core) OnStateRequest(env node.Env, from msg.NodeID, req *msg.StateRequest) {
-	if req.Seq != c.stableSeq || c.stableSnapshot == nil {
-		return
-	}
-	c.out.Send(env, from, &msg.StateReply{Seq: req.Seq, Snapshot: c.stableSnapshot})
-}
-
-// OnStateReply installs a fetched snapshot after verifying it against the
-// agreed checkpoint digest.
-func (c *Core) OnStateReply(env node.Env, from msg.NodeID, rep *msg.StateReply) {
-	if !c.fetching || rep.Seq != c.fetchingSeq {
-		return
-	}
-	if rep.Seq <= c.lastExec && !c.fetchRewind {
-		// Ordinary execution caught up past the snapshot while the reply was
-		// in flight. Installing it now would rewind both the application
-		// state and lastExec below already-executed entries, wedging the
-		// commit queue's low mark permanently. (A rewind transfer is the
-		// exception: it exists precisely to roll a diverged replica back.)
-		c.fetching = false
-		return
-	}
-	env.Charge(c.cfg.Profile, node.ChargeHash, len(rep.Snapshot))
-	if msg.DigestOf(rep.Snapshot) != c.fetchingDigest {
-		return // wrong or corrupted snapshot; keep waiting
-	}
-	clients, appSnap, err := decodeSnapshot(rep.Snapshot)
-	if err != nil {
-		env.Logf("hybster: decode snapshot at %d: %v", rep.Seq, err)
-		return
-	}
-	if err := c.cfg.App.Restore(appSnap); err != nil {
-		env.Logf("hybster: restore snapshot at %d: %v", rep.Seq, err)
-		return
-	}
-	// The client table travels with the snapshot: its per-client dedup marks
-	// decide whether a view-change re-proposal executes or is skipped, so it
-	// must match the peers' tables exactly after the transfer.
-	c.clients = clients
-	// Entries above the snapshot point re-execute against the restored state.
-	// After a forward transfer none are marked executed (the executed prefix
-	// sits at or below lastExec < rep.Seq); after a rewind this re-opens the
-	// entries the diverged execution had consumed.
-	for _, e := range c.log {
-		if e.seq > rep.Seq {
-			e.executed = false
+	// Buffered commits at or below the stable point can never drain (their
+	// entries are gone); counter values equal sequence numbers, so drop by
+	// value. The continuity jump past them happens via advanceContinuity or
+	// resyncCommits.
+	for _, byVal := range c.pendingCommits {
+		for val := range byVal {
+			if val <= stable {
+				delete(byVal, val)
+			}
 		}
-	}
-	c.fetching = false
-	c.fetchRewind = false
-	c.lastExec = rep.Seq
-	c.stableSnapshot = rep.Snapshot
-	c.stableSeq = rep.Seq
-	c.stableDigest = c.fetchingDigest
-	if c.seqNext <= rep.Seq {
-		c.seqNext = rep.Seq + 1
-	}
-	// Continuity restarts after the snapshot point.
-	c.advanceContinuity(rep.Seq)
-	c.gc(rep.Seq)
-	c.executeReady(env)
-	// Ordered messages buffered while we lagged may now be in-order.
-	c.drainPrepares(env)
-	for i := 0; i < c.cfg.N; i++ {
-		c.drainCommits(env, msg.NodeID(i))
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"github.com/troxy-bft/troxy/internal/app"
 	"github.com/troxy-bft/troxy/internal/msg"
 	"github.com/troxy-bft/troxy/internal/wire"
 )
@@ -20,17 +21,30 @@ import (
 // realnet chaos suite caught exactly that: a replica cut off mid-stream
 // state-transferred back in, then a view-change re-proposal replayed a
 // gap-covered write only on that replica.
+//
+// The composite is transferred in chunks, not as one blob. What CHECKPOINT
+// votes agree on is the digest of a *chunk manifest*: the composite's layout
+// (total length, chunk size, client-table head length) plus one digest per
+// fixed-size chunk. Quorum semantics are unchanged — f+1 matching manifest
+// digests still make a checkpoint stable — but a joiner that has fetched the
+// manifest can verify every chunk independently as it arrives, re-request
+// exactly the missing ones, and stream the application part of the composite
+// into an app.RestoreSink without ever materializing the whole snapshot.
 
 // snapshotVersion guards the composite layout; a decoder seeing any other
 // version rejects the snapshot (it would be verified against the agreed
-// digest anyway, so this only sharpens the error).
-const snapshotVersion uint8 = 1
+// digest anyway, so this only sharpens the error). Version 2 drops the length
+// prefix on the application part: the composite is the client-table head
+// followed by raw application bytes to the end, so the app part can be
+// streamed without knowing its length up front.
+const snapshotVersion uint8 = 2
 
-// encodeSnapshot serializes the client table — in client-ID order, so every
-// replica produces the identical byte string for identical state — followed
-// by the application snapshot.
-func (c *Core) encodeSnapshot(appSnap []byte) []byte {
-	w := wire.NewWriter(64 + len(appSnap))
+// encodeSnapshotHead serializes the composite's head: the version byte and
+// the client table — in client-ID order, so every replica produces the
+// identical byte string for identical state. The application snapshot bytes
+// follow the head verbatim (no length prefix) to form the full composite.
+func (c *Core) encodeSnapshotHead() []byte {
+	w := wire.NewWriter(64)
 	w.U8(snapshotVersion)
 	ids := make([]uint64, 0, len(c.clients))
 	for id := range c.clients {
@@ -51,22 +65,21 @@ func (c *Core) encodeSnapshot(appSnap []byte) []byte {
 			w.String(k)
 		}
 	}
-	w.Bytes32(appSnap)
 	return w.Bytes()
 }
 
-// decodeSnapshot splits a composite snapshot back into the client table and
-// the application snapshot. Snapshots come from peers, so decoding must not
-// trust the layout — but the caller has already verified the bytes against
-// the quorum-agreed checkpoint digest, so errors here indicate version skew,
+// decodeSnapshotHead parses a composite head produced by encodeSnapshotHead,
+// consuming the buffer exactly. Heads come from peers, so decoding must not
+// trust the layout — but the caller has already verified the enclosing chunks
+// against the quorum-agreed manifest, so errors here indicate version skew,
 // not forgery.
-func decodeSnapshot(data []byte) (map[uint64]*clientRecord, []byte, error) {
+func decodeSnapshotHead(data []byte) (map[uint64]*clientRecord, error) {
 	r := wire.NewReader(data)
 	if v := r.U8(); v != snapshotVersion && r.Err() == nil {
-		return nil, nil, fmt.Errorf("snapshot version %d, want %d", v, snapshotVersion)
+		return nil, fmt.Errorf("snapshot version %d, want %d", v, snapshotVersion)
 	}
 	n := r.SliceLen()
-	clients := make(map[uint64]*clientRecord, n)
+	clients := make(map[uint64]*clientRecord, min(n, 4096))
 	for i := 0; i < n; i++ {
 		id := r.U64()
 		rec := &clientRecord{
@@ -82,9 +95,169 @@ func decodeSnapshot(data []byte) (map[uint64]*clientRecord, []byte, error) {
 		}
 		clients[id] = rec
 	}
-	appSnap := r.Bytes32()
 	if err := r.Finish(); err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	return clients, appSnap, nil
+	return clients, nil
+}
+
+// Manifest layout limits. maxManifestChunks bounds the digest-table
+// allocation when decoding a manifest received from an untrusted peer
+// (32 MiB of digests at the cap — far above any real snapshot, far below a
+// crash-by-allocation).
+const (
+	manifestMagic     = "TXCM"
+	manifestVersion   = 1
+	maxManifestChunks = 1 << 20
+)
+
+// snapshotManifest describes a chunked composite snapshot: its layout and
+// one digest per chunk. The digest of the *encoded manifest* is what
+// CHECKPOINT votes agree on, so a joiner holding f+1 matching votes can
+// verify first the manifest and then every chunk against evidence it trusts.
+type snapshotManifest struct {
+	totalLen  uint64       // composite length in bytes
+	chunkSize uint32       // every chunk but the last is exactly this long
+	clientLen uint32       // head length: version byte + client table
+	chunks    []msg.Digest // per-chunk digests, in order
+}
+
+// nChunks returns the number of chunks the manifest describes.
+func (m *snapshotManifest) nChunks() uint32 { return uint32(len(m.chunks)) }
+
+// chunkLen returns the byte length of chunk i.
+func (m *snapshotManifest) chunkLen(i uint32) int {
+	if i+1 < m.nChunks() || m.totalLen == 0 {
+		return int(m.chunkSize)
+	}
+	return int(m.totalLen - uint64(i)*uint64(m.chunkSize))
+}
+
+// encode serializes the manifest canonically.
+func (m *snapshotManifest) encode() []byte {
+	w := wire.NewWriter(32 + len(m.chunks)*len(msg.Digest{}))
+	w.Raw([]byte(manifestMagic))
+	w.U8(manifestVersion)
+	w.U64(m.totalLen)
+	w.U32(m.chunkSize)
+	w.U32(m.clientLen)
+	w.U32(uint32(len(m.chunks)))
+	for i := range m.chunks {
+		w.Raw(m.chunks[i][:])
+	}
+	return w.Bytes()
+}
+
+// decodeManifest parses and validates a manifest received from a peer. The
+// caller verifies the raw bytes against the agreed checkpoint digest before
+// trusting the contents; validation here bounds allocations and rejects
+// internally inconsistent layouts so the fetch state machine can rely on the
+// arithmetic (chunk count and per-chunk lengths) downstream.
+func decodeManifest(data []byte) (*snapshotManifest, error) {
+	r := wire.NewReader(data)
+	if magic := r.FixedBytes(len(manifestMagic)); r.Err() == nil && string(magic) != manifestMagic {
+		return nil, fmt.Errorf("manifest magic %q, want %q", magic, manifestMagic)
+	}
+	if v := r.U8(); r.Err() == nil && v != manifestVersion {
+		return nil, fmt.Errorf("manifest version %d, want %d", v, manifestVersion)
+	}
+	m := &snapshotManifest{
+		totalLen:  r.U64(),
+		chunkSize: r.U32(),
+		clientLen: r.U32(),
+	}
+	n := r.U32()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if n > maxManifestChunks {
+		return nil, fmt.Errorf("manifest claims %d chunks, cap %d", n, maxManifestChunks)
+	}
+	// Bound the digest-table allocation by the bytes actually present: a
+	// short message claiming a huge table must fail before allocating it.
+	if uint64(n)*uint64(len(msg.Digest{})) > uint64(r.Remaining()) {
+		return nil, fmt.Errorf("manifest claims %d chunks with %d bytes left", n, r.Remaining())
+	}
+	if m.chunkSize == 0 {
+		return nil, fmt.Errorf("manifest chunk size 0")
+	}
+	// The head is at least the version byte plus the client-table count.
+	if uint64(m.clientLen) > m.totalLen || m.clientLen < 5 {
+		return nil, fmt.Errorf("manifest head length %d inconsistent with total %d", m.clientLen, m.totalLen)
+	}
+	want := (m.totalLen + uint64(m.chunkSize) - 1) / uint64(m.chunkSize)
+	if uint64(n) != want {
+		return nil, fmt.Errorf("manifest claims %d chunks for %d bytes at chunk size %d, want %d",
+			n, m.totalLen, m.chunkSize, want)
+	}
+	m.chunks = make([]msg.Digest, n)
+	for i := uint32(0); i < n; i++ {
+		b := r.FixedBytes(len(msg.Digest{}))
+		if b == nil {
+			break
+		}
+		copy(m.chunks[i][:], b)
+	}
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// chunkedSnapshot is a retained checkpoint snapshot in serving form: the
+// composite bytes plus the manifest describing them. digest is the digest of
+// the encoded manifest — the value CHECKPOINT votes carry.
+type chunkedSnapshot struct {
+	manifest      *snapshotManifest
+	manifestBytes []byte
+	digest        msg.Digest
+	data          []byte
+}
+
+// chunk returns the bytes of chunk i.
+func (cs *chunkedSnapshot) chunk(i uint32) ([]byte, bool) {
+	if i >= cs.manifest.nChunks() {
+		return nil, false
+	}
+	lo := uint64(i) * uint64(cs.manifest.chunkSize)
+	hi := min(lo+uint64(cs.manifest.chunkSize), cs.manifest.totalLen)
+	return cs.data[lo:hi], true
+}
+
+// buildChunkedSnapshot assembles the composite for the current state (client
+// table head + application snapshot streamed through the incremental
+// iterator) and derives its manifest. chunkSize comes from the configured
+// SnapshotChunkSize.
+func (c *Core) buildChunkedSnapshot() *chunkedSnapshot {
+	chunkSize := c.cfg.SnapshotChunkSize
+	head := c.encodeSnapshotHead()
+	data := make([]byte, 0, len(head)*2)
+	data = append(data, head...)
+	it := app.SnapshotIterOf(c.cfg.App, chunkSize)
+	for {
+		p, ok := it.Next()
+		if !ok {
+			break
+		}
+		data = append(data, p...)
+	}
+	m := &snapshotManifest{
+		totalLen:  uint64(len(data)),
+		chunkSize: uint32(chunkSize),
+		clientLen: uint32(len(head)),
+	}
+	n := (m.totalLen + uint64(m.chunkSize) - 1) / uint64(m.chunkSize)
+	m.chunks = make([]msg.Digest, n)
+	for i := uint64(0); i < n; i++ {
+		lo := i * uint64(m.chunkSize)
+		hi := min(lo+uint64(m.chunkSize), m.totalLen)
+		m.chunks[i] = msg.DigestOf(data[lo:hi])
+	}
+	mb := m.encode()
+	return &chunkedSnapshot{
+		manifest:      m,
+		manifestBytes: mb,
+		digest:        msg.DigestOf(mb),
+		data:          data,
+	}
 }

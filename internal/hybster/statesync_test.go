@@ -1,0 +1,275 @@
+package hybster
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/troxy-bft/troxy/internal/app"
+	"github.com/troxy-bft/troxy/internal/faultplane"
+	"github.com/troxy-bft/troxy/internal/msg"
+	"github.com/troxy-bft/troxy/internal/node"
+	"github.com/troxy-bft/troxy/internal/simnet"
+	"github.com/troxy-bft/troxy/internal/tcounter"
+)
+
+// judgeFunc adapts a plain function to faultplane.Judge for targeted drops.
+type judgeFunc func(now time.Duration, from, to msg.NodeID, kind msg.Kind) faultplane.Decision
+
+func (f judgeFunc) Judge(now time.Duration, from, to msg.NodeID, kind msg.Kind) faultplane.Decision {
+	return f(now, from, to, kind)
+}
+
+// TestStateFetchRetryAfterDroppedReply is the deterministic regression for
+// the state-fetch wedge: before the fetch timer existed, a single dropped
+// StateReply stalled recovery forever, because re-notification of the same
+// stable checkpoint was suppressed and nothing ever re-sent the request. Now
+// the jittered backoff timer must fire, re-request, and complete the
+// transfer.
+func TestStateFetchRetryAfterDroppedReply(t *testing.T) {
+	cl := newCluster(t, 3, nil, opScript(40)...)
+	// Drop every StateReply toward replica 2 until its fetch timer has fired
+	// at least once: under continuous traffic a newer checkpoint can
+	// supersede a wedged fetch before the backoff expires, so a single drop
+	// would not pin the timer path. This judge forces exactly the old wedge
+	// condition — replies lost, nothing but the timer to recover — then
+	// heals.
+	dropped := 0
+	cl.net.SetFault(judgeFunc(func(_ time.Duration, _, to msg.NodeID, kind msg.Kind) faultplane.Decision {
+		if kind == msg.KindStateReply && to == 2 &&
+			cl.replicas[2].core.Metrics().StateFetchRetries == 0 {
+			dropped++
+			return faultplane.Decision{Drop: true}
+		}
+		return faultplane.Decision{}
+	}))
+
+	cl.net.Run(100 * time.Millisecond)
+	cl.net.Crash(2)
+	cl.net.Run(30 * time.Second)
+	if !cl.client.done {
+		t.Fatalf("client stalled during partition: %d/40", cl.client.current)
+	}
+	behind := cl.replicas[2].core.LastExecuted()
+	cl.net.Restore(2)
+
+	extra := &testClient{id: 99, n: 3, f: 1, ops: toOps(opScript(30))}
+	cl.net.AttachConfig(99, extra, simnet.NodeConfig{})
+	cl.net.Run(60 * time.Second)
+
+	if !extra.done {
+		t.Fatalf("extra client stalled: %d/30", extra.current)
+	}
+	if dropped == 0 {
+		t.Fatal("judge never intercepted a StateReply")
+	}
+	r2 := cl.replicas[2].core
+	m := r2.Metrics()
+	if m.StateFetchRetries == 0 {
+		t.Error("no fetch retry recorded after the dropped StateReply")
+	}
+	if r2.LastExecuted() <= behind {
+		t.Errorf("replica 2 did not catch up: %d -> %d", behind, r2.LastExecuted())
+	}
+	if m.StateChunksReceived == 0 {
+		t.Error("no chunks received")
+	}
+	if !bytes.Equal(cl.apps[1].Snapshot(), cl.apps[2].Snapshot()) {
+		t.Error("replica 2 state diverged after catch-up")
+	}
+}
+
+// TestStateFetchRotatesOnUnresponsivePeer starves the fetcher's first-choice
+// server: replica 0 never answers replica 2's state-transfer traffic (its
+// replies and chunks are dropped). The retry timer must rotate the fetch to
+// replica 1 — the other digest voter — and complete from there.
+func TestStateFetchRotatesOnUnresponsivePeer(t *testing.T) {
+	cl := newCluster(t, 3, nil, opScript(40)...)
+	dropped := 0
+	cl.net.SetFault(judgeFunc(func(_ time.Duration, from, to msg.NodeID, kind msg.Kind) faultplane.Decision {
+		if from == 0 && to == 2 && (kind == msg.KindStateReply || kind == msg.KindStateChunk || kind == msg.KindStatePrefix) {
+			dropped++
+			return faultplane.Decision{Drop: true}
+		}
+		return faultplane.Decision{}
+	}))
+
+	cl.net.Run(100 * time.Millisecond)
+	cl.net.Crash(2)
+	cl.net.Run(30 * time.Second)
+	if !cl.client.done {
+		t.Fatalf("client stalled during partition: %d/40", cl.client.current)
+	}
+	behind := cl.replicas[2].core.LastExecuted()
+	cl.net.Restore(2)
+
+	extra := &testClient{id: 99, n: 3, f: 1, ops: toOps(opScript(30))}
+	cl.net.AttachConfig(99, extra, simnet.NodeConfig{})
+	cl.net.Run(60 * time.Second)
+
+	if !extra.done {
+		t.Fatalf("extra client stalled: %d/30", extra.current)
+	}
+	if dropped == 0 {
+		t.Fatal("judge never intercepted state traffic from replica 0")
+	}
+	r2 := cl.replicas[2].core
+	m := r2.Metrics()
+	if m.StateFetchRotations == 0 {
+		t.Error("fetch never rotated away from the unresponsive peer")
+	}
+	if m.StateChunksReceived == 0 {
+		t.Error("no chunks received from the responsive peer")
+	}
+	if r2.LastExecuted() <= behind {
+		t.Errorf("replica 2 did not catch up: %d -> %d", behind, r2.LastExecuted())
+	}
+	if !bytes.Equal(cl.apps[1].Snapshot(), cl.apps[2].Snapshot()) {
+		t.Error("replica 2 state diverged after catch-up")
+	}
+}
+
+// newStateCore builds a standalone core (no simnet) with a small chunk size,
+// for driving the statesync handlers directly.
+func newStateCore(id msg.NodeID, chunkSize, window int) *testReplica {
+	sub := tcounter.NewSubsystem(id)
+	sub.SetKey([]byte("test-counter-key"))
+	cfg := Config{
+		Self:               id,
+		N:                  3,
+		F:                  1,
+		CheckpointInterval: 8,
+		ViewChangeTimeout:  time.Second,
+		Profile:            node.ProfileJava,
+		Authority:          tcounter.Direct{S: sub},
+		App:                app.NewStore(),
+		SnapshotChunkSize:  chunkSize,
+		StateChunkWindow:   window,
+	}
+	r := &testReplica{id: id}
+	r.core = New(cfg, r)
+	return r
+}
+
+// TestStateChunkVerification drives OnStateChunk directly through the
+// verification table: a Byzantine peer serving tampered or malformed chunks
+// must be rejected (and attributed), stale and out-of-window traffic must be
+// bounded, and the fetch must still complete from another peer's correct
+// chunks — including out-of-order arrival through the bounded window.
+func TestStateChunkVerification(t *testing.T) {
+	const chunkSize, window = 16, 4
+	var env fakeEnv
+
+	// A server with real state: application keys plus a client-table entry,
+	// so the composite head spans chunk boundaries.
+	srv := newStateCore(0, chunkSize, window)
+	srvStore := srv.core.cfg.App.(*app.Store)
+	for i := 0; i < 50; i++ {
+		srvStore.Execute([]byte(fmt.Sprintf("PUT key-%02d value-%04d", i, i)))
+	}
+	srv.core.clients[7] = &clientRecord{lastSeq: 3, seq: 9, result: []byte("OK")}
+	cs := srv.core.buildChunkedSnapshot()
+	n := cs.manifest.nChunks()
+	if n < uint32(window)+2 {
+		t.Fatalf("snapshot has %d chunks, need > %d for window cases", n, window+2)
+	}
+
+	// A fetcher with an active transfer; the manifest installs through the
+	// real handler, verified against the agreed digest.
+	fc := newStateCore(2, chunkSize, window).core
+	fc.fetch = &stateFetch{seq: 8, digest: cs.digest, peers: []msg.NodeID{0, 1}}
+	fc.OnStateReply(&env, 0, &msg.StateReply{Seq: 8, Manifest: cs.manifestBytes})
+	if fc.fetch == nil || fc.fetch.manifest == nil {
+		t.Fatal("manifest did not install from a digest-correct StateReply")
+	}
+
+	chunkData := func(i uint32) []byte {
+		data, ok := cs.chunk(i)
+		if !ok {
+			t.Fatalf("no chunk %d", i)
+		}
+		return append([]byte(nil), data...)
+	}
+
+	// Stale seq: silently ignored, nothing counted.
+	fc.OnStateChunk(&env, 1, &msg.StateChunk{Seq: 4, Index: 0, Data: chunkData(0)})
+	if m := fc.Metrics(); m.StateChunksReceived != 0 || m.StateChunkRejects != 0 {
+		t.Fatalf("stale-seq chunk counted: %+v", m)
+	}
+
+	// Tampered payload from the Byzantine peer 0: rejected and attributed.
+	bad := chunkData(0)
+	bad[0] ^= 0x01
+	fc.OnStateChunk(&env, 0, &msg.StateChunk{Seq: 8, Index: 0, Data: bad})
+	if m := fc.Metrics(); m.StateChunkRejects != 1 || m.StateChunksReceived != 0 {
+		t.Fatalf("tampered chunk not rejected: %+v", m)
+	}
+	if got := fc.RejectedCertsFrom(0); got != 1 {
+		t.Fatalf("tampering not attributed to peer 0: RejectedCertsFrom = %d", got)
+	}
+	if fc.fetch.next != 0 {
+		t.Fatalf("tampered chunk advanced the stream to %d", fc.fetch.next)
+	}
+
+	// Wrong length: rejected and attributed before any hashing.
+	fc.OnStateChunk(&env, 0, &msg.StateChunk{Seq: 8, Index: 0, Data: chunkData(0)[:chunkSize-1]})
+	if m := fc.Metrics(); m.StateChunkRejects != 2 {
+		t.Fatalf("short chunk not rejected: %+v", m)
+	}
+	if got := fc.RejectedCertsFrom(0); got != 2 {
+		t.Fatalf("short chunk not attributed: RejectedCertsFrom = %d", got)
+	}
+
+	// Beyond the request window: refused (bounded buffering) but not
+	// attributed — it can be honest traffic racing a window slide.
+	fc.OnStateChunk(&env, 1, &msg.StateChunk{Seq: 8, Index: window, Data: chunkData(window)})
+	if m := fc.Metrics(); m.StateChunkRejects != 3 {
+		t.Fatalf("out-of-window chunk not refused: %+v", m)
+	}
+	if got := fc.RejectedCertsFrom(1); got != 0 {
+		t.Fatalf("out-of-window chunk wrongly attributed: RejectedCertsFrom = %d", got)
+	}
+
+	// Correct out-of-order chunk from peer 1 buffers; a duplicate is dropped
+	// without growing the window.
+	fc.OnStateChunk(&env, 1, &msg.StateChunk{Seq: 8, Index: 2, Data: chunkData(2)})
+	fc.OnStateChunk(&env, 1, &msg.StateChunk{Seq: 8, Index: 2, Data: chunkData(2)})
+	if len(fc.fetch.window) != 1 || fc.fetch.buffered != len(chunkData(2)) {
+		t.Fatalf("duplicate buffered: window %d entries, %d bytes", len(fc.fetch.window), fc.fetch.buffered)
+	}
+	if fc.fetch.next != 0 {
+		t.Fatalf("out-of-order chunk advanced the stream to %d", fc.fetch.next)
+	}
+
+	// In-order chunks 0 and 1 apply; 1 drains the buffered 2 behind it.
+	fc.OnStateChunk(&env, 1, &msg.StateChunk{Seq: 8, Index: 0, Data: chunkData(0)})
+	if fc.fetch.next != 1 {
+		t.Fatalf("next = %d after chunk 0, want 1", fc.fetch.next)
+	}
+	fc.OnStateChunk(&env, 1, &msg.StateChunk{Seq: 8, Index: 1, Data: chunkData(1)})
+	if fc.fetch.next != 3 || len(fc.fetch.window) != 0 || fc.fetch.buffered != 0 {
+		t.Fatalf("buffered chunk did not drain: next %d, window %d, buffered %d",
+			fc.fetch.next, len(fc.fetch.window), fc.fetch.buffered)
+	}
+
+	// The rest arrives in order from the correct peer; the transfer must
+	// complete despite peer 0's earlier tampering.
+	for i := uint32(3); i < n; i++ {
+		fc.OnStateChunk(&env, 1, &msg.StateChunk{Seq: 8, Index: i, Data: chunkData(i)})
+	}
+	if fc.fetch != nil {
+		t.Fatalf("fetch still active after all %d chunks", n)
+	}
+	if got := fc.LastExecuted(); got != 8 {
+		t.Fatalf("LastExecuted = %d after install, want 8", got)
+	}
+	fcStore := fc.cfg.App.(*app.Store)
+	if !bytes.Equal(fcStore.Snapshot(), srvStore.Snapshot()) {
+		t.Error("installed application state differs from the server's")
+	}
+	rec := fc.clients[7]
+	if rec == nil || rec.seq != 9 || rec.lastSeq != 3 || string(rec.result) != "OK" {
+		t.Errorf("client table not installed: %+v", rec)
+	}
+}

@@ -165,17 +165,29 @@ func (c *Core) maybeInstall(env node.Env, newView uint64) {
 	c.installView(env, nv)
 }
 
-// OnNewView handles the new leader's NEW-VIEW.
+// OnNewView handles a NEW-VIEW: the new leader's broadcast, or a relay of it
+// (a solicited replica answering NewViewRequest, or a state-transfer server
+// attaching it to the prefix). The leader's counter certificate proves
+// authorship regardless of who delivered the message, so a relay needs no
+// authority of its own; a message that fails verification is blamed on the
+// sender (the transport MAC authenticated it), relay or not.
 func (c *Core) OnNewView(env node.Env, from msg.NodeID, nv *msg.NewView) {
 	if nv.View <= c.view {
 		return
 	}
-	if nv.Leader != from || c.Leader(nv.View) != from {
+	if nv.Leader == c.cfg.Self {
+		// A relay of a view this replica once led (and forgot across a
+		// crash). Re-entering it as leader would mean re-certifying counter
+		// values the pre-crash incarnation already consumed; stay put and let
+		// the cluster's escalation move everyone past it.
+		return
+	}
+	if c.Leader(nv.View) != nv.Leader {
 		c.rejectCert(from)
 		return
 	}
 	digest := sha256.Sum256(nv.CertInput())
-	if nv.Cert.Replica != from ||
+	if nv.Cert.Replica != nv.Leader ||
 		nv.Cert.Counter != tcounter.NewViewCounter ||
 		nv.Cert.Value != nv.View ||
 		!c.cfg.Authority.Verify(nv.Cert, digest) {
@@ -222,8 +234,15 @@ func (c *Core) installView(env node.Env, nv *msg.NewView) {
 		}
 	}
 
+	if c.vcVoted < nv.View {
+		// Installing a view we never voted a VIEW-CHANGE for means we learned
+		// it from evidence (a relayed NEW-VIEW or a state-transfer prefix)
+		// rather than joining the change live.
+		c.metrics.ViewAdoptions++
+	}
 	c.view = nv.View
 	c.inVC = false
+	c.curNewView = nv
 	env.CancelTimer(node.TimerKey{Kind: timerViewChange, ID: nv.View})
 	// A replica can install a view straight from a NEW-VIEW without having
 	// voted; anything still in its accumulator must be re-driven below.
@@ -232,6 +251,17 @@ func (c *Core) installView(env node.Env, nv *msg.NewView) {
 	// Reset per-view ordering state. Entries that were not executed are
 	// dropped; the new leader's re-proposals will recreate them.
 	startSeq := maxStable + 1
+	if c.stableSeq > maxStable {
+		// Our own stable checkpoint can postdate the view change's evidence:
+		// an adopter installing a relayed NEW-VIEW after a state transfer
+		// (its snapshot already covers the change's stable point), or a
+		// replica whose latest checkpoint quorum is absent from the carried
+		// view changes. Everything at or below a stable checkpoint is
+		// settled cluster-wide; anchoring below it would expect re-proposals
+		// that already flowed — or, as the new leader, propose fresh batches
+		// below our own executed state.
+		startSeq = c.stableSeq + 1
+	}
 	for seq, e := range c.log {
 		if !e.executed {
 			delete(c.log, seq)

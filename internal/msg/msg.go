@@ -88,24 +88,45 @@ const (
 	// ViewChange messages but is registered as a wire kind of its own so
 	// tooling and fuzzers can round-trip it standalone.
 	KindBatch
+
+	// KindStateChunk carries one fixed-size piece of a chunked checkpoint
+	// snapshot during state transfer. Each chunk is verified against the
+	// per-chunk digest in the manifest the peers' CHECKPOINT votes agreed on.
+	KindStateChunk
+
+	// KindStatePrefix hands a state-transferring replica the serving peer's
+	// in-flight prepared entries above the checkpoint, each carrying its
+	// original leader counter certificate, so the joiner can resume ordering
+	// mid-window instead of waiting for the next checkpoint.
+	KindStatePrefix
+
+	// KindNewViewRequest solicits the NEW-VIEW that installed the receiver's
+	// current view. A replica that sees certified traffic from a view it
+	// never installed (it slept through the view change) sends this to the
+	// traffic's sender; the answer is the original KindNewView message, whose
+	// certificates the requester verifies as usual.
+	KindNewViewRequest
 )
 
 var kindNames = map[Kind]string{
-	KindChannelData:  "ChannelData",
-	KindBFTRequest:   "BFTRequest",
-	KindBFTReply:     "BFTReply",
-	KindForward:      "Forward",
-	KindPrepare:      "Prepare",
-	KindCommit:       "Commit",
-	KindOrderedReply: "OrderedReply",
-	KindCheckpoint:   "Checkpoint",
-	KindViewChange:   "ViewChange",
-	KindNewView:      "NewView",
-	KindCacheQuery:   "CacheQuery",
-	KindCacheReply:   "CacheReply",
-	KindStateRequest: "StateRequest",
-	KindStateReply:   "StateReply",
-	KindBatch:        "Batch",
+	KindChannelData:    "ChannelData",
+	KindBFTRequest:     "BFTRequest",
+	KindBFTReply:       "BFTReply",
+	KindForward:        "Forward",
+	KindPrepare:        "Prepare",
+	KindCommit:         "Commit",
+	KindOrderedReply:   "OrderedReply",
+	KindCheckpoint:     "Checkpoint",
+	KindViewChange:     "ViewChange",
+	KindNewView:        "NewView",
+	KindCacheQuery:     "CacheQuery",
+	KindCacheReply:     "CacheReply",
+	KindStateRequest:   "StateRequest",
+	KindStateReply:     "StateReply",
+	KindBatch:          "Batch",
+	KindStateChunk:     "StateChunk",
+	KindStatePrefix:    "StatePrefix",
+	KindNewViewRequest: "NewViewRequest",
 }
 
 // String returns the kind's protocol name.
@@ -220,6 +241,12 @@ func New(k Kind) (Message, error) {
 		return &StateReply{}, nil
 	case KindBatch:
 		return &Batch{}, nil
+	case KindStateChunk:
+		return &StateChunk{}, nil
+	case KindStatePrefix:
+		return &StatePrefix{}, nil
+	case KindNewViewRequest:
+		return &NewViewRequest{}, nil
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownKind, uint8(k))
 	}

@@ -64,6 +64,21 @@ func TestRoundTripAllKinds(t *testing.T) {
 		&CacheQuery{From: 0, QueryID: 5, ReqDigest: req.Digest(), Tag: []byte("t")},
 		&CacheReply{From: 1, QueryID: 5, ReqDigest: req.Digest(), Found: true,
 			ReplyDigest: DigestOf([]byte("reply")), Tag: []byte("t")},
+		&StateRequest{Seq: 128, Chunks: []uint32{0, 3, 7}},
+		&StateReply{Seq: 128, Manifest: []byte("manifest-bytes")},
+		&StateChunk{Seq: 128, Index: 3, Data: []byte("chunk-bytes")},
+		&StatePrefix{Seq: 128, LastExec: 131, Entries: []PreparedEntry{
+			{View: 2, Seq: 129, Batch: Batch{Reqs: []OrderRequest{req}}, PrepareCert: sampleCert()},
+		}},
+		&StatePrefix{Seq: 128, LastExec: 131,
+			Entries: []PreparedEntry{
+				{View: 2, Seq: 129, Batch: Batch{Reqs: []OrderRequest{req}}, PrepareCert: sampleCert()},
+			},
+			NewView: &NewView{Leader: 2, View: 2, ViewChanges: []ViewChange{
+				{Replica: 1, NewView: 2, StableSeq: 128, Cert: sampleCert()},
+				{Replica: 2, NewView: 2, StableSeq: 128, Cert: sampleCert()},
+			}, Cert: sampleCert()}},
+		&NewViewRequest{View: 2},
 	}
 	for _, m := range cases {
 		got := roundTrip(t, m)

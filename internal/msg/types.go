@@ -701,31 +701,52 @@ func (m *CacheReply) UnmarshalWire(r *wire.Reader) error {
 	return r.Err()
 }
 
-// StateRequest asks a peer for the application snapshot at the stable
-// checkpoint Seq. The requester has already agreed on the checkpoint digest
-// (f+1 matching Checkpoint messages) and verifies the snapshot against it.
+// StateRequest asks a peer for state-transfer data at the stable checkpoint
+// Seq. The requester has already agreed on the checkpoint digest (f+1
+// matching Checkpoint messages) and verifies everything it receives against
+// it. An empty Chunks slice asks for the chunk manifest (and the certified
+// prefix of in-flight prepared entries); a non-empty one asks for the listed
+// chunk indices of the manifest the requester already holds.
 type StateRequest struct {
-	Seq uint64
+	Seq    uint64
+	Chunks []uint32
 }
 
 // Kind implements Message.
 func (*StateRequest) Kind() Kind { return KindStateRequest }
 
 // MarshalWire implements Message.
-func (m *StateRequest) MarshalWire(w *wire.Writer) { w.U64(m.Seq) }
+func (m *StateRequest) MarshalWire(w *wire.Writer) {
+	w.U64(m.Seq)
+	w.U32(uint32(len(m.Chunks)))
+	for _, idx := range m.Chunks {
+		w.U32(idx)
+	}
+}
 
 // UnmarshalWire implements Message.
 func (m *StateRequest) UnmarshalWire(r *wire.Reader) error {
 	m.Seq = r.U64()
+	n := r.SliceLen()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	m.Chunks = make([]uint32, 0, min(n, 64))
+	for i := 0; i < n; i++ {
+		m.Chunks = append(m.Chunks, r.U32())
+	}
 	return r.Err()
 }
 
-// StateReply answers a StateRequest with the snapshot at Seq. The snapshot
-// needs no authentication beyond the transport MAC: the requester compares
-// its hash against the agreed checkpoint digest.
+// StateReply answers a manifest-requesting StateRequest with the chunk
+// manifest of the snapshot at Seq (per-chunk digests plus layout — see
+// internal/hybster/snapshot.go). The manifest needs no authentication beyond
+// the transport MAC: its hash is exactly the digest the requester agreed on
+// through f+1 matching CHECKPOINT votes, and each later chunk is verified
+// against the per-chunk digest inside it.
 type StateReply struct {
 	Seq      uint64
-	Snapshot []byte
+	Manifest []byte
 }
 
 // Kind implements Message.
@@ -734,13 +755,126 @@ func (*StateReply) Kind() Kind { return KindStateReply }
 // MarshalWire implements Message.
 func (m *StateReply) MarshalWire(w *wire.Writer) {
 	w.U64(m.Seq)
-	w.Bytes32(m.Snapshot)
+	w.Bytes32(m.Manifest)
 }
 
 // UnmarshalWire implements Message.
 func (m *StateReply) UnmarshalWire(r *wire.Reader) error {
 	m.Seq = r.U64()
-	m.Snapshot = r.Bytes32()
+	m.Manifest = r.Bytes32()
+	return r.Err()
+}
+
+// StateChunk carries one piece of the chunked snapshot at checkpoint Seq.
+// Data must hash to the manifest's digest for Index (and match its declared
+// length), so a tampered chunk is rejected without trusting the server.
+type StateChunk struct {
+	Seq   uint64
+	Index uint32
+	Data  []byte
+}
+
+// Kind implements Message.
+func (*StateChunk) Kind() Kind { return KindStateChunk }
+
+// MarshalWire implements Message.
+func (m *StateChunk) MarshalWire(w *wire.Writer) {
+	w.U64(m.Seq)
+	w.U32(m.Index)
+	w.Bytes32(m.Data)
+}
+
+// UnmarshalWire implements Message.
+func (m *StateChunk) UnmarshalWire(r *wire.Reader) error {
+	m.Seq = r.U64()
+	m.Index = r.U32()
+	m.Data = r.Bytes32()
+	return r.Err()
+}
+
+// StatePrefix hands a state-transferring replica the serving peer's
+// in-flight prepared entries above checkpoint Seq. Every entry carries the
+// original leader's counter certificate (the same evidence view changes
+// carry), so the joiner verifies each entry independently of the server's
+// honesty and can resume ordering mid-window instead of replaying from the
+// checkpoint or waiting for the next one. LastExec is the server's executed
+// high mark, advisory only.
+//
+// NewView, when present, is the NEW-VIEW message that installed the server's
+// current view. A joiner that slept through a view change would otherwise
+// skip every prefix entry (wrong view) and defer the cluster's live traffic
+// indefinitely; carrying the installing evidence lets it adopt the view —
+// after full certificate verification — atomically with the snapshot. Nil
+// when the server is still in the initial view.
+type StatePrefix struct {
+	Seq      uint64
+	LastExec uint64
+	Entries  []PreparedEntry
+	NewView  *NewView
+}
+
+// Kind implements Message.
+func (*StatePrefix) Kind() Kind { return KindStatePrefix }
+
+// MarshalWire implements Message.
+func (m *StatePrefix) MarshalWire(w *wire.Writer) {
+	w.U64(m.Seq)
+	w.U64(m.LastExec)
+	w.U32(uint32(len(m.Entries)))
+	for i := range m.Entries {
+		m.Entries[i].MarshalWire(w)
+	}
+	w.Bool(m.NewView != nil)
+	if m.NewView != nil {
+		m.NewView.MarshalWire(w)
+	}
+}
+
+// UnmarshalWire implements Message.
+func (m *StatePrefix) UnmarshalWire(r *wire.Reader) error {
+	m.Seq = r.U64()
+	m.LastExec = r.U64()
+	n := r.SliceLen()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	m.Entries = make([]PreparedEntry, 0, min(n, 64))
+	for i := 0; i < n; i++ {
+		var e PreparedEntry
+		if err := e.UnmarshalWire(r); err != nil {
+			return err
+		}
+		m.Entries = append(m.Entries, e)
+	}
+	m.NewView = nil
+	if r.Bool() {
+		m.NewView = &NewView{}
+		if err := m.NewView.UnmarshalWire(r); err != nil {
+			return err
+		}
+	}
+	return r.Err()
+}
+
+// NewViewRequest solicits the NEW-VIEW that installed the receiver's current
+// view (or any later one it holds). View is the lowest view the requester
+// needs evidence for — the view of the certified message whose deferral
+// triggered the solicitation.
+type NewViewRequest struct {
+	View uint64
+}
+
+// Kind implements Message.
+func (*NewViewRequest) Kind() Kind { return KindNewViewRequest }
+
+// MarshalWire implements Message.
+func (m *NewViewRequest) MarshalWire(w *wire.Writer) {
+	w.U64(m.View)
+}
+
+// UnmarshalWire implements Message.
+func (m *NewViewRequest) UnmarshalWire(r *wire.Reader) error {
+	m.View = r.U64()
 	return r.Err()
 }
 
@@ -761,4 +895,7 @@ var (
 	_ Message = (*StateRequest)(nil)
 	_ Message = (*StateReply)(nil)
 	_ Message = (*Batch)(nil)
+	_ Message = (*StateChunk)(nil)
+	_ Message = (*StatePrefix)(nil)
+	_ Message = (*NewViewRequest)(nil)
 )

@@ -162,6 +162,12 @@ func (r *Replica) OnEnvelope(env node.Env, e *msg.Envelope) {
 		r.core.OnStateRequest(env, e.From, m)
 	case *msg.StateReply:
 		r.core.OnStateReply(env, e.From, m)
+	case *msg.StateChunk:
+		r.core.OnStateChunk(env, e.From, m)
+	case *msg.StatePrefix:
+		r.core.OnStatePrefix(env, e.From, m)
+	case *msg.NewViewRequest:
+		r.core.OnNewViewRequest(env, e.From, m)
 	case *msg.OrderedReply:
 		if r.proxy != nil {
 			if acts, err := r.proxy.HandleReply(env, m); err == nil {
