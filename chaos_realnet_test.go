@@ -75,12 +75,17 @@ type chaosRealnetOpts struct {
 	// byz wraps the listed replicas' hosts with Byzantine message-level
 	// behaviors at their router attach point.
 	byz map[msg.NodeID]faultplane.Behavior
+	// fast opts both client machines into the crash-commit tier over the
+	// real transport; invariant (a) switches to the two-tier checker.
+	fast bool
 }
 
 // chaosRealnetResult hands the cluster back for behavior-specific assertions.
 type chaosRealnetResult struct {
 	cl   *Cluster
 	hist *faultplane.History
+	// tier is the annotated history of a fast-commit run (nil otherwise).
+	tier *faultplane.TieredHistory
 }
 
 // TestChaosRealnetNetworkFaults replays the simulator chaos seeds on the
@@ -131,6 +136,7 @@ func runChaosRealnet(t *testing.T, o chaosRealnetOpts) chaosRealnetResult {
 		App:                app.NewStoreFactory(),
 		Classify:           storeClassifier(),
 		FastReads:          true,
+		CommitLevels:       o.fast,
 		Seed:               seed,
 		CheckpointInterval: 8,
 		ViewChangeTimeout:  800 * time.Millisecond,
@@ -191,11 +197,17 @@ func runChaosRealnet(t *testing.T, o chaosRealnetOpts) chaosRealnetResult {
 	attach(routerB, 2)
 
 	hist := &faultplane.History{}
+	var tier *faultplane.TieredHistory
+	observed := hist.Len
+	if o.fast {
+		tier = &faultplane.TieredHistory{}
+		observed = tier.Len
+	}
 	const perMachine = 4
 	const opsPerClient = 8
 	var machines []*legacyclient.Machine
 	for i := 0; i < 2; i++ {
-		lc := legacyclient.New(legacyclient.Config{
+		mc := legacyclient.Config{
 			Machine:       msg.NodeID(100 + i),
 			Clients:       perMachine,
 			FirstClientID: uint64(1000 * (i + 1)),
@@ -205,7 +217,13 @@ func runChaosRealnet(t *testing.T, o chaosRealnetOpts) chaosRealnetResult {
 			MaxOps:        opsPerClient,
 			Timeout:       time.Second,
 			Observe:       hist.Observe,
-		})
+		}
+		if o.fast {
+			mc.FastCommit = true
+			mc.Observe = tier.ObserveFunc(true)
+			mc.ObserveTier = tier.ObserveTier
+		}
+		lc := legacyclient.New(mc)
 		machines = append(machines, lc)
 		routerA.Attach(msg.NodeID(100+i), lc)
 	}
@@ -234,7 +252,7 @@ func runChaosRealnet(t *testing.T, o chaosRealnetOpts) chaosRealnetResult {
 	// signal polled while node goroutines are live.
 	mainOps := 2 * perMachine * opsPerClient
 	waitFor("main workload completion", 60*time.Second, func() bool {
-		return hist.Len() >= mainOps
+		return observed() >= mainOps
 	})
 
 	// Unlike the simulator run, wall-clock clients can finish the whole
@@ -255,7 +273,7 @@ func runChaosRealnet(t *testing.T, o chaosRealnetOpts) chaosRealnetResult {
 	// catches up past entries whose commits it lost via a checkpoint that
 	// covers them.
 	const settleOps = 12
-	settle := legacyclient.New(legacyclient.Config{
+	sc := legacyclient.Config{
 		Machine:       102,
 		Clients:       2,
 		FirstClientID: 9000,
@@ -265,10 +283,16 @@ func runChaosRealnet(t *testing.T, o chaosRealnetOpts) chaosRealnetResult {
 		MaxOps:        settleOps,
 		Timeout:       time.Second,
 		Observe:       hist.Observe,
-	})
+	}
+	if o.fast {
+		// The settling machine stays durable: its reads cross tiers, which
+		// is what the merged two-tier check must validate.
+		sc.Observe = tier.ObserveFunc(false)
+	}
+	settle := legacyclient.New(sc)
 	routerA.Attach(102, settle)
 	waitFor("settling workload completion", 30*time.Second, func() bool {
-		return hist.Len() >= mainOps+2*settleOps
+		return observed() >= mainOps+2*settleOps
 	})
 	// Grace period: checkpoint exchange and state transfer ride ordinary
 	// protocol traffic that has no client-visible completion signal.
@@ -289,9 +313,25 @@ func runChaosRealnet(t *testing.T, o chaosRealnetOpts) chaosRealnetResult {
 	if got, want := settle.Done(), 2*settleOps; got != want {
 		fail("settling machine completed %d/%d operations", got, want)
 	}
+	if o.fast {
+		// Post-mortem (routers closed, so the read is race-free): every
+		// speculative answer must have settled by the time the run ended.
+		for i, m := range machines {
+			if u := m.Unsettled(); u != 0 {
+				fail("machine %d still holds %d unsettled speculative answers", i, u)
+			}
+		}
+	}
 
 	// (a) Safety: the observed history is linearizable, fast reads included.
-	if err := faultplane.CheckLinearizable(hist.Ops()); err != nil {
+	// Fast-commit runs swap in the two-tier checker: attributed-and-repaired
+	// retractions, ratified confirmations, merged cross-tier history
+	// linearizable at speculative response times.
+	if o.fast {
+		if err := faultplane.CheckTiered(tier.TierOps()); err != nil {
+			fail("two-tier history check failed: %v", err)
+		}
+	} else if err := faultplane.CheckLinearizable(hist.Ops()); err != nil {
 		fail("history not linearizable: %v", err)
 	}
 
@@ -318,5 +358,26 @@ func runChaosRealnet(t *testing.T, o chaosRealnetOpts) chaosRealnetResult {
 			}
 		}
 	}
-	return chaosRealnetResult{cl, hist}
+	return chaosRealnetResult{cl, hist, tier}
+}
+
+// TestChaosRealnetFastCommit replays a seeded fault schedule with every
+// client machine on the crash-commit tier over the real runtime: speculative
+// answers cross real TCP framing (including the late-bound bridge toward
+// replica 2), durable confirmations chase them, and the two-tier checker
+// judges the result.
+func TestChaosRealnetFastCommit(t *testing.T) {
+	ids := []msg.NodeID{0, 1, 2}
+	clients := []msg.NodeID{100, 101}
+	const seed = 41
+	res := runChaosRealnet(t, chaosRealnetOpts{
+		seed: seed,
+		plan: faultplane.RandomPlan(seed, ids, clients, 2*time.Second),
+		fast: true,
+	})
+	specs, retracted := res.tier.Speculated()
+	if specs == 0 {
+		t.Error("no operation completed on a speculative answer; the fast path was never exercised")
+	}
+	t.Logf("speculative completions: %d (retracted and repaired: %d)", specs, retracted)
 }

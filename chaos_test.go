@@ -40,12 +40,19 @@ type chaosOpts struct {
 	// colluding replicas, so the linearizability checker MUST flag the
 	// history (the harness's negative control).
 	expectViolation bool
+	// fast opts both client machines into the crash-commit tier
+	// (FlagFastCommit): the cluster runs with CommitLevels enabled, the
+	// settling machine stays on the durable tier, and invariant (a) is
+	// judged by the two-tier checker instead of the flat one.
+	fast bool
 }
 
 // chaosResult hands the cluster back for behavior-specific assertions.
 type chaosResult struct {
 	cl   *Cluster
 	hist *faultplane.History
+	// tier is the annotated history of a fast-commit run (nil otherwise).
+	tier *faultplane.TieredHistory
 }
 
 func runChaos(t *testing.T, o chaosOpts) chaosResult {
@@ -69,6 +76,7 @@ func runChaos(t *testing.T, o chaosOpts) chaosResult {
 		App:                factory,
 		Classify:           storeClassifier(),
 		FastReads:          true,
+		CommitLevels:       o.fast,
 		Seed:               o.seed,
 		CheckpointInterval: 8,
 		ViewChangeTimeout:  800 * time.Millisecond,
@@ -98,11 +106,15 @@ func runChaos(t *testing.T, o chaosOpts) chaosResult {
 	faultplane.ScheduleCrashes(net, net, o.plan)
 
 	hist := &faultplane.History{}
+	var tier *faultplane.TieredHistory
+	if o.fast {
+		tier = &faultplane.TieredHistory{}
+	}
 	const perMachine = 4
 	const opsPerClient = 8
 	var machines []*legacyclient.Machine
 	for i := 0; i < 2; i++ {
-		lc := legacyclient.New(legacyclient.Config{
+		mc := legacyclient.Config{
 			Machine:       msg.NodeID(100 + i),
 			Clients:       perMachine,
 			FirstClientID: uint64(1000 * (i + 1)),
@@ -112,7 +124,13 @@ func runChaos(t *testing.T, o chaosOpts) chaosResult {
 			MaxOps:        opsPerClient,
 			Timeout:       time.Second,
 			Observe:       hist.Observe,
-		})
+		}
+		if o.fast {
+			mc.FastCommit = true
+			mc.Observe = tier.ObserveFunc(true)
+			mc.ObserveTier = tier.ObserveTier
+		}
+		lc := legacyclient.New(mc)
 		machines = append(machines, lc)
 		net.Attach(msg.NodeID(100+i), lc)
 	}
@@ -137,7 +155,7 @@ func runChaos(t *testing.T, o chaosOpts) chaosResult {
 	// Settling phase: fresh traffic after the schedule ended lets a
 	// restarted replica reach a new stable checkpoint and state-transfer
 	// back in before convergence is judged.
-	settle := legacyclient.New(legacyclient.Config{
+	sc := legacyclient.Config{
 		Machine:       102,
 		Clients:       2,
 		FirstClientID: 9000,
@@ -147,24 +165,51 @@ func runChaos(t *testing.T, o chaosOpts) chaosResult {
 		MaxOps:        10,
 		Timeout:       time.Second,
 		Observe:       hist.Observe,
-	})
+	}
+	if o.fast {
+		// The settling machine stays on the durable tier, so the merged
+		// history exercises cross-tier reads: durable clients observing
+		// fast-tier writes (and repaired retractions) is exactly what the
+		// two-tier checker must validate.
+		sc.Observe = tier.ObserveFunc(false)
+	}
+	settle := legacyclient.New(sc)
 	net.Attach(102, settle)
 	net.Run(150 * time.Second)
 	if got, want := settle.Done(), 2*10; got != want {
 		fail("settling machine completed %d/%d operations", got, want)
 	}
-
-	// (a) Safety: the complete observed history is linearizable.
-	err = faultplane.CheckLinearizable(hist.Ops())
-	if o.expectViolation {
-		if err == nil {
-			fail("collusion above f went undetected: %d-op history passed the linearizability check", hist.Len())
+	if o.fast {
+		// Every speculative answer must have settled — confirmed or
+		// retracted-and-repaired — once the network quiesced; a retained
+		// speculation left open means the durable tier never caught up.
+		for i, m := range machines {
+			if u := m.Unsettled(); u != 0 {
+				fail("machine %d still holds %d unsettled speculative answers", i, u)
+			}
 		}
-		t.Logf("violation detected as required: %v", err)
-		return chaosResult{cl, hist}
 	}
-	if err != nil {
-		fail("history not linearizable: %v", err)
+
+	// (a) Safety: the complete observed history is linearizable. Fast-commit
+	// runs use the two-tier checker: retractions attributed and repaired,
+	// confirmed speculations ratified by identical durable results, and the
+	// merged cross-tier history linearizable at speculative response times.
+	if o.fast {
+		if err := faultplane.CheckTiered(tier.TierOps()); err != nil {
+			fail("two-tier history check failed: %v", err)
+		}
+	} else {
+		err = faultplane.CheckLinearizable(hist.Ops())
+		if o.expectViolation {
+			if err == nil {
+				fail("collusion above f went undetected: %d-op history passed the linearizability check", hist.Len())
+			}
+			t.Logf("violation detected as required: %v", err)
+			return chaosResult{cl, hist, tier}
+		}
+		if err != nil {
+			fail("history not linearizable: %v", err)
+		}
 	}
 
 	// (b) Convergence: every replica ends at the same application state
@@ -191,7 +236,7 @@ func runChaos(t *testing.T, o chaosOpts) chaosResult {
 			}
 		}
 	}
-	return chaosResult{cl, hist}
+	return chaosResult{cl, hist, tier}
 }
 
 // TestChaosNetworkFaults draws a full fault schedule per seed — transient
@@ -271,6 +316,86 @@ func TestChaosByzantineReplica(t *testing.T) {
 			t.Error("replica 2 rejected no certificates from the equivocating replica")
 		}
 	})
+}
+
+// TestChaosFastCommitSpeculationLoss runs fast-commit clients through a
+// schedule built to strand speculation: a one-way partition silences the
+// view-0 leader's outbound (it still hears the followers, so it keeps
+// proposing and vouching for batches the rest of the cluster never sees),
+// forcing a view change out from under any fast answer in flight, and a
+// follower crash/restart after the heal exercises the rollback hooks on the
+// recovery path. Whatever mix of confirmations and retractions the schedule
+// produces, the two-tier checker must accept it: retractions attributed and
+// repaired, confirmations ratified, merged cross-tier history linearizable.
+func TestChaosFastCommitSpeculationLoss(t *testing.T) {
+	seeds := []int64{41, 42}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			res := runChaos(t, chaosOpts{
+				seed: seed,
+				fast: true,
+				plan: faultplane.Plan{
+					Partitions: []faultplane.Partition{{
+						Start: 300 * time.Millisecond, Heal: 1400 * time.Millisecond,
+						A: []msg.NodeID{0}, B: []msg.NodeID{1, 2},
+						OneWay: true,
+					}},
+					Crashes: []faultplane.CrashEvent{
+						{Node: 1, At: 1600 * time.Millisecond, RestartAt: 2 * time.Second},
+					},
+				},
+			})
+			specs, retracted := res.tier.Speculated()
+			if specs == 0 {
+				t.Error("no operation completed on a speculative answer; the fast path was never exercised")
+			}
+			answered := uint64(0)
+			for i := 0; i < 3; i++ {
+				answered += res.cl.TroxyStats(i).SpecAnswered
+			}
+			if answered == 0 {
+				t.Error("no Troxy reported a speculative answer")
+			}
+			t.Logf("speculative completions: %d (retracted and repaired: %d)", specs, retracted)
+		})
+	}
+}
+
+// TestChaosByzantineLeaderFastEquivocation arms the view-0 leader with both
+// ordering-certificate equivocation and speculative-reply equivocation: it
+// splits its PREPAREs toward higher-numbered peers AND tells remote Troxys a
+// different fast answer than the one its own trusted part tagged. The
+// followers must depose it (certificate rejections attributed to replica 0),
+// the mutated speculative replies must die on tag verification, and the
+// two-tier history must still check out.
+func TestChaosByzantineLeaderFastEquivocation(t *testing.T) {
+	res := runChaos(t, chaosOpts{
+		seed: 43,
+		fast: true,
+		byz: map[msg.NodeID]faultplane.Behavior{
+			0: faultplane.EquivocateCerts | faultplane.EquivocateSpecReplies,
+		},
+	})
+	rejected := res.cl.Replicas[1].Core().RejectedCertsFrom(0) +
+		res.cl.Replicas[2].Core().RejectedCertsFrom(0)
+	if rejected == 0 {
+		t.Error("no follower rejected a certificate from the equivocating leader")
+	}
+	bad := uint64(0)
+	for i := 0; i < 3; i++ {
+		bad += res.cl.TroxyStats(i).BadReplies
+	}
+	if bad == 0 {
+		t.Error("no equivocated speculative reply was dropped by tag verification")
+	}
+	specs, retracted := res.tier.Speculated()
+	if specs == 0 {
+		t.Error("no operation completed on a speculative answer despite the honest quorum")
+	}
+	t.Logf("speculative completions: %d (retracted: %d), spec replies dropped: %d", specs, retracted, bad)
 }
 
 // TestChaosCollusionBeyondFDetected is the harness's negative control: with

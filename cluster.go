@@ -131,6 +131,15 @@ type ClusterConfig struct {
 	// FullCacheReplies selects the paper's base cache-exchange variant
 	// (full entries between Troxies) instead of the hash optimization.
 	FullCacheReplies bool
+
+	// CommitLevels enables the tunable-commit-level fast path: each replica
+	// gets a second application instance (from the same App factory) as a
+	// speculative shadow, and requests flagged fast (the FlagFastCommit
+	// request flag, or the X-Troxy-Consistency: fast HTTP header) are
+	// answered at PREPARE time with f+1 counter-certified speculative votes.
+	// Requires a Troxy mode (the baseline's BFT clients vote over durable
+	// replies only).
+	CommitLevels bool
 }
 
 // Cluster is an assembled deployment.
@@ -247,7 +256,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 
 		case ETroxy:
 			// One enclave hosts the Troxy and the counter subsystem behind
-			// the 16-ecall interface.
+			// the 19-ecall interface.
 			trusted := itroxy.NewTrusted(itroxy.NewCore(troxyCfg), counters)
 			enc, err = platform.Launch(enclave.Definition{
 				Name:         fmt.Sprintf("troxy-%d", i),
@@ -268,6 +277,10 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 
 		application := cfg.App()
 		cl.apps = append(cl.apps, application)
+		var shadow app.Application
+		if cfg.CommitLevels && cfg.Mode != Baseline {
+			shadow = cfg.App()
+		}
 		rep := replica.New(replica.Config{
 			Self: self,
 			N:    cfg.N,
@@ -284,6 +297,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 				Profile:            node.ProfileJava,
 				Authority:          authority,
 				App:                application,
+				SpecShadow:         shadow,
 			},
 			Directory:    dir,
 			Proxy:        proxy,

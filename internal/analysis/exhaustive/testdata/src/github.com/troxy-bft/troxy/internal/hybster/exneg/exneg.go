@@ -15,6 +15,8 @@ func allKinds(k msg.Kind) int {
 		return 3
 	case msg.KindStateChunk, msg.KindStatePrefix:
 		return 4
+	case msg.KindSpecReply:
+		return 5
 	}
 	return 0
 }
@@ -44,6 +46,8 @@ func allTypes(m msg.Message) int {
 		return 5
 	case *msg.StatePrefix:
 		return 6
+	case *msg.SpecReply:
+		return 7
 	case nil:
 		return -1
 	}

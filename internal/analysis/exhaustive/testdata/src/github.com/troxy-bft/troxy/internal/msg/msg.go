@@ -12,6 +12,7 @@ const (
 	KindBatch
 	KindStateChunk
 	KindStatePrefix
+	KindSpecReply
 )
 
 // Message is one protocol message.
@@ -42,3 +43,7 @@ func (*StateChunk) Kind() Kind { return KindStateChunk }
 type StatePrefix struct{ Seq uint64 }
 
 func (*StatePrefix) Kind() Kind { return KindStatePrefix }
+
+type SpecReply struct{ Seq uint64 }
+
+func (*SpecReply) Kind() Kind { return KindSpecReply }

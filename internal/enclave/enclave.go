@@ -8,7 +8,7 @@
 //     fixed table of named entry points (ecalls). Argument buffers are
 //     defensively copied when crossing into the enclave so that the
 //     untrusted side cannot mutate them mid-call (TOCTOU/Iago hardening,
-//     Section V-A of the paper). Troxy registers exactly 16 ecalls.
+//     Section V-A of the paper). Troxy registers a fixed table of 19 ecalls.
 //   - Transition accounting: every ecall increments transition counters and
 //     reports the copied byte volume to an optional hook. The discrete-event
 //     simulator charges the calibrated SGX transition cost through this hook,

@@ -123,6 +123,7 @@ func All() []Experiment {
 		{"fig11", "HTTP service latency: Jetty / BL / Prophecy / Troxy", Fig11},
 		{"ablation", "design-choice ablations (cache, monitor, client protocol)", Ablation},
 		{"batching", "leader batching sweep (counter-certification amortization)", Batching},
+		{"commitlevel", "tunable commit levels: crash-commit fast path vs durable tier", CommitLevel},
 		{"transport", "realnet egress transport: ring vs buffered (wall clock)", Transport},
 	}
 }

@@ -11,7 +11,7 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	// Every table and figure of the paper's evaluation must have a target.
-	required := []string{"table1", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "batching", "transport"}
+	required := []string{"table1", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "batching", "commitlevel", "transport"}
 	for _, name := range required {
 		if _, ok := ByName(name); !ok {
 			t.Errorf("missing experiment %q", name)
@@ -130,6 +130,46 @@ func TestBatchingImprovesThroughput(t *testing.T) {
 	if batched.OpsPerSec <= unbatched.OpsPerSec {
 		t.Errorf("batched throughput %.0f ops/s not above unbatched %.0f ops/s",
 			batched.OpsPerSec, unbatched.OpsPerSec)
+	}
+}
+
+func TestCommitLevelFastTierBeatsDurable(t *testing.T) {
+	// Geo-replicated deterministic simulator: the leader's speculative
+	// reply leaves at propose time, one inter-replica hop before any
+	// durable reply exists, so with a pipelined window the fast tier's
+	// median latency must be strictly lower under the same seed and load.
+	run := func(fast bool) microResult {
+		return runMicro(microConfig{
+			mode:           root.ETroxy,
+			readRatio:      0,
+			reqSize:        1024,
+			replySize:      10,
+			clientsPerMach: 32,
+			warmup:         100 * time.Millisecond,
+			measure:        400 * time.Millisecond,
+			seed:           7,
+			batchSize:      64,
+			batchDelay:     time.Millisecond,
+			pipelineDepth:  4,
+			fastCommit:     fast,
+			interReplica:   commitGeoLatency,
+		})
+	}
+	durable, fast := run(false), run(true)
+	if durable.specAnswered != 0 {
+		t.Errorf("durable tier speculated %d times", durable.specAnswered)
+	}
+	if fast.specAnswered == 0 {
+		t.Fatalf("fast tier completed %d ops without speculating", fast.Count)
+	}
+	if fast.specRetracted != 0 {
+		t.Errorf("fault-free run retracted %d speculations", fast.specRetracted)
+	}
+	if fast.specConfirmed == 0 {
+		t.Error("no speculation was durably confirmed in the background")
+	}
+	if fast.P50 >= durable.P50 {
+		t.Errorf("fast-tier p50 %v not below durable p50 %v", fast.P50, durable.P50)
 	}
 }
 

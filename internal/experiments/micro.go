@@ -39,6 +39,16 @@ type microConfig struct {
 	// pipelineDepth bounds the leader's in-flight batch window (zero: the
 	// unpipelined legacy configuration with no window limit).
 	pipelineDepth int
+
+	// fastCommit opts every client into the crash-tolerant commit tier:
+	// replicas answer at PREPARE time with counter-certified speculative
+	// replies and the durable COMMIT round settles in the background.
+	fastCommit bool
+
+	// interReplica, when positive, replaces the LAN latency on the links
+	// between replicas (both directions) to model a geo-replicated group;
+	// client links keep their configured latency.
+	interReplica time.Duration
 }
 
 // microResult aggregates a run's measurements.
@@ -51,6 +61,9 @@ type microResult struct {
 	// Ordering counters (summed over replicas; Proposed/Batches only ever
 	// advance on leaders, so the sums are the leader-side totals).
 	proposed, batches uint64
+
+	// Commit-tier counters (summed over replicas).
+	specAnswered, specConfirmed, specRetracted uint64
 
 	// Baseline client counters.
 	directOK, conflicts uint64
@@ -110,6 +123,7 @@ func runMicro(cfg microConfig) microResult {
 		BatchSize:          cfg.batchSize,
 		BatchDelay:         cfg.batchDelay,
 		PipelineDepth:      cfg.pipelineDepth,
+		CommitLevels:       cfg.fastCommit,
 	})
 	if err != nil {
 		panic(fmt.Sprintf("experiments: cluster: %v", err))
@@ -118,6 +132,17 @@ func runMicro(cfg microConfig) microResult {
 	net := simnet.New(cfg.seed, simnet.DefaultCostModel())
 	net.SetDefaultLink(simnet.LANLatency)
 	cluster.Attach(net)
+
+	if cfg.interReplica > 0 {
+		lat := simnet.FixedLatency(cfg.interReplica)
+		for _, a := range cluster.ReplicaIDs() {
+			for _, b := range cluster.ReplicaIDs() {
+				if a != b {
+					net.SetLink(a, b, lat)
+				}
+			}
+		}
+	}
 
 	machines := []msg.NodeID{machineA, machineB}
 	if cfg.wan {
@@ -167,6 +192,7 @@ func runMicro(cfg microConfig) microResult {
 			ServerPub:     cluster.ServerPub,
 			Gen:           gen,
 			Rec:           rec,
+			FastCommit:    cfg.fastCommit,
 			Timeout:       10 * time.Second,
 		})
 		lcms = append(lcms, lc)
@@ -185,6 +211,9 @@ func runMicro(cfg microConfig) microResult {
 		res.fastFell += ts.FastReadFell
 		res.cacheMisses += ts.CacheMisses
 		res.modeSwitches += ts.ModeSwitches
+		res.specAnswered += ts.SpecAnswered
+		res.specConfirmed += ts.SpecConfirmed
+		res.specRetracted += ts.SpecRetracted
 		hm := cluster.Replicas[i].Core().Metrics()
 		res.proposed += hm.Proposed
 		res.batches += hm.Batches

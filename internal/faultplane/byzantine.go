@@ -42,6 +42,16 @@ const (
 	// RejectedCertsFrom) and complete the transfer from another digest
 	// voter via its retry/rotation timer.
 	CorruptStateChunks
+
+	// EquivocateSpecReplies mutates the Result of outgoing speculative
+	// replies toward peers with higher IDs while staying honest toward the
+	// rest: the compromised host tells two Troxys two different fast
+	// answers for the same counter-certified slot. The counter certificate
+	// still binds the slot (the host cannot mint a second one), but the
+	// Troxy group tag covers the result, so the mutated copy fails tag
+	// verification (Stats.BadReplies) and the speculative quorum can only
+	// form on the honest answer.
+	EquivocateSpecReplies
 )
 
 // Byzantine wraps a replica's handler, impersonating the compromised
@@ -163,6 +173,21 @@ func (b *Byzantine) send(raw node.Env, e *msg.Envelope) {
 		}
 		com.BatchDigest[0] ^= 0x01
 		b.sealSend(raw, e.To, com)
+		return
+	case msg.KindSpecReply:
+		if b.mode&EquivocateSpecReplies == 0 || e.To <= b.self {
+			break
+		}
+		m, err := e.Open()
+		if err != nil {
+			break
+		}
+		sr, ok := m.(*msg.SpecReply)
+		if !ok || len(sr.Result) == 0 {
+			break
+		}
+		sr.Result[0] ^= 0x01
+		b.sealSend(raw, e.To, sr)
 		return
 	case msg.KindStateChunk:
 		if b.mode&CorruptStateChunks == 0 {

@@ -1,0 +1,230 @@
+package faultplane
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Two-tier linearizability checking for tunable commit levels.
+//
+// A client on the fast (crash-commit) tier completes operations on
+// speculative answers backed by f+1 PREPARE-round counter certificates. The
+// durable tier later confirms each answer, or — when the speculation loses a
+// view change — retracts it and repairs the client with the durable outcome.
+// The checker enforces the contract between the tiers:
+//
+//   - Every retraction must be explicit (attributed) and repaired, or the
+//     client was left with a withdrawn answer and no authoritative one.
+//   - Ratification: a confirmed speculation's durable result must equal the
+//     speculative answer byte-for-byte — if the tiers disagreed, the Troxy
+//     was obliged to retract, not confirm.
+//   - The merged history — fast- and durable-tier clients together, with
+//     every retracted operation replaced by its repair outcome — must be
+//     linearizable at the speculative response times. Replacing — not
+//     dropping — retracted operations is essential: a retracted write whose
+//     durable retry commits still shapes every later read, so removing it
+//     would falsely blame those reads. Checking one tier's operations in
+//     isolation would be unsound (durable reads legitimately observe
+//     fast-tier writes absent from the projection) or vacuous (dropping
+//     reads, or widening response windows to durable settlement, can never
+//     fail if the merged check passes); the merged check at speculative
+//     times is the strictest sound statement.
+
+// TierOp is one completed operation annotated with its commit-tier outcome.
+type TierOp struct {
+	Op
+
+	// Fast marks an operation issued on the crash-commit tier.
+	Fast bool
+
+	// Speculative marks an operation completed on a speculative answer
+	// (StatusSpeculative) rather than a durable one.
+	Speculative bool
+
+	// Retracted marks a speculative answer that was explicitly withdrawn;
+	// Attribution carries the reason the Troxy reported.
+	Retracted   bool
+	Attribution string
+
+	// Repaired marks a retracted operation that was settled by a durable
+	// reply; RepairResult and RepairTime are the authoritative outcome.
+	Repaired     bool
+	RepairResult []byte
+	RepairTime   time.Duration
+
+	// Confirmed marks a speculative answer the durable tier confirmed;
+	// ConfirmResult is the durable result it ratified.
+	Confirmed     bool
+	ConfirmResult []byte
+}
+
+// tierEvents accumulates per-operation lifecycle events, which can arrive
+// before or after the operation's own completion record.
+type tierEvents struct {
+	speculative   bool
+	retracted     bool
+	attribution   string
+	confirmed     bool
+	confirmResult []byte
+	repaired      bool
+	repairResult  []byte
+	repairTime    time.Duration
+}
+
+type tierKey struct {
+	client uint64
+	seq    uint64
+}
+
+// TieredHistory collects completed operations together with their
+// speculative-tier lifecycle. Wire ObserveFunc(fast) to a machine's Observe
+// hook and ObserveTier to its ObserveTier hook.
+type TieredHistory struct {
+	mu     sync.Mutex
+	ops    []TierOp
+	events map[tierKey]*tierEvents
+}
+
+func (h *TieredHistory) event(key tierKey) *tierEvents {
+	if h.events == nil {
+		h.events = make(map[tierKey]*tierEvents)
+	}
+	ev, ok := h.events[key]
+	if !ok {
+		ev = &tierEvents{}
+		h.events[key] = ev
+	}
+	return ev
+}
+
+// ObserveFunc returns an Observe callback recording completions for clients
+// on the given tier.
+func (h *TieredHistory) ObserveFunc(fast bool) func(client, seq uint64, op []byte, read bool, invoked, responded time.Duration, result []byte) {
+	return func(client, seq uint64, op []byte, read bool, invoked, responded time.Duration, result []byte) {
+		_ = read
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		h.ops = append(h.ops, TierOp{
+			Op: Op{
+				Client:    client,
+				Seq:       seq,
+				Invoke:    invoked,
+				Respond:   responded,
+				Operation: append([]byte(nil), op...),
+				Result:    append([]byte(nil), result...),
+			},
+			Fast: fast,
+		})
+	}
+}
+
+// ObserveTier matches legacyclient.Config.ObserveTier.
+func (h *TieredHistory) ObserveTier(kind string, client, seq uint64, data []byte, now time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	ev := h.event(tierKey{client, seq})
+	switch kind {
+	case "spec":
+		ev.speculative = true
+	case "retract":
+		ev.retracted = true
+		ev.attribution = string(data)
+	case "confirm":
+		if ev.retracted {
+			ev.repaired = true
+			ev.repairResult = append([]byte(nil), data...)
+			ev.repairTime = now
+		} else {
+			ev.confirmed = true
+			ev.confirmResult = append([]byte(nil), data...)
+		}
+	}
+}
+
+// TierOps returns the recorded operations with their lifecycle events merged
+// in, in completion order.
+func (h *TieredHistory) TierOps() []TierOp {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]TierOp, len(h.ops))
+	copy(out, h.ops)
+	for i := range out {
+		ev, ok := h.events[tierKey{out[i].Client, out[i].Seq}]
+		if !ok {
+			continue
+		}
+		out[i].Speculative = ev.speculative
+		out[i].Retracted = ev.retracted
+		out[i].Attribution = ev.attribution
+		out[i].Confirmed = ev.confirmed
+		out[i].ConfirmResult = append([]byte(nil), ev.confirmResult...)
+		out[i].Repaired = ev.repaired
+		out[i].RepairResult = append([]byte(nil), ev.repairResult...)
+		out[i].RepairTime = ev.repairTime
+	}
+	return out
+}
+
+// Len returns the number of recorded operations.
+func (h *TieredHistory) Len() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.ops)
+}
+
+// Speculated reports how many operations completed on speculative answers,
+// and how many of those were retracted.
+func (h *TieredHistory) Speculated() (specs, retracted int) {
+	for _, op := range h.TierOps() {
+		if op.Speculative {
+			specs++
+		}
+		if op.Retracted {
+			retracted++
+		}
+	}
+	return
+}
+
+// CheckTiered verifies the two-tier contract over an annotated history:
+//
+//	(a) every retracted operation carries a non-empty attribution and was
+//	    repaired by a durable outcome;
+//	(b) every confirmed speculation was ratified: the durable result equals
+//	    the speculative answer the client completed on;
+//	(c) the merged history — all clients, with each retracted operation
+//	    replaced by its repair outcome — is linearizable at the speculative
+//	    response times.
+func CheckTiered(ops []TierOp) error {
+	merged := make([]Op, 0, len(ops))
+	for i := range ops {
+		top := &ops[i]
+		if top.Retracted {
+			if top.Attribution == "" {
+				return fmt.Errorf("faultplane: client %d seq %d retracted without attribution",
+					top.Client, top.Seq)
+			}
+			if !top.Repaired {
+				return fmt.Errorf("faultplane: client %d seq %d retracted but never repaired (attribution %q)",
+					top.Client, top.Seq, top.Attribution)
+			}
+		} else if top.Confirmed && !bytes.Equal(top.ConfirmResult, top.Result) {
+			return fmt.Errorf("faultplane: client %d seq %d confirmed without ratifying: speculative answer %q, durable result %q",
+				top.Client, top.Seq, top.Result, top.ConfirmResult)
+		}
+		op := top.Op
+		if top.Retracted {
+			// The speculative answer was withdrawn; the durable repair is the
+			// operation's authoritative outcome and response time.
+			op.Result = top.RepairResult
+			op.Respond = top.RepairTime
+		}
+		merged = append(merged, op)
+	}
+	if err := CheckLinearizable(merged); err != nil {
+		return fmt.Errorf("merged two-tier history (retractions repaired): %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,134 @@
+package faultplane
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func ms(d int) time.Duration { return time.Duration(d) * time.Millisecond }
+
+// top builds one annotated operation over the store text protocol.
+func top(client, seq uint64, invoke, respond int, op, result string) TierOp {
+	return TierOp{Op: Op{
+		Client: client, Seq: seq,
+		Invoke: ms(invoke), Respond: ms(respond),
+		Operation: []byte(op), Result: []byte(result),
+	}}
+}
+
+// TestCheckTieredConfirmedSpeculation is the steady-state case: fast-tier
+// writes answered speculatively, ratified by identical durable results, read
+// back by a durable-tier client.
+func TestCheckTieredConfirmedSpeculation(t *testing.T) {
+	w := top(1, 1, 0, 10, "PUT k v1", "OK")
+	w.Fast, w.Speculative, w.Confirmed = true, true, true
+	w.ConfirmResult = []byte("OK")
+	r := top(2, 1, 20, 30, "GET k", "VALUE v1")
+	if err := CheckTiered([]TierOp{w, r}); err != nil {
+		t.Fatalf("confirmed speculation rejected: %v", err)
+	}
+}
+
+// TestCheckTieredRetractionContract: a retracted answer must be attributed
+// and repaired; missing either is a violation regardless of the data.
+func TestCheckTieredRetractionContract(t *testing.T) {
+	base := top(1, 1, 0, 10, "PUT k v1", "OK")
+	base.Fast, base.Speculative, base.Retracted = true, true, true
+
+	unattributed := base
+	unattributed.Repaired, unattributed.RepairResult = true, []byte("OK")
+	unattributed.RepairTime = ms(50)
+	if err := CheckTiered([]TierOp{unattributed}); err == nil ||
+		!strings.Contains(err.Error(), "without attribution") {
+		t.Fatalf("unattributed retraction accepted: %v", err)
+	}
+
+	unrepaired := base
+	unrepaired.Attribution = "speculation for slot 4 lost in view change to view 1"
+	if err := CheckTiered([]TierOp{unrepaired}); err == nil ||
+		!strings.Contains(err.Error(), "never repaired") {
+		t.Fatalf("unrepaired retraction accepted: %v", err)
+	}
+}
+
+// TestCheckTieredRatification: confirming a speculation whose durable result
+// differs from the answer the client completed on is a violation — the Troxy
+// was obliged to retract instead.
+func TestCheckTieredRatification(t *testing.T) {
+	r := top(1, 1, 0, 10, "GET k", "VALUE stale")
+	r.Fast, r.Speculative, r.Confirmed = true, true, true
+	r.ConfirmResult = []byte("VALUE fresh")
+	if err := CheckTiered([]TierOp{r}); err == nil ||
+		!strings.Contains(err.Error(), "without ratifying") {
+		t.Fatalf("unratified confirmation accepted: %v", err)
+	}
+}
+
+// TestCheckTieredRepairReplacesRetractedOp: a retracted operation is judged
+// at its repair outcome, not dropped. The speculative GET answer here is
+// inconsistent with every linearization; only the durable repair (observed
+// after the concurrent PUT committed) makes the history check out — and a
+// later read that depends on the retracted-then-repaired write must still be
+// explainable.
+func TestCheckTieredRepairReplacesRetractedOp(t *testing.T) {
+	w := top(1, 1, 0, 60, "PUT k v2", "OK")
+	g := top(2, 1, 5, 10, "GET k", "VALUE bogus")
+	g.Fast, g.Speculative, g.Retracted, g.Repaired = true, true, true, true
+	g.Attribution = "speculation for slot 3 lost in view change to view 1"
+	g.RepairResult, g.RepairTime = []byte("VALUE v2"), ms(80)
+	r2 := top(3, 1, 90, 100, "GET k", "VALUE v2")
+	if err := CheckTiered([]TierOp{w, g, r2}); err != nil {
+		t.Fatalf("repaired retraction rejected: %v", err)
+	}
+
+	// Negative control: the same history is NOT linearizable at the
+	// speculative answer — if the checker ever judged the withdrawn result
+	// instead of the repair, it would have to fail exactly like this.
+	g.Retracted, g.Repaired = false, false
+	g.Attribution = ""
+	if err := CheckTiered([]TierOp{w, g, r2}); err == nil ||
+		!strings.Contains(err.Error(), "merged two-tier history") {
+		t.Fatalf("bogus un-retracted speculation accepted: %v", err)
+	}
+}
+
+// TestTieredHistoryLifecycle drives the collector through the client-side
+// event order (spec before completion, retract and repair after) and checks
+// the merged annotations.
+func TestTieredHistoryLifecycle(t *testing.T) {
+	h := &TieredHistory{}
+	obs := h.ObserveFunc(true)
+
+	// Op (1,1): speculative answer, completion, then durable confirmation.
+	h.ObserveTier("spec", 1, 1, []byte("OK"), ms(10))
+	obs(1, 1, []byte("PUT k v1"), false, ms(0), ms(10), []byte("OK"))
+	h.ObserveTier("confirm", 1, 1, []byte("OK"), ms(40))
+
+	// Op (1,2): speculative answer, completion, retraction, repair.
+	h.ObserveTier("spec", 1, 2, []byte("OK"), ms(50))
+	obs(1, 2, []byte("PUT k v2"), false, ms(45), ms(50), []byte("OK"))
+	h.ObserveTier("retract", 1, 2, []byte("slot 7 lost in view change"), ms(60))
+	h.ObserveTier("confirm", 1, 2, []byte("OK"), ms(90))
+
+	ops := h.TierOps()
+	if len(ops) != 2 {
+		t.Fatalf("recorded %d ops, want 2", len(ops))
+	}
+	first, second := ops[0], ops[1]
+	if !first.Speculative || !first.Confirmed || first.Retracted ||
+		string(first.ConfirmResult) != "OK" {
+		t.Fatalf("confirmed op annotations wrong: %+v", first)
+	}
+	if !second.Speculative || !second.Retracted || !second.Repaired ||
+		second.Attribution != "slot 7 lost in view change" ||
+		string(second.RepairResult) != "OK" || second.RepairTime != ms(90) {
+		t.Fatalf("retracted op annotations wrong: %+v", second)
+	}
+	if specs, retracted := h.Speculated(); specs != 2 || retracted != 1 {
+		t.Fatalf("Speculated() = (%d, %d), want (2, 1)", specs, retracted)
+	}
+	if err := CheckTiered(ops); err != nil {
+		t.Fatalf("lifecycle history rejected: %v", err)
+	}
+}

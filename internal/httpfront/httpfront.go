@@ -92,6 +92,25 @@ func IsRead(rawRequest []byte) bool {
 	return method == "GET" || method == "HEAD"
 }
 
+// ConsistencyHeader is the per-request commit-level selector for HTTP
+// clients. A request carrying "X-Troxy-Consistency: fast" opts into the
+// crash-tolerant tier (answered at PREPARE time, f+1 counter-certified
+// speculative votes); any other value — or no header — keeps the durable
+// Byzantine tier. Note that plain HTTP cannot express a retraction: a fast
+// HTTP client that loses its speculation receives no repair response, which
+// is exactly the weaker guarantee the header opts into.
+const ConsistencyHeader = "X-Troxy-Consistency"
+
+// FastCommit reports whether a raw HTTP request opts into the crash-tolerant
+// commit tier via the X-Troxy-Consistency header.
+func FastCommit(rawRequest []byte) bool {
+	_, _, headers, _, err := parseRequest(rawRequest)
+	if err != nil {
+		return false
+	}
+	return strings.EqualFold(headers[strings.ToLower(ConsistencyHeader)], "fast")
+}
+
 // parseRequest splits a raw request into method, path, headers and body.
 func parseRequest(raw []byte) (method, path string, headers map[string]string, body []byte, err error) {
 	headEnd := bytes.Index(raw, []byte("\r\n\r\n"))

@@ -95,6 +95,17 @@ type Config struct {
 	// App is the replicated application.
 	App app.Application
 
+	// SpecShadow, when non-nil, enables the speculative crash-commit fast
+	// path (spec.go): the contiguous prepared-but-uncommitted log prefix is
+	// executed against this shadow instance ahead of durable commitment, and
+	// requests flagged msg.FlagFastCommit are answered from it with this
+	// replica's PREPARE-round counter certificate attached. The shadow must
+	// be a fresh instance of the same application type as App — it is
+	// re-anchored from App's snapshot whenever a view change, state
+	// transfer, or execution divergence invalidates the speculation. Nil
+	// (the default) disables the fast path.
+	SpecShadow app.Application
+
 	// SnapshotChunkSize is the chunk size for checkpoint snapshots and
 	// state transfer, in bytes. Zero means 64 KiB. Like N and F it must be
 	// identical on all replicas: it shapes the chunk manifest whose digest
@@ -195,6 +206,20 @@ type Metrics struct {
 	ViewSolicits  uint64
 	NewViewRelays uint64
 	ViewAdoptions uint64
+
+	// Speculative fast path (spec.go). Speculated counts fast-flagged
+	// requests answered from the shadow; SpecConfirmed counts those later
+	// settled by durable execution; SpecRetractions counts speculations
+	// withdrawn by a rollback before settling. SpecRollbacks counts shadow
+	// re-anchors (view installs, state-transfer installs, divergences);
+	// SpecDivergences counts the subset where durable execution found a
+	// different batch at a speculated slot — the speculation actually *lost*,
+	// rather than being conservatively re-anchored.
+	Speculated      uint64
+	SpecConfirmed   uint64
+	SpecRetractions uint64
+	SpecRollbacks   uint64
+	SpecDivergences uint64
 }
 
 type entry struct {
@@ -207,6 +232,13 @@ type entry struct {
 	prepCert   msg.CounterCert
 	vouchers   map[msg.NodeID]struct{}
 	executed   bool
+
+	// specCert is the certificate a SpecReply for this batch carries: the
+	// prepare cert when this replica leads the entry's view, this replica's
+	// own commit cert otherwise. Both bind (view, seq, batchDigest) through
+	// the trusted counter.
+	specCert    msg.CounterCert
+	hasSpecCert bool
 }
 
 type clientRecord struct {
@@ -317,6 +349,21 @@ type Core struct {
 	// when idle.
 	fetch *stateFetch
 
+	// Speculative fast path (spec.go). specExec is the shadow execution
+	// frontier (always >= lastExec); specLog maps each speculated slot to
+	// the batch digest the shadow ran there, checked against the durable
+	// batch at execution time; specClients is the shadow's dedup table;
+	// specOut tracks fast-answered requests not yet durably settled, so a
+	// rollback knows what to retract. specStale marks a detected divergence
+	// for rollback once the current execution run completes; specBroken
+	// permanently disables the fast path after a shadow restore failure.
+	specExec    uint64
+	specLog     map[uint64]msg.Digest
+	specClients map[uint64]uint64
+	specOut     map[specKey]*specRecord
+	specStale   bool
+	specBroken  bool
+
 	metrics Metrics
 
 	// rejectedBy attributes certificate rejections to the claimed message
@@ -375,6 +422,9 @@ func New(cfg Config, out Outbound) *Core {
 		pendingLocal:    make(map[msg.Digest]*msg.OrderRequest),
 		vcs:             make(map[uint64]map[msg.NodeID]*msg.ViewChange),
 		proposed:        make(map[msg.Digest]struct{}),
+		specLog:         make(map[uint64]msg.Digest),
+		specClients:     make(map[uint64]uint64),
+		specOut:         make(map[specKey]*specRecord),
 	}
 	c.resetContinuity(1)
 	return c
@@ -710,6 +760,9 @@ func (c *Core) proposeBatch(env node.Env, batch *msg.Batch) {
 	e.reqDigests = reqDigests
 	e.hasPrep = true
 	e.prepCert = cert
+	// The leader's spec replies ride on its prepare certificate.
+	e.specCert = cert
+	e.hasSpecCert = true
 	e.vouchers[c.cfg.Self] = struct{}{}
 	c.metrics.Proposed += uint64(batch.Len())
 	c.metrics.Batches++
@@ -718,6 +771,9 @@ func (c *Core) proposeBatch(env node.Env, batch *msg.Batch) {
 			c.out.Send(env, to, prep)
 		}
 	}
+	// Speculate before attempting the durable commit, so the fast answer for
+	// this batch is emitted no later than its durable one.
+	c.advanceSpec(env)
 	c.tryCommit(env, e)
 }
 
@@ -905,12 +961,19 @@ func (c *Core) acceptPrepare(env node.Env, prep *msg.Prepare, reqDigests []msg.D
 		return
 	}
 	com := &msg.Commit{View: prep.View, Seq: prep.Seq, BatchDigest: batchDigest, Cert: cert}
+	// A follower's spec replies ride on the commit certificate it just
+	// minted for the batch.
+	e.specCert = cert
+	e.hasSpecCert = true
 	for i := 0; i < c.cfg.N; i++ {
 		if to := msg.NodeID(i); to != c.cfg.Self {
 			c.out.Send(env, to, com)
 		}
 	}
 	e.vouchers[c.cfg.Self] = struct{}{}
+	// Speculate before attempting the durable commit, so the fast answer for
+	// this batch is emitted no later than its durable one.
+	c.advanceSpec(env)
 	c.tryCommit(env, e)
 }
 
@@ -1019,6 +1082,12 @@ func (c *Core) executeReady(env node.Env) {
 		c.execute(env, e)
 		executed = true
 	}
+	if c.specStale {
+		// Durable execution found a batch the shadow speculated differently;
+		// rewind the shadow onto the durable prefix just extended.
+		c.specStale = false
+		c.rollbackSpec(env)
+	}
 	if executed && !c.inVC && c.IsLeader() {
 		c.pump(env)
 	}
@@ -1027,6 +1096,21 @@ func (c *Core) executeReady(env node.Env) {
 func (c *Core) execute(env node.Env, e *entry) {
 	e.executed = true
 	c.lastExec = e.seq
+
+	// Speculation bookkeeping: if the shadow ran a *different* batch at this
+	// slot, the speculated history diverged from the durable one and must be
+	// rolled back once this execution run completes (executeReady). If the
+	// durable path overtook the shadow (a batch can commit in the same
+	// handler invocation that accepted it), the executed requests below are
+	// replayed into the shadow so it stays a superset of the durable prefix.
+	specCatchup := c.specEnabled() && e.seq > c.specExec
+	if d, ok := c.specLog[e.seq]; ok {
+		delete(c.specLog, e.seq)
+		if d != e.digest {
+			c.specStale = true
+			c.metrics.SpecDivergences++
+		}
+	}
 
 	// Per-request fan-out: each request in the batch is executed, recorded
 	// in the client table, and reported individually, so the Troxy voter
@@ -1041,6 +1125,10 @@ func (c *Core) execute(env node.Env, e *entry) {
 			// Gap-filling no-op from a view change.
 			continue
 		}
+		// Durable settlement (fresh execution or duplicate skip) closes the
+		// outstanding speculation for this request, if any: the durable
+		// reply flowing from here is what confirms or repairs the client.
+		c.settleSpec(req)
 		if rec, ok := c.clients[req.Client]; ok && req.ClientSeq <= rec.lastSeq {
 			// The request was already executed at an earlier sequence
 			// number (it can be proposed twice across a view change).
@@ -1053,6 +1141,13 @@ func (c *Core) execute(env node.Env, e *entry) {
 		env.Charge(c.cfg.Profile, node.ChargeExec, len(req.Op)+len(result))
 		keys := c.cfg.App.Keys(req.Op)
 		read := c.cfg.App.IsRead(req.Op)
+		if specCatchup {
+			// Mirror into the shadow: at this point specExec == lastExec-1,
+			// so the shadow state and dedup table are identical to the
+			// durable ones and the same skip decisions were made above.
+			c.cfg.SpecShadow.Execute(req.Op)
+			c.specClients[req.Client] = req.ClientSeq
+		}
 
 		rec, ok := c.clients[req.Client]
 		if !ok {
@@ -1068,6 +1163,9 @@ func (c *Core) execute(env node.Env, e *entry) {
 
 		c.metrics.Executed++
 		c.out.Committed(env, e.seq, req, result, keys, read, true)
+	}
+	if specCatchup {
+		c.specExec = e.seq
 	}
 	c.maybeCheckpoint(env)
 }

@@ -1,0 +1,324 @@
+package hybster
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/troxy-bft/troxy/internal/app"
+	"github.com/troxy-bft/troxy/internal/msg"
+	"github.com/troxy-bft/troxy/internal/node"
+	"github.com/troxy-bft/troxy/internal/tcounter"
+)
+
+// specEvent records one Speculated or Retracted callback.
+type specEvent struct {
+	view, seq         uint64
+	client, clientSeq uint64
+	digest            msg.Digest
+	cert              msg.CounterCert
+	result            string
+}
+
+// specTestReplica extends the minimal host with the SpecOutbound callbacks,
+// so a core-level test can observe speculations and retractions directly.
+type specTestReplica struct {
+	*testReplica
+	specs    []specEvent
+	retracts []specEvent
+}
+
+func (r *specTestReplica) Speculated(_ node.Env, view, seq uint64, batchDigest msg.Digest, req *msg.OrderRequest, result []byte, cert msg.CounterCert) {
+	r.specs = append(r.specs, specEvent{
+		view: view, seq: seq, client: req.Client, clientSeq: req.ClientSeq,
+		digest: batchDigest, cert: cert, result: string(result),
+	})
+}
+
+func (r *specTestReplica) Retracted(_ node.Env, seq uint64, req *msg.OrderRequest, view uint64) {
+	r.retracts = append(r.retracts, specEvent{
+		view: view, seq: seq, client: req.Client, clientSeq: req.ClientSeq,
+	})
+}
+
+// specShuttle is the shuttleNet pattern over spec-enabled cores: captured
+// envelopes move between replicas in node-id order, traffic toward a
+// non-live node is stashed.
+type specShuttle struct {
+	ids      []msg.NodeID
+	replicas map[msg.NodeID]*specTestReplica
+	envs     map[msg.NodeID]*captureEnv
+	live     map[msg.NodeID]bool
+	stash    []*msg.Envelope
+}
+
+func newSpecShuttle(ids ...msg.NodeID) *specShuttle {
+	n := &specShuttle{
+		ids:      ids,
+		replicas: make(map[msg.NodeID]*specTestReplica),
+		envs:     make(map[msg.NodeID]*captureEnv),
+		live:     make(map[msg.NodeID]bool),
+	}
+	for _, id := range ids {
+		sub := tcounter.NewSubsystem(id)
+		sub.SetKey([]byte("test-counter-key"))
+		r := &specTestReplica{testReplica: &testReplica{id: id}}
+		r.core = New(Config{
+			Self:               id,
+			N:                  3,
+			F:                  1,
+			CheckpointInterval: 8,
+			ViewChangeTimeout:  time.Second,
+			Profile:            node.ProfileJava,
+			Authority:          tcounter.Direct{S: sub},
+			App:                app.NewStore(),
+			SpecShadow:         app.NewStore(),
+			SnapshotChunkSize:  32,
+			StateChunkWindow:   4,
+		}, r)
+		n.replicas[id] = r
+		n.envs[id] = &captureEnv{id: id}
+		n.live[id] = true
+	}
+	return n
+}
+
+func (n *specShuttle) run() {
+	for {
+		moved := false
+		for _, id := range n.ids {
+			pending := n.envs[id].out
+			n.envs[id].out = nil
+			for _, ev := range pending {
+				if !n.live[ev.To] {
+					n.stash = append(n.stash, ev)
+					continue
+				}
+				if r, ok := n.replicas[ev.To]; ok {
+					moved = true
+					r.OnEnvelope(n.envs[ev.To], ev)
+				}
+			}
+		}
+		if !moved {
+			return
+		}
+	}
+}
+
+func (r *specTestReplica) findSpec(client, clientSeq uint64) *specEvent {
+	for i := range r.specs {
+		if r.specs[i].client == client && r.specs[i].clientSeq == clientSeq {
+			return &r.specs[i]
+		}
+	}
+	return nil
+}
+
+func (r *specTestReplica) executions(client, clientSeq uint64) []execRecord {
+	var out []execRecord
+	for _, e := range r.executed {
+		if e.client == client && e.clientSeq == clientSeq {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TestSpeculationRollbackOnViewChange is the deterministic message-shuttle
+// choreography for counter-certified rollback:
+//
+//  1. a fast-commit request settles durably in view 0 (speculated, then
+//     confirmed — never retracted);
+//  2. the leader speculates a second fast-commit request whose PREPARE never
+//     reaches the followers, answering from the shadow at a slot only it
+//     knows about;
+//  3. the followers change view while the leader sleeps, so the certified
+//     prefix of view 1 provably excludes the speculated slot;
+//  4. the woken leader adopts the NEW-VIEW: it must roll the shadow back to
+//     the durable prefix, retract exactly the lost speculation, and leave
+//     the durable tier untouched;
+//  5. adoption re-forwards the lost request to the new leader, whose durable
+//     re-execution repairs the history exactly once, and every replica (and
+//     the shadow) converges.
+func TestSpeculationRollbackOnViewChange(t *testing.T) {
+	net := newSpecShuttle(0, 1, 2)
+	r0, r1, r2 := net.replicas[0], net.replicas[1], net.replicas[2]
+	env0, env1 := net.envs[0], net.envs[1]
+
+	// (1) Durable traffic plus one fast-commit request that settles normally.
+	for i := uint64(1); i <= 3; i++ {
+		r0.core.Submit(env0, &msg.OrderRequest{
+			Origin: 0, Client: 7, ClientSeq: i,
+			Op: []byte(fmt.Sprintf("PUT key-%02d value-%02d", i, i)),
+		})
+		net.run()
+	}
+	r0.core.Submit(env0, &msg.OrderRequest{
+		Origin: 0, Client: 7, ClientSeq: 4, Flags: msg.FlagFastCommit,
+		Op: []byte("PUT key-settled value-settled"),
+	})
+	net.run()
+	if got := r0.core.LastExecuted(); got != 4 {
+		t.Fatalf("prime phase executed to %d, want 4", got)
+	}
+
+	// Every replica speculated the fast request: the leader at proposal time
+	// (vouching with its PREPARE certificate), the followers at PREPARE
+	// acceptance (vouching with their COMMIT certificates) — and the fast
+	// answer must never lag the durable one (SpecFrontier >= LastExecuted).
+	for id, r := range net.replicas {
+		ev := r.findSpec(7, 4)
+		if ev == nil {
+			t.Fatalf("replica %d never speculated the fast request", id)
+		}
+		if ev.result != "OK" {
+			t.Fatalf("replica %d speculated %q, want OK", id, ev.result)
+		}
+		m := r.core.Metrics()
+		if m.SpecConfirmed != 1 || m.SpecRetractions != 0 {
+			t.Fatalf("replica %d settle metrics: %+v", id, m)
+		}
+		if r.core.SpecFrontier() < r.core.LastExecuted() {
+			t.Fatalf("replica %d spec frontier %d behind durable %d",
+				id, r.core.SpecFrontier(), r.core.LastExecuted())
+		}
+	}
+
+	// The certificates carried by those speculations verify exactly as an
+	// origin replica would check an incoming SpecReply — and a tampered
+	// batch digest is rejected and attributed.
+	lev := r0.findSpec(7, 4)
+	sr := &msg.SpecReply{
+		Executor: 0, View: lev.view, Seq: lev.seq, BatchDigest: lev.digest,
+		Client: 7, ClientSeq: 4, Result: []byte(lev.result), Cert: lev.cert,
+	}
+	if !r1.core.VerifySpecReply(env1, 0, sr) {
+		t.Fatal("leader's prepare-bound spec certificate did not verify")
+	}
+	fev := r1.findSpec(7, 4)
+	fsr := &msg.SpecReply{
+		Executor: 1, View: fev.view, Seq: fev.seq, BatchDigest: fev.digest,
+		Client: 7, ClientSeq: 4, Result: []byte(fev.result), Cert: fev.cert,
+	}
+	if !r2.core.VerifySpecReply(net.envs[2], 1, fsr) {
+		t.Fatal("follower's commit-bound spec certificate did not verify")
+	}
+	tampered := *sr
+	tampered.BatchDigest[0] ^= 0x01
+	before := r1.core.RejectedCertsFrom(0)
+	if r1.core.VerifySpecReply(env1, 0, &tampered) {
+		t.Fatal("tampered spec reply verified")
+	}
+	if got := r1.core.RejectedCertsFrom(0); got != before+1 {
+		t.Fatalf("tampering not attributed: RejectedCertsFrom = %d, want %d", got, before+1)
+	}
+
+	// (2) The doomed speculation: followers sleep, so the PREPARE for slot 5
+	// exists only at the leader — which still answers fast from the shadow.
+	net.live[1], net.live[2] = false, false
+	r0.core.Submit(env0, &msg.OrderRequest{
+		Origin: 0, Client: 7, ClientSeq: 5, Flags: msg.FlagFastCommit,
+		Op: []byte("PUT key-lost value-lost"),
+	})
+	net.run()
+	if ev := r0.findSpec(7, 5); ev == nil {
+		t.Fatal("leader did not speculate the doomed request")
+	}
+	if f, d := r0.core.SpecFrontier(), r0.core.LastExecuted(); f != 5 || d != 4 {
+		t.Fatalf("leader frontier/durable = %d/%d, want 5/4", f, d)
+	}
+	net.stash = nil // the PREPAREs are lost for good
+
+	// (3) The followers change view while the leader sleeps: view 1's
+	// certified prefix is built from their VIEW-CHANGE messages alone and
+	// cannot contain slot 5.
+	net.live[0] = false
+	net.live[1], net.live[2] = true, true
+	r1.core.startViewChange(env1, 1)
+	r2.core.startViewChange(net.envs[2], 1)
+	net.run()
+	if v1, v2 := r1.core.View(), r2.core.View(); v1 != 1 || v2 != 1 {
+		t.Fatalf("view change did not install at the followers: views %d, %d", v1, v2)
+	}
+
+	// (4) The leader wakes on the NEW-VIEW and must adopt it, roll back, and
+	// retract exactly the lost speculation. The rest of its sleep backlog
+	// (view-1 re-proposal PREPAREs and COMMITs) is replayed afterwards: the
+	// retraction must come from the NEW-VIEW adoption itself, not from
+	// comparing re-proposals.
+	net.live[0] = true
+	backlog := net.stash
+	net.stash = nil
+	for _, ev := range backlog {
+		if ev.To == 0 && ev.Kind == msg.KindNewView {
+			r0.OnEnvelope(env0, ev)
+		}
+	}
+
+	if got := r0.core.View(); got != 1 {
+		t.Fatalf("old leader in view %d after NEW-VIEW, want 1", got)
+	}
+	if len(r0.retracts) != 1 {
+		t.Fatalf("retractions after NEW-VIEW adoption = %d, want exactly 1: %+v", len(r0.retracts), r0.retracts)
+	}
+	ret := r0.retracts[0]
+	if ret.client != 7 || ret.clientSeq != 5 || ret.seq != 5 || ret.view != 0 {
+		t.Fatalf("wrong retraction: %+v", ret)
+	}
+	m := r0.core.Metrics()
+	if m.SpecRollbacks == 0 {
+		t.Error("no shadow rollback recorded")
+	}
+	if m.SpecRetractions != 1 {
+		t.Errorf("SpecRetractions = %d, want 1", m.SpecRetractions)
+	}
+	if m.SpecDivergences != 0 {
+		t.Errorf("SpecDivergences = %d, want 0 (rollback is not divergence)", m.SpecDivergences)
+	}
+	if f, d := r0.core.SpecFrontier(), r0.core.LastExecuted(); f != d || d != 4 {
+		t.Fatalf("shadow not rewound to the certified prefix: frontier/durable = %d/%d, want 4/4", f, d)
+	}
+
+	// (5) Repair. Adoption already re-forwarded the locally-submitted request
+	// to the new leader (pendingLocal re-drive); replaying the sleep backlog
+	// restores counter continuity for the view-1 re-proposals, and the retry
+	// must execute exactly once. A read through the new leader then observes
+	// the repaired write.
+	for _, ev := range backlog {
+		if ev.To == 0 && ev.Kind != msg.KindNewView {
+			r0.OnEnvelope(env0, ev)
+		}
+	}
+	net.run()
+	r1.core.Submit(env1, &msg.OrderRequest{
+		Origin: 1, Client: 8, ClientSeq: 1,
+		Op: []byte("GET key-lost"),
+	})
+	net.run()
+
+	for id, r := range net.replicas {
+		if got := r.core.LastExecuted(); got != 6 {
+			t.Fatalf("replica %d executed to %d, want 6", id, got)
+		}
+		if execs := r.executions(7, 5); len(execs) != 1 {
+			t.Fatalf("replica %d executed the retried request %d times: %+v", id, len(execs), execs)
+		}
+		if reads := r.executions(8, 1); len(reads) != 1 || reads[0].result != "VALUE value-lost" {
+			t.Fatalf("replica %d read-back = %+v, want VALUE value-lost", id, reads)
+		}
+	}
+
+	// Convergence, shadow included: after the rollback re-anchored it, the
+	// shadow tracked the durable history straight through the repair.
+	durable0 := r0.core.cfg.App.(*app.Store).Snapshot()
+	for id, r := range net.replicas {
+		if !bytes.Equal(r.core.cfg.App.(*app.Store).Snapshot(), durable0) {
+			t.Errorf("replica %d durable state diverged", id)
+		}
+		if !bytes.Equal(r.core.cfg.SpecShadow.(*app.Store).Snapshot(), r.core.cfg.App.(*app.Store).Snapshot()) {
+			t.Errorf("replica %d shadow diverged from its durable state", id)
+		}
+	}
+}

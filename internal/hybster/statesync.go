@@ -421,6 +421,11 @@ func (c *Core) finishFetch(env node.Env) {
 	prefix, prefixFrom := f.prefix, f.prefixFrom
 	c.cancelFetch(env)
 	c.gc(f.seq)
+	// The shadow's speculated history is unrelated to the state just
+	// installed (and after a rewind, possibly ahead of it): re-anchor it on
+	// the transferred snapshot and retract outstanding fast answers. The
+	// certified prefix replayed below re-speculates via the PREPARE path.
+	c.rollbackSpec(env)
 	if prefix != nil {
 		if nv := prefix.NewView; nv != nil && nv.View > c.view {
 			// Adopt the server's view — full certificate verification

@@ -277,6 +277,11 @@ func (c *Core) installView(env node.Env, nv *msg.NewView) {
 			delete(c.vcs, v)
 		}
 	}
+	// The new view may drop or reorder prepared entries: rewind the
+	// speculation shadow onto the durable prefix and retract outstanding
+	// fast answers. Re-proposals below re-speculate through the ordinary
+	// accept path.
+	c.rollbackSpec(env)
 
 	env.Logf("hybster: installed view %d (stable %d, re-proposals %d)",
 		nv.View, maxStable, len(reproposals))

@@ -61,19 +61,44 @@ type Config struct {
 	// HTTP/1.1 (responses are delimited by Content-Length).
 	HTTP bool
 
+	// FastCommit opts every request into the crash-tolerant commit tier: a
+	// StatusSpeculative answer (f+1 PREPARE-round certificates) completes the
+	// operation immediately, and the client keeps the request retained until
+	// the durable tier confirms (StatusOK), repairs, or the confirm timeout
+	// retransmits it. Generic framing only — HTTP clients opt in per request
+	// via the X-Troxy-Consistency header in the workload's own request bytes.
+	FastCommit bool
+
 	// Observe, when set, receives every completed operation with the result
 	// the client accepted and its invocation/response times (runtime clock).
 	// Chaos suites collect linearizability histories through it. The op and
 	// result slices are only valid during the call; the callback must copy
 	// what it keeps.
 	Observe func(client, seq uint64, op []byte, read bool, invoked, responded time.Duration, result []byte)
+
+	// ObserveTier, when set, receives the speculative tier's lifecycle
+	// events for a retained request: kind is "spec" (answered speculatively;
+	// data is the speculative result), "retract" (the answer was withdrawn;
+	// data is the attribution string), or "confirm" (the durable tier
+	// settled it; data is the durable result — after a retraction this is
+	// the repair). The data slice is only valid during the call.
+	ObserveTier func(kind string, client, seq uint64, data []byte, now time.Duration)
 }
 
 const (
 	timerOp      = "lclient/op"      // per-client request timeout
 	timerPace    = "lclient/pace"    // per-client open-loop pacing
 	timerConnect = "lclient/connect" // staggered start
+	timerConfirm = "lclient/confirm" // retained-speculation confirm deadline
 )
+
+// specRetained is a request completed on a speculative answer and not yet
+// settled by the durable tier.
+type specRetained struct {
+	op        workload.Op
+	result    []byte
+	retracted bool
+}
 
 type clientState struct {
 	idx      int
@@ -90,6 +115,10 @@ type clientState struct {
 	started  time.Duration
 	done     int
 	respBuf  []byte
+
+	// specs retains speculatively answered operations by sequence number
+	// until the durable tier confirms or repairs them.
+	specs map[uint64]*specRetained
 }
 
 // Machine is the client-machine handler.
@@ -132,6 +161,18 @@ func (m *Machine) Done() int {
 	total := 0
 	for _, cs := range m.clients {
 		total += cs.done
+	}
+	return total
+}
+
+// Unsettled reports how many speculatively answered operations are still
+// awaiting their durable confirmation or repair. Chaos harnesses drain this
+// to zero before checking histories, so every fast-tier op has a settled
+// outcome.
+func (m *Machine) Unsettled() int {
+	total := 0
+	for _, cs := range m.clients {
+		total += len(cs.specs)
 	}
 	return total
 }
@@ -209,6 +250,9 @@ func (m *Machine) transmit(env node.Env, cs *clientState) {
 		flags := uint8(0)
 		if cs.op.Read {
 			flags = msg.FlagReadOnly
+		}
+		if m.cfg.FastCommit {
+			flags |= msg.FlagFastCommit
 		}
 		plaintext = msg.EncodeChannelRequest(&msg.ChannelRequest{
 			Client: cs.identity,
@@ -303,11 +347,72 @@ func (m *Machine) OnEnvelope(env node.Env, e *msg.Envelope) {
 
 	for _, plaintext := range frames {
 		reply, err := msg.DecodeChannelReply(plaintext)
-		if err != nil || reply.Seq != cs.seq || !cs.inflight {
+		if err != nil {
 			continue
 		}
+		m.onReply(env, cs, reply)
+	}
+}
+
+// onReply dispatches one decoded reply frame by status and sequence number.
+func (m *Machine) onReply(env node.Env, cs *clientState, reply *msg.ChannelReply) {
+	// Retained speculations settle independently of the current in-flight
+	// operation: the client has usually moved on by the time the durable
+	// tier reports back.
+	if rec, ok := cs.specs[reply.Seq]; ok {
+		switch reply.Status {
+		case msg.StatusRetracted:
+			// The fast answer was withdrawn; the durable repair follows
+			// (the confirm timer retransmits if it does not).
+			if !rec.retracted {
+				rec.retracted = true
+				if m.cfg.ObserveTier != nil {
+					m.cfg.ObserveTier("retract", cs.identity, reply.Seq, reply.Result, env.Now())
+				}
+			}
+		case msg.StatusOK:
+			// Durable settlement: confirmation when it matches the
+			// speculative result, repair otherwise (including after a
+			// retraction).
+			delete(cs.specs, reply.Seq)
+			env.CancelTimer(node.TimerKey{Kind: timerConfirm, ID: confirmTimerID(cs.idx, reply.Seq)})
+			if m.cfg.ObserveTier != nil {
+				m.cfg.ObserveTier("confirm", cs.identity, reply.Seq, reply.Result, env.Now())
+			}
+		}
+		return
+	}
+
+	if reply.Seq != cs.seq || !cs.inflight {
+		return
+	}
+	switch reply.Status {
+	case msg.StatusSpeculative:
+		// Crash-commit answer: complete the operation now and retain it
+		// until the durable tier settles it.
+		rec := &specRetained{op: cs.op, result: append([]byte(nil), reply.Result...)}
+		if cs.specs == nil {
+			cs.specs = make(map[uint64]*specRetained)
+		}
+		cs.specs[cs.seq] = rec
+		if m.cfg.ObserveTier != nil {
+			m.cfg.ObserveTier("spec", cs.identity, cs.seq, reply.Result, env.Now())
+		}
+		env.SetTimer(m.confirmTimeout(), node.TimerKey{Kind: timerConfirm, ID: confirmTimerID(cs.idx, cs.seq)})
+		m.complete(env, cs, reply.Result)
+	case msg.StatusOK:
 		m.complete(env, cs, reply.Result)
 	}
+}
+
+// confirmTimerID packs (client index, sequence number) into one timer ID;
+// sequence numbers stay far below 2^32 for any practical run length.
+func confirmTimerID(idx int, seq uint64) uint64 {
+	return uint64(idx)<<32 | (seq & 0xffffffff)
+}
+
+func (m *Machine) confirmTimeout() time.Duration {
+	return 2 * m.cfg.Timeout
 }
 
 func (m *Machine) complete(env node.Env, cs *clientState, result []byte) {
@@ -328,6 +433,38 @@ func (m *Machine) complete(env node.Env, cs *clientState, result []byte) {
 	m.nextOp(env, cs)
 }
 
+// retransmitRetained resends a retained operation under its original
+// sequence number, without the fast-commit flag: the retry wants the durable
+// answer. The Troxy re-registers the vote and the ordering layer either
+// re-executes the request (the speculation was lost) or replays the cached
+// reply (it had committed and the confirmation was lost) — exactly-once
+// either way, by the client-table dedup rule.
+func (m *Machine) retransmitRetained(env node.Env, cs *clientState, seq uint64, rec *specRetained) {
+	if !cs.sess.Established() {
+		return // the reconnect path retransmits once the channel is up
+	}
+	flags := uint8(0)
+	if rec.op.Read {
+		flags = msg.FlagReadOnly
+	}
+	plaintext := msg.EncodeChannelRequest(&msg.ChannelRequest{
+		Client: cs.identity,
+		Seq:    seq,
+		Flags:  flags,
+		Op:     rec.op.Op,
+	})
+	record, err := cs.sess.Seal(plaintext)
+	if err != nil {
+		env.Logf("legacyclient %d: seal retained %d: %v", cs.identity, seq, err)
+		return
+	}
+	env.Charge(node.ProfileJava, node.ChargeAEAD, len(plaintext))
+	m.sendFrame(env, cs, record)
+	if m.cfg.Rec != nil {
+		m.cfg.Rec.RecordRetry()
+	}
+}
+
 // failover reconnects to the next replica; the pending operation (if any)
 // is retransmitted after the new handshake.
 func (m *Machine) failover(env node.Env, cs *clientState) {
@@ -340,6 +477,26 @@ func (m *Machine) failover(env node.Env, cs *clientState) {
 
 // OnTimer implements node.Handler.
 func (m *Machine) OnTimer(env node.Env, key node.TimerKey) {
+	if key.Kind == timerConfirm {
+		// The durable settlement for a retained speculation never arrived
+		// (crash before commit, or a lost repair). Retransmit the old
+		// operation under its original sequence number on the durable tier:
+		// if it already committed, the reply-cache replay answers it; if the
+		// speculation was lost, this is the retry that re-executes it.
+		idx := int(key.ID >> 32)
+		seq := key.ID & 0xffffffff
+		if idx < 0 || idx >= len(m.clients) {
+			return
+		}
+		cs := m.clients[idx]
+		rec, ok := cs.specs[seq]
+		if !ok {
+			return
+		}
+		m.retransmitRetained(env, cs, seq, rec)
+		env.SetTimer(m.confirmTimeout(), node.TimerKey{Kind: timerConfirm, ID: key.ID})
+		return
+	}
 	idx := int(key.ID)
 	if idx < 0 || idx >= len(m.clients) {
 		return

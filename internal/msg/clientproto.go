@@ -35,6 +35,19 @@ const (
 
 	// StatusError reports that the service rejected the operation.
 	StatusError
+
+	// StatusSpeculative reports a crash-tolerant-tier result: f+1 replicas
+	// answered at PREPARE time for a fast-commit request. The durable tier
+	// is still completing; the same Seq is later confirmed silently or
+	// retracted with StatusRetracted.
+	StatusSpeculative
+
+	// StatusRetracted withdraws an earlier StatusSpeculative result for the
+	// same Seq: the speculation lost a view change (or the durable quorum
+	// disagreed with it). Result carries the attribution string; a durable
+	// repair reply for the same Seq follows once the retried request
+	// commits.
+	StatusRetracted
 )
 
 // ErrBadChannelFrame reports a malformed plaintext frame.

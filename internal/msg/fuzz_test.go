@@ -15,6 +15,8 @@ func FuzzDecode(f *testing.F) {
 		Cert:  CounterCert{MAC: []byte("m")}}))
 	f.Add(Encode(&Batch{Reqs: []OrderRequest{{Op: []byte("a")}, {Op: []byte("b")}}}))
 	f.Add(Encode(&OrderedReply{Result: []byte("r"), InvalidKeys: []string{"k"}}))
+	f.Add(Encode(&SpecReply{Executor: 1, View: 2, Seq: 3, Client: 7, ClientSeq: 9,
+		Result: []byte("r"), Cert: CounterCert{MAC: []byte("m")}, TroxyTag: []byte("t")}))
 	f.Add([]byte{})
 	f.Add([]byte{0xff, 0x00})
 	f.Fuzz(func(t *testing.T, data []byte) {

@@ -106,6 +106,13 @@ const (
 	// traffic's sender; the answer is the original KindNewView message, whose
 	// certificates the requester verifies as usual.
 	KindNewViewRequest
+
+	// KindSpecReply carries a speculative (crash-tolerant tier) execution
+	// result for a fast-commit request from a replica that accepted the
+	// batch's PREPARE to the replica whose Troxy votes for the client. The
+	// durable OrderedReply for the same request follows once the batch
+	// commits in the Byzantine tier.
+	KindSpecReply
 )
 
 var kindNames = map[Kind]string{
@@ -127,6 +134,7 @@ var kindNames = map[Kind]string{
 	KindStateChunk:     "StateChunk",
 	KindStatePrefix:    "StatePrefix",
 	KindNewViewRequest: "NewViewRequest",
+	KindSpecReply:      "SpecReply",
 }
 
 // String returns the kind's protocol name.
@@ -247,6 +255,8 @@ func New(k Kind) (Message, error) {
 		return &StatePrefix{}, nil
 	case KindNewViewRequest:
 		return &NewViewRequest{}, nil
+	case KindSpecReply:
+		return &SpecReply{}, nil
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownKind, uint8(k))
 	}

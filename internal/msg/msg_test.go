@@ -79,6 +79,10 @@ func TestRoundTripAllKinds(t *testing.T) {
 				{Replica: 2, NewView: 2, StableSeq: 128, Cert: sampleCert()},
 			}, Cert: sampleCert()}},
 		&NewViewRequest{View: 2},
+		&SpecReply{Executor: 1, View: 2, Seq: 10,
+			BatchDigest: (&Batch{Reqs: []OrderRequest{req}}).Digest(),
+			Client:      77, ClientSeq: 1234, ReqDigest: req.Digest(),
+			Result: []byte("spec-result"), Cert: sampleCert(), TroxyTag: []byte("tag")},
 	}
 	for _, m := range cases {
 		got := roundTrip(t, m)
@@ -158,6 +162,52 @@ func TestTagInputExcludesTag(t *testing.T) {
 	r.Result = []byte("other")
 	if bytes.Equal(in1, r.TagInput()) {
 		t.Error("TagInput must cover the result")
+	}
+}
+
+func TestSpecReplyTagInputExcludesTag(t *testing.T) {
+	r := &SpecReply{Executor: 1, View: 2, Seq: 3, Result: []byte("r"),
+		Cert: sampleCert(), TroxyTag: []byte("A")}
+	in1 := r.TagInput()
+	r.TroxyTag = []byte("B")
+	if !bytes.Equal(in1, r.TagInput()) {
+		t.Error("TagInput must not cover the tag itself")
+	}
+	r.Result = []byte("other")
+	if bytes.Equal(in1, r.TagInput()) {
+		t.Error("TagInput must cover the result")
+	}
+	r.Result = []byte("r")
+	r.Cert.Value++
+	if bytes.Equal(in1, r.TagInput()) {
+		t.Error("TagInput must cover the counter certificate")
+	}
+}
+
+func TestFastCommitFlagShapesDigest(t *testing.T) {
+	// The commit level is part of the canonical encoding: a fast-commit
+	// request and its durable twin must never share a digest, or a replica
+	// could count votes across tiers.
+	a, b := sampleRequest(), sampleRequest()
+	b.Flags |= FlagFastCommit
+	if !b.FastCommit() || a.FastCommit() {
+		t.Fatal("FastCommit() does not reflect the flag")
+	}
+	if a.Digest() == b.Digest() {
+		t.Error("fast-commit flag must change the request digest")
+	}
+}
+
+func TestChannelReplyStatusRoundTrip(t *testing.T) {
+	for _, status := range []uint8{StatusOK, StatusError, StatusSpeculative, StatusRetracted} {
+		rep := &ChannelReply{Seq: 4, Status: status, Result: []byte("r")}
+		got, err := DecodeChannelReply(EncodeChannelReply(rep))
+		if err != nil {
+			t.Fatalf("status %d: %v", status, err)
+		}
+		if !reflect.DeepEqual(got, rep) {
+			t.Errorf("status %d mismatch: %#v vs %#v", status, got, rep)
+		}
 	}
 }
 

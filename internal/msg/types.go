@@ -22,6 +22,13 @@ const (
 	// replica (the PBFT-style client protocol the baseline library uses);
 	// followers verify it but do not forward it to the leader.
 	FlagBroadcast
+
+	// FlagFastCommit marks a request whose client accepts the crash-tolerant
+	// commit level: replicas answer it speculatively at PREPARE time with a
+	// SpecReply while the durable Byzantine commit completes in the
+	// background. The flag is part of the request's canonical encoding, so
+	// the commit level is bound into the digest replicas vote on.
+	FlagFastCommit
 )
 
 // ChannelData carries opaque secure-channel bytes (handshake frames or
@@ -151,6 +158,10 @@ func (m *OrderRequest) UnmarshalWire(r *wire.Reader) error {
 
 // ReadOnly reports whether the read-only flag is set.
 func (m *OrderRequest) ReadOnly() bool { return m.Flags&FlagReadOnly != 0 }
+
+// FastCommit reports whether the request accepts the crash-tolerant commit
+// level (speculative PREPARE-time replies).
+func (m *OrderRequest) FastCommit() bool { return m.Flags&FlagFastCommit != 0 }
 
 // Digest returns the SHA-256 digest of the canonical encoding. Replicas vote
 // and invalidate caches by this digest.
@@ -419,6 +430,82 @@ func (m *OrderedReply) UnmarshalWire(r *wire.Reader) error {
 	}
 	for i := 0; i < n; i++ {
 		m.InvalidKeys = append(m.InvalidKeys, r.String())
+	}
+	m.TroxyTag = r.Bytes32()
+	return r.Err()
+}
+
+// SpecReply carries the speculative (crash-tolerant tier) result of a
+// fast-commit request from a replica that accepted the batch's PREPARE to
+// the request's Origin. The voting Troxy answers the client after f+1
+// matching SpecReplies and keeps the vote open for the durable tier.
+//
+// Cert is the sender's trusted-counter certificate for the PREPARE round
+// that justifies the speculation: the leader's prepare certificate when
+// Executor led View, the follower's commit certificate otherwise. It binds
+// (View, Seq, BatchDigest), so a speculative result cannot be fabricated
+// without the trusted counter having committed to that exact proposal —
+// this is the anchor that makes rollback attributable when the batch loses
+// a view change. TroxyTag authenticates the reply content exactly like
+// OrderedReply's tag.
+type SpecReply struct {
+	Executor    NodeID
+	View        uint64
+	Seq         uint64 // agreement sequence number of the speculated batch
+	BatchDigest Digest
+	Client      uint64
+	ClientSeq   uint64
+	ReqDigest   Digest
+	Result      []byte
+	Cert        CounterCert
+	// TroxyTag is the HMAC computed inside the executor's trusted subsystem
+	// over the reply's canonical content (everything above, certificate
+	// included) with the Troxy group secret and the executor's instance ID.
+	TroxyTag []byte
+}
+
+// Kind implements Message.
+func (*SpecReply) Kind() Kind { return KindSpecReply }
+
+// MarshalWire implements Message.
+func (m *SpecReply) MarshalWire(w *wire.Writer) {
+	m.marshalCore(w)
+	w.Bytes32(m.TroxyTag)
+}
+
+func (m *SpecReply) marshalCore(w *wire.Writer) {
+	w.U32(uint32(m.Executor))
+	w.U64(m.View)
+	w.U64(m.Seq)
+	writeDigest(w, m.BatchDigest)
+	w.U64(m.Client)
+	w.U64(m.ClientSeq)
+	writeDigest(w, m.ReqDigest)
+	w.Bytes32(m.Result)
+	m.Cert.MarshalWire(w)
+}
+
+// TagInput returns the canonical bytes the TroxyTag authenticates.
+func (m *SpecReply) TagInput() []byte {
+	w := wire.NewWriter(160 + len(m.Result))
+	m.marshalCore(w)
+	out := make([]byte, w.Len())
+	copy(out, w.Bytes())
+	return out
+}
+
+// UnmarshalWire implements Message.
+func (m *SpecReply) UnmarshalWire(r *wire.Reader) error {
+	m.Executor = NodeID(int32(r.U32()))
+	m.View = r.U64()
+	m.Seq = r.U64()
+	readDigest(r, &m.BatchDigest)
+	m.Client = r.U64()
+	m.ClientSeq = r.U64()
+	readDigest(r, &m.ReqDigest)
+	m.Result = r.Bytes32()
+	if err := m.Cert.UnmarshalWire(r); err != nil {
+		return err
 	}
 	m.TroxyTag = r.Bytes32()
 	return r.Err()
@@ -898,4 +985,5 @@ var (
 	_ Message = (*StateChunk)(nil)
 	_ Message = (*StatePrefix)(nil)
 	_ Message = (*NewViewRequest)(nil)
+	_ Message = (*SpecReply)(nil)
 )

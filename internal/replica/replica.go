@@ -75,6 +75,7 @@ type Stats struct {
 
 var _ node.Handler = (*Replica)(nil)
 var _ hybster.Outbound = (*Replica)(nil)
+var _ hybster.SpecOutbound = (*Replica)(nil)
 
 // New creates a replica.
 func New(cfg Config) *Replica {
@@ -171,6 +172,16 @@ func (r *Replica) OnEnvelope(env node.Env, e *msg.Envelope) {
 	case *msg.OrderedReply:
 		if r.proxy != nil {
 			if acts, err := r.proxy.HandleReply(env, m); err == nil {
+				r.apply(env, acts)
+			}
+		}
+	case *msg.SpecReply:
+		// A peer's speculative reply for a request this replica originated.
+		// The counter certificate is checked by the protocol core (it knows
+		// the lane layout and leader schedule) before the Troxy tallies the
+		// vote; a bad certificate is counted against the sender.
+		if r.proxy != nil && r.core.VerifySpecReply(env, e.From, m) {
+			if acts, err := r.proxy.HandleSpecReply(env, m); err == nil {
 				r.apply(env, acts)
 			}
 		}
@@ -332,4 +343,52 @@ func (r *Replica) Committed(env node.Env, seq uint64, req *msg.OrderRequest, res
 		return
 	}
 	r.sendAuthed(env, req.Origin, rep)
+}
+
+// Speculated implements hybster.SpecOutbound: a prepared-but-uncommitted
+// fast-flagged request was executed against the shadow. The speculative
+// reply mirrors Committed's routing — authenticated by this replica's Troxy,
+// then delivered to the origin's voter (in-process when the origin is this
+// replica). Baseline mode has no speculative tier: BFT clients vote over
+// durable replies only.
+func (r *Replica) Speculated(env node.Env, view, seq uint64, batchDigest msg.Digest, req *msg.OrderRequest, result []byte, cert msg.CounterCert) {
+	if r.proxy == nil || req.Origin == msg.NoNode {
+		return
+	}
+	sr := &msg.SpecReply{
+		Executor:    r.cfg.Self,
+		View:        view,
+		Seq:         seq,
+		BatchDigest: batchDigest,
+		Client:      req.Client,
+		ClientSeq:   req.ClientSeq,
+		ReqDigest:   req.Digest(),
+		Result:      result,
+		Cert:        cert,
+	}
+	env.Charge(node.ProfileJava, node.ChargeHash, len(req.Op))
+	if err := r.proxy.AuthenticateSpecReply(env, sr); err != nil {
+		env.Logf("troxy: authenticate spec reply: %v", err)
+		return
+	}
+	if req.Origin == r.cfg.Self {
+		if acts, err := r.proxy.HandleSpecReply(env, sr); err == nil {
+			r.apply(env, acts)
+		}
+		return
+	}
+	r.sendAuthed(env, req.Origin, sr)
+}
+
+// Retracted implements hybster.SpecOutbound: a speculation this replica
+// originated was rolled back before the durable tier settled it. The local
+// Troxy withdraws the fast answer from its client; the durable re-execution
+// (or reply-cache replay) that follows repairs it.
+func (r *Replica) Retracted(env node.Env, seq uint64, req *msg.OrderRequest, view uint64) {
+	if r.proxy == nil {
+		return
+	}
+	if acts, err := r.proxy.HandleRetract(env, req.Client, req.ClientSeq, seq, view); err == nil {
+		r.apply(env, acts)
+	}
 }

@@ -234,7 +234,7 @@ const (
 )
 
 // ECallHandlers returns the ecall table fragment for hosting s inside an
-// enclave; Troxy merges it into its own 16-entry table.
+// enclave; Troxy merges it into its own fixed ecall table.
 func ECallHandlers(s *Subsystem) map[string]func([]byte) ([]byte, error) {
 	return map[string]func([]byte) ([]byte, error){
 		ECallCertify: func(arg []byte) ([]byte, error) {

@@ -11,7 +11,7 @@
 //     methods are pure state-machine transitions returning Actions — the
 //     messages the *untrusted* part must transmit (the Troxy performs no
 //     network I/O itself; the paper's design has no ocalls).
-//   - trusted.go wraps Core behind the 16-entry ecall interface of an
+//   - trusted.go wraps Core behind the fixed 19-entry ecall interface of an
 //     enclave (internal/enclave), serializing arguments across the boundary.
 //   - proxy.go provides the two host-side bindings the evaluation compares:
 //     DirectProxy (ctroxy: native code outside SGX) and EnclaveProxy
@@ -22,6 +22,7 @@ import (
 	"bytes"
 	"crypto/ed25519"
 	cryptorand "crypto/rand"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -152,6 +153,10 @@ type Stats struct {
 	BadQueries     uint64 // cache messages dropped by tag verification
 	ModeSwitches   uint64 // monitor switches into total-order mode
 	StaleFreshRead uint64 // fresh read results refused by the applied-order pin
+	SpecAnswered   uint64 // requests answered speculatively (f+1 spec votes)
+	SpecConfirmed  uint64 // speculative answers later confirmed by the durable quorum
+	SpecRetracted  uint64 // speculative answers explicitly retracted
+	SpecMismatches uint64 // durable results that disagreed with the speculative answer
 	Cache          CacheStats
 }
 
@@ -176,6 +181,18 @@ type voteState struct {
 	read      bool
 	votes     map[msg.NodeID]msg.Digest
 	results   map[msg.Digest]*msg.OrderedReply
+
+	// Speculative (crash-commit) tier. fast marks a request whose client
+	// opted into answers backed by f+1 PREPARE-round certificates. The vote
+	// state survives a speculative answer: the durable quorum must still
+	// arrive to confirm (StatusOK) or repair it, so specVotes/specResults
+	// live beside — never instead of — the durable voter.
+	fast         bool
+	specVotes    map[msg.NodeID]msg.Digest
+	specResults  map[msg.Digest][]byte
+	specAnswered bool
+	specResult   msg.Digest // winning spec vote hash, valid when specAnswered
+	retracted    bool       // a retraction frame was already sent for this answer
 }
 
 type queryState struct {
@@ -340,8 +357,9 @@ func (c *Core) HandleClientData(now time.Duration, connID uint64, from msg.NodeI
 			sess.nextSeq++
 			// HTTP connections have no protocol-level client identity; the
 			// connection ID serves as one (a reconnect is a new client, as
-			// it is for a plain web server).
-			acts := c.handleOperation(now, sess, connID, sess.nextSeq, op)
+			// it is for a plain web server). The commit level rides on a
+			// request header because there is no frame to flag.
+			acts := c.handleOperation(now, sess, connID, sess.nextSeq, op, httpfront.FastCommit(op))
 			out.merge(acts)
 		}
 		return out, nil
@@ -352,13 +370,18 @@ func (c *Core) HandleClientData(now time.Duration, connID uint64, from msg.NodeI
 		if err != nil {
 			return out, fmt.Errorf("%w: %v", ErrBadChannel, err)
 		}
-		out.merge(c.handleOperation(now, sess, frame.Client, frame.Seq, frame.Op))
+		out.merge(c.handleOperation(now, sess, frame.Client, frame.Seq, frame.Op,
+			frame.Flags&msg.FlagFastCommit != 0))
 	}
 	return out, nil
 }
 
-// handleOperation routes one client operation.
-func (c *Core) handleOperation(now time.Duration, sess *session, client, clientSeq uint64, op []byte) Actions {
+// handleOperation routes one client operation. fast marks a request whose
+// client opted into the crash-tolerant commit tier; the flag only shapes how
+// the *ordered* path answers (a speculative reply ahead of the durable
+// quorum) — the fast-read cache path is untouched, since its answers are
+// already backed by durable execution.
+func (c *Core) handleOperation(now time.Duration, sess *session, client, clientSeq uint64, op []byte, fast bool) Actions {
 	var out Actions
 	c.stats.Requests++
 
@@ -384,7 +407,7 @@ func (c *Core) handleOperation(now time.Duration, sess *session, client, clientS
 		}
 	}
 
-	out.Submits = append(out.Submits, c.registerVote(sess, key, opHash, op, read))
+	out.Submits = append(out.Submits, c.registerVote(sess, key, opHash, op, read, fast))
 	return out
 }
 
@@ -402,10 +425,13 @@ func (c *Core) pendingQueryFor(key voteKey) uint64 {
 // registerVote creates the voter state for an ordered request and returns
 // the BFT request to submit. Re-registration (client retransmission) keeps
 // the already-collected votes.
-func (c *Core) registerVote(sess *session, key voteKey, opHash msg.Digest, op []byte, read bool) msg.OrderRequest {
+func (c *Core) registerVote(sess *session, key voteKey, opHash msg.Digest, op []byte, read, fast bool) msg.OrderRequest {
 	flags := uint8(0)
 	if read {
 		flags = msg.FlagReadOnly
+	}
+	if fast {
+		flags |= msg.FlagFastCommit
 	}
 	req := msg.OrderRequest{
 		Origin:    c.cfg.Self,
@@ -423,6 +449,7 @@ func (c *Core) registerVote(sess *session, key voteKey, opHash msg.Digest, op []
 		reqDigest: req.Digest(),
 		opHash:    opHash,
 		read:      read,
+		fast:      fast,
 		votes:     make(map[msg.NodeID]msg.Digest),
 		results:   make(map[msg.Digest]*msg.OrderedReply),
 	}
@@ -596,6 +623,28 @@ func (c *Core) HandleReply(now time.Duration, rep *msg.OrderedReply) (Actions, e
 	c.stats.VotesCompleted++
 	delete(c.votes, key)
 
+	// Settle a speculative answer against the durable result. A match
+	// confirms it; a mismatch means the fast tier answered from a batch the
+	// durable history dropped or reordered, so the client must see an
+	// explicit retraction before the authoritative result.
+	if vs.specAnswered {
+		if spec, ok := vs.specResults[vs.specResult]; ok && !bytes.Equal(spec, winner.Result) {
+			c.stats.SpecMismatches++
+			if !vs.retracted {
+				vs.retracted = true
+				c.stats.SpecRetracted++
+				if !c.cfg.HTTP {
+					attr := fmt.Sprintf("speculative result superseded by durable quorum at seq %d", winner.Seq)
+					if rec, err := c.sealToClient(vs.connID, key.clientSeq, msg.StatusRetracted, []byte(attr)); err == nil {
+						out.Client = append(out.Client, rec)
+					}
+				}
+			}
+		} else if !vs.retracted {
+			c.stats.SpecConfirmed++
+		}
+	}
+
 	if vs.read {
 		// A vote can complete on replayed replies (client retransmission of
 		// an already-executed read): the result is authentic for that
@@ -612,15 +661,143 @@ func (c *Core) HandleReply(now time.Duration, rep *msg.OrderedReply) (Actions, e
 		}
 	}
 
-	if rec, err := c.sealToClient(vs.connID, key.clientSeq, winner.Result); err == nil {
+	// HTTP streams carry exactly one response per request: a speculative
+	// answer already consumed it, so the durable confirmation is suppressed
+	// (which is why the HTTP fast tier is documented as crash-tolerance
+	// only — a lost speculation cannot be repaired in-band).
+	if vs.specAnswered && c.cfg.HTTP {
+		return out, nil
+	}
+	if rec, err := c.sealToClient(vs.connID, key.clientSeq, msg.StatusOK, winner.Result); err == nil {
+		out.Client = append(out.Client, rec)
+	}
+	return out, nil
+}
+
+// specVoteHash folds a speculative reply's binding and result into the value
+// replicas must agree on: the slot (view, seq, batch digest) *and* the
+// result. Including the slot means f+1 matching spec votes prove f+1 replicas
+// hold counter certificates for the same batch at the same position — the
+// crash-commit guarantee — not merely that they computed the same bytes.
+func specVoteHash(sr *msg.SpecReply) msg.Digest {
+	h := make([]byte, 0, len(sr.Result)+len(sr.BatchDigest)+16)
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], sr.View)
+	h = append(h, b[:]...)
+	binary.BigEndian.PutUint64(b[:], sr.Seq)
+	h = append(h, b[:]...)
+	h = append(h, sr.BatchDigest[:]...)
+	h = append(h, sr.Result...)
+	return msg.DigestOf(h)
+}
+
+// AuthenticateSpecReply tags an outgoing speculative reply with the group
+// secret, the speculative analogue of AuthenticateReply. Unlike its durable
+// counterpart it never touches the fast-read cache or the applied-order pin:
+// a speculative result is not backed by durable execution and must not become
+// servable as one.
+func (c *Core) AuthenticateSpecReply(sr *msg.SpecReply) error {
+	if !c.Provisioned() {
+		return ErrNotProvisioned
+	}
+	sr.TroxyTag = c.tagger.Tag(c.cfg.Self, sr.TagInput())
+	return nil
+}
+
+// HandleSpecReply feeds one replica's speculative reply into the fast-tier
+// voter. When f+1 distinct replicas delivered Troxy-authenticated replies
+// agreeing on (view, seq, batch digest, result), the client is answered with
+// StatusSpeculative — and the vote state is kept open: the durable quorum
+// must still confirm (StatusOK) or repair the answer.
+func (c *Core) HandleSpecReply(now time.Duration, sr *msg.SpecReply) (Actions, error) {
+	var out Actions
+	if !c.Provisioned() {
+		return out, ErrNotProvisioned
+	}
+	if sr.Executor < 0 || int(sr.Executor) >= c.cfg.N {
+		c.stats.BadReplies++
+		return out, nil
+	}
+	if !c.tagger.Verify(sr.Executor, sr.TagInput(), sr.TroxyTag) {
+		c.stats.BadReplies++
+		return out, nil
+	}
+	key := voteKey{client: sr.Client, clientSeq: sr.ClientSeq}
+	vs, ok := c.votes[key]
+	if !ok || !vs.fast || vs.specAnswered {
+		// No pending vote, a client that did not opt in, or an already
+		// delivered speculation: nothing to do. Dropping late votes here is
+		// safe — only the first f+1 quorum answers.
+		return out, nil
+	}
+	if sr.ReqDigest != vs.reqDigest {
+		c.stats.BadReplies++
+		return out, nil
+	}
+
+	if vs.specVotes == nil {
+		vs.specVotes = make(map[msg.NodeID]msg.Digest)
+		vs.specResults = make(map[msg.Digest][]byte)
+	}
+	h := specVoteHash(sr)
+	vs.specVotes[sr.Executor] = h
+	if _, dup := vs.specResults[h]; !dup {
+		vs.specResults[h] = sr.Result
+	}
+	matching := 0
+	for _, vh := range vs.specVotes {
+		if vh == h {
+			matching++
+		}
+	}
+	if matching < c.cfg.Quorum() {
+		return out, nil
+	}
+
+	vs.specAnswered = true
+	vs.specResult = h
+	c.stats.SpecAnswered++
+	if rec, err := c.sealToClient(vs.connID, key.clientSeq, msg.StatusSpeculative, sr.Result); err == nil {
+		out.Client = append(out.Client, rec)
+	}
+	return out, nil
+}
+
+// HandleRetract withdraws a speculative answer: the hosting replica's core
+// rolled its shadow back past the speculated slot (view change, state
+// transfer, or divergence), so the fast answer no longer rests on a surviving
+// prefix. The client is told explicitly, with an attribution, and the vote
+// stays open — the durable tier's eventual reply repairs the client (the
+// reply-cache replay path covers requests that already executed durably).
+// HTTP sessions cannot carry a retraction frame; for them the withdrawal is
+// silent, which is the documented weaker guarantee of the HTTP fast tier.
+func (c *Core) HandleRetract(client, clientSeq, slotSeq, view uint64) (Actions, error) {
+	var out Actions
+	if !c.Provisioned() {
+		return out, ErrNotProvisioned
+	}
+	key := voteKey{client: client, clientSeq: clientSeq}
+	vs, ok := c.votes[key]
+	if !ok || !vs.specAnswered || vs.retracted {
+		return out, nil
+	}
+	vs.retracted = true
+	c.stats.SpecRetracted++
+	if c.cfg.HTTP {
+		return out, nil
+	}
+	attr := fmt.Sprintf("speculation for slot %d lost in view change to view %d", slotSeq, view)
+	if rec, err := c.sealToClient(vs.connID, clientSeq, msg.StatusRetracted, []byte(attr)); err == nil {
 		out.Client = append(out.Client, rec)
 	}
 	return out, nil
 }
 
 // sealToClient encrypts a result for the client connection. HTTP sessions
-// receive the raw response bytes; generic sessions a ChannelReply frame.
-func (c *Core) sealToClient(connID, clientSeq uint64, result []byte) (ClientRecord, error) {
+// receive the raw result bytes (the status is a framing concept HTTP cannot
+// carry; callers suppress redundant frames instead); generic sessions a
+// ChannelReply frame carrying status.
+func (c *Core) sealToClient(connID, clientSeq uint64, status uint8, result []byte) (ClientRecord, error) {
 	sess, ok := c.sessions[connID]
 	if !ok || !sess.sc.Established() {
 		return ClientRecord{}, fmt.Errorf("%w: connection gone", ErrBadChannel)
@@ -629,7 +806,7 @@ func (c *Core) sealToClient(connID, clientSeq uint64, result []byte) (ClientReco
 	if !c.cfg.HTTP {
 		plaintext = msg.EncodeChannelReply(&msg.ChannelReply{
 			Seq:    clientSeq,
-			Status: msg.StatusOK,
+			Status: status,
 			Result: result,
 		})
 	}
@@ -704,7 +881,7 @@ func (c *Core) HandleCacheReply(now time.Duration, r *msg.CacheReply) (Actions, 
 	delete(c.queries, r.QueryID)
 	c.stats.FastReadOK++
 	c.monitor.Record(now, false)
-	if rec, err := c.sealToClient(qs.connID, qs.key.clientSeq, qs.reply); err == nil {
+	if rec, err := c.sealToClient(qs.connID, qs.key.clientSeq, msg.StatusOK, qs.reply); err == nil {
 		out.Client = append(out.Client, rec)
 	}
 	return out, nil
@@ -720,7 +897,10 @@ func (c *Core) fallbackQuery(now time.Duration, id uint64, qs *queryState) Actio
 	if !ok {
 		sess = &session{connID: qs.connID}
 	}
-	out.Submits = append(out.Submits, c.registerVote(sess, qs.key, qs.opHash, qs.fallback.Op, true))
+	// Fallbacks stay on the durable tier: the fast-read attempt already cost
+	// one round trip, and a read served from the cache machinery must never
+	// weaken into a speculative answer.
+	out.Submits = append(out.Submits, c.registerVote(sess, qs.key, qs.opHash, qs.fallback.Op, true, false))
 	return out
 }
 

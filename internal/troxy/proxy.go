@@ -31,6 +31,13 @@ type Proxy interface {
 	HandleClientData(env node.Env, connID uint64, from msg.NodeID, payload []byte) (Actions, error)
 	AuthenticateReply(env node.Env, rep *msg.OrderedReply, read, fresh bool, opHash msg.Digest) error
 	HandleReply(env node.Env, rep *msg.OrderedReply) (Actions, error)
+
+	// AuthenticateSpecReply, HandleSpecReply and HandleRetract are the
+	// speculative (crash-commit) tier's entry points; see internal/troxy.Core.
+	AuthenticateSpecReply(env node.Env, sr *msg.SpecReply) error
+	HandleSpecReply(env node.Env, sr *msg.SpecReply) (Actions, error)
+	HandleRetract(env node.Env, client, clientSeq, slotSeq, view uint64) (Actions, error)
+
 	HandleCacheQuery(env node.Env, q *msg.CacheQuery) (Actions, error)
 	HandleCacheReply(env node.Env, r *msg.CacheReply) (Actions, error)
 	Tick(env node.Env) (Actions, error)
@@ -118,6 +125,39 @@ func (p *DirectProxy) HandleReply(env node.Env, rep *msg.OrderedReply) (Actions,
 	env.Charge(p.profile, node.ChargeMAC, n)  // tag verification
 	env.Charge(p.profile, node.ChargeHash, n) // vote hash
 	acts, err := p.core.HandleReply(env.Now(), rep)
+	if err != nil {
+		return acts, err
+	}
+	chargeActions(env, p.profile, &acts)
+	return acts, nil
+}
+
+// AuthenticateSpecReply implements Proxy.
+func (p *DirectProxy) AuthenticateSpecReply(env node.Env, sr *msg.SpecReply) error {
+	n := len(sr.Result) + 96
+	chargeCommon(env, p.profile, n)
+	env.Charge(p.profile, node.ChargeMAC, n)
+	return p.core.AuthenticateSpecReply(sr)
+}
+
+// HandleSpecReply implements Proxy.
+func (p *DirectProxy) HandleSpecReply(env node.Env, sr *msg.SpecReply) (Actions, error) {
+	n := len(sr.Result) + 96
+	chargeCommon(env, p.profile, n)
+	env.Charge(p.profile, node.ChargeMAC, n)  // tag verification
+	env.Charge(p.profile, node.ChargeHash, n) // spec vote hash
+	acts, err := p.core.HandleSpecReply(env.Now(), sr)
+	if err != nil {
+		return acts, err
+	}
+	chargeActions(env, p.profile, &acts)
+	return acts, nil
+}
+
+// HandleRetract implements Proxy.
+func (p *DirectProxy) HandleRetract(env node.Env, client, clientSeq, slotSeq, view uint64) (Actions, error) {
+	chargeCommon(env, p.profile, 32)
+	acts, err := p.core.HandleRetract(client, clientSeq, slotSeq, view)
 	if err != nil {
 		return acts, err
 	}
@@ -250,6 +290,59 @@ func (p *EnclaveProxy) HandleReply(env node.Env, rep *msg.OrderedReply) (Actions
 	n := len(rep.Result) + 64
 	env.Charge(p.profile, node.ChargeMAC, n)
 	env.Charge(p.profile, node.ChargeHash, n)
+	acts, err := decodeActions(out)
+	if err != nil {
+		return Actions{}, err
+	}
+	chargeActions(env, p.profile, &acts)
+	return acts, nil
+}
+
+// AuthenticateSpecReply implements Proxy.
+func (p *EnclaveProxy) AuthenticateSpecReply(env node.Env, sr *msg.SpecReply) error {
+	w := wire.NewWriter(192 + len(sr.Result))
+	sr.MarshalWire(w)
+	out, err := p.call(env, ECallAuthSpecReply, w.Bytes())
+	if err != nil {
+		return err
+	}
+	env.Charge(p.profile, node.ChargeMAC, len(sr.Result)+96)
+	r := wire.NewReader(out)
+	sr.TroxyTag = r.Bytes32()
+	return r.Finish()
+}
+
+// HandleSpecReply implements Proxy.
+func (p *EnclaveProxy) HandleSpecReply(env node.Env, sr *msg.SpecReply) (Actions, error) {
+	w := wire.NewWriter(192 + len(sr.Result))
+	w.I64(int64(env.Now()))
+	sr.MarshalWire(w)
+	out, err := p.call(env, ECallSpecReply, w.Bytes())
+	if err != nil {
+		return Actions{}, err
+	}
+	n := len(sr.Result) + 96
+	env.Charge(p.profile, node.ChargeMAC, n)
+	env.Charge(p.profile, node.ChargeHash, n)
+	acts, err := decodeActions(out)
+	if err != nil {
+		return Actions{}, err
+	}
+	chargeActions(env, p.profile, &acts)
+	return acts, nil
+}
+
+// HandleRetract implements Proxy.
+func (p *EnclaveProxy) HandleRetract(env node.Env, client, clientSeq, slotSeq, view uint64) (Actions, error) {
+	w := wire.NewWriter(32)
+	w.U64(client)
+	w.U64(clientSeq)
+	w.U64(slotSeq)
+	w.U64(view)
+	out, err := p.call(env, ECallRetract, w.Bytes())
+	if err != nil {
+		return Actions{}, err
+	}
 	acts, err := decodeActions(out)
 	if err != nil {
 		return Actions{}, err

@@ -207,14 +207,15 @@ func TestEnclaveProxyCountsTransitions(t *testing.T) {
 	}
 }
 
-func TestTrustedInterfaceIsExactlySixteenECalls(t *testing.T) {
+func TestTrustedInterfaceIsExactlyNineteenECalls(t *testing.T) {
 	trusted := NewTrusted(NewCore(Config{Self: 0, N: 3, F: 1, Seed: 1}), tcounter.NewSubsystem(0))
 	table := trusted.ECalls()
-	if len(table) != 16 {
-		t.Fatalf("enclave interface has %d entry points, want 16 (the paper's count)", len(table))
+	if len(table) != 19 {
+		t.Fatalf("enclave interface has %d entry points, want 19 (the paper's 16 plus the speculative tier's 3)", len(table))
 	}
 	for _, name := range []string{
 		ECallClientData, ECallAuthReply, ECallHandleReply,
+		ECallAuthSpecReply, ECallSpecReply, ECallRetract,
 		tcounter.ECallCertify, tcounter.ECallVerify,
 	} {
 		if table[name] == nil {

@@ -11,26 +11,31 @@ import (
 	"github.com/troxy-bft/troxy/internal/wire"
 )
 
-// The enclave interface. Like the paper's prototype, the Troxy "defines
-// only 16 ecalls and no ocalls" (Section V-A): ten Troxy entry points, two
-// trusted-counter entry points (the Hybster subsystem co-located in the
-// same enclave), and four lifecycle/attestation entry points.
+// The enclave interface. The paper's prototype "defines only 16 ecalls and
+// no ocalls" (Section V-A); the tunable-commit-level extension grows that to
+// 19 while keeping the no-ocall property: thirteen Troxy entry points (the
+// paper's ten plus three for the speculative tier), two trusted-counter
+// entry points (the Hybster subsystem co-located in the same enclave), and
+// four lifecycle/attestation entry points.
 const (
-	ECallAccept       = "troxy_accept_connection"
-	ECallClose        = "troxy_close_connection"
-	ECallClientData   = "troxy_handle_client_data"
-	ECallAuthReply    = "troxy_authenticate_reply"
-	ECallHandleReply  = "troxy_handle_reply"
-	ECallCacheQuery   = "troxy_handle_cache_query"
-	ECallCacheReply   = "troxy_handle_cache_reply"
-	ECallTick         = "troxy_tick"
-	ECallStats        = "troxy_get_stats"
-	ECallReset        = "troxy_reset"
-	ECallSeal         = "troxy_seal_state"
-	ECallUnseal       = "troxy_unseal_state"
-	ECallReport       = "troxy_attest_report"
-	ECallProbeEnabled = "troxy_fast_reads_enabled"
-	// plus tcounter.ECallCertify and tcounter.ECallVerify = 16 entry points.
+	ECallAccept        = "troxy_accept_connection"
+	ECallClose         = "troxy_close_connection"
+	ECallClientData    = "troxy_handle_client_data"
+	ECallAuthReply     = "troxy_authenticate_reply"
+	ECallHandleReply   = "troxy_handle_reply"
+	ECallAuthSpecReply = "troxy_authenticate_spec_reply"
+	ECallSpecReply     = "troxy_handle_spec_reply"
+	ECallRetract       = "troxy_handle_retract"
+	ECallCacheQuery    = "troxy_handle_cache_query"
+	ECallCacheReply    = "troxy_handle_cache_reply"
+	ECallTick          = "troxy_tick"
+	ECallStats         = "troxy_get_stats"
+	ECallReset         = "troxy_reset"
+	ECallSeal          = "troxy_seal_state"
+	ECallUnseal        = "troxy_unseal_state"
+	ECallReport        = "troxy_attest_report"
+	ECallProbeEnabled  = "troxy_fast_reads_enabled"
+	// plus tcounter.ECallCertify and tcounter.ECallVerify = 19 entry points.
 )
 
 // CodeIdentity is the enclave measurement input for the Troxy enclave.
@@ -147,6 +152,53 @@ func (t *Trusted) ECalls() map[string]func([]byte) ([]byte, error) {
 			}
 			return encodeActions(&acts), nil
 		},
+		ECallAuthSpecReply: func(arg []byte) ([]byte, error) {
+			r := wire.NewReader(arg)
+			var sr msg.SpecReply
+			if err := sr.UnmarshalWire(r); err != nil {
+				return nil, err
+			}
+			if err := r.Finish(); err != nil {
+				return nil, err
+			}
+			if err := t.core.AuthenticateSpecReply(&sr); err != nil {
+				return nil, err
+			}
+			w := wire.NewWriter(len(sr.TroxyTag) + 8)
+			w.Bytes32(sr.TroxyTag)
+			return w.Bytes(), nil
+		},
+		ECallSpecReply: func(arg []byte) ([]byte, error) {
+			r := wire.NewReader(arg)
+			now := time.Duration(r.I64())
+			var sr msg.SpecReply
+			if err := sr.UnmarshalWire(r); err != nil {
+				return nil, err
+			}
+			if err := r.Finish(); err != nil {
+				return nil, err
+			}
+			acts, err := t.core.HandleSpecReply(now, &sr)
+			if err != nil {
+				return nil, err
+			}
+			return encodeActions(&acts), nil
+		},
+		ECallRetract: func(arg []byte) ([]byte, error) {
+			r := wire.NewReader(arg)
+			client := r.U64()
+			clientSeq := r.U64()
+			slotSeq := r.U64()
+			view := r.U64()
+			if err := r.Finish(); err != nil {
+				return nil, err
+			}
+			acts, err := t.core.HandleRetract(client, clientSeq, slotSeq, view)
+			if err != nil {
+				return nil, err
+			}
+			return encodeActions(&acts), nil
+		},
 		ECallCacheQuery: func(arg []byte) ([]byte, error) {
 			r := wire.NewReader(arg)
 			var q msg.CacheQuery
@@ -219,8 +271,8 @@ func (t *Trusted) ECalls() map[string]func([]byte) ([]byte, error) {
 	for name, fn := range tcounter.ECallHandlers(t.counters) {
 		table[name] = fn
 	}
-	if len(table) != 16 {
-		panic(fmt.Sprintf("troxy: enclave interface has %d entry points, want 16", len(table)))
+	if len(table) != 19 {
+		panic(fmt.Sprintf("troxy: enclave interface has %d entry points, want 19", len(table)))
 	}
 	// Account the fast-read cache's trusted memory against the EPC budget
 	// after every boundary crossing: the prototype keeps its footprint small
@@ -335,7 +387,8 @@ func encodeStats(s Stats) []byte {
 	for _, v := range []uint64{
 		s.Handshakes, s.Requests, s.Reads, s.Writes,
 		s.FastReadOK, s.FastReadFell, s.CacheMisses, s.VotesCompleted,
-		s.BadReplies, s.BadQueries, s.ModeSwitches,
+		s.BadReplies, s.BadQueries, s.ModeSwitches, s.StaleFreshRead,
+		s.SpecAnswered, s.SpecConfirmed, s.SpecRetracted, s.SpecMismatches,
 		s.Cache.Hits, s.Cache.Misses, s.Cache.Invalidations, s.Cache.Evictions,
 		uint64(s.Cache.Entries), uint64(s.Cache.UsedBytes),
 	} {
@@ -349,7 +402,7 @@ func encodeStats(s Stats) []byte {
 func decodeStats(b []byte) (Stats, error) {
 	r := wire.NewReader(b)
 	var s Stats
-	vals := make([]uint64, 17)
+	vals := make([]uint64, 22)
 	for i := range vals {
 		vals[i] = r.U64()
 	}
@@ -358,8 +411,9 @@ func decodeStats(b []byte) (Stats, error) {
 	}
 	s.Handshakes, s.Requests, s.Reads, s.Writes = vals[0], vals[1], vals[2], vals[3]
 	s.FastReadOK, s.FastReadFell, s.CacheMisses, s.VotesCompleted = vals[4], vals[5], vals[6], vals[7]
-	s.BadReplies, s.BadQueries, s.ModeSwitches = vals[8], vals[9], vals[10]
-	s.Cache.Hits, s.Cache.Misses, s.Cache.Invalidations, s.Cache.Evictions = vals[11], vals[12], vals[13], vals[14]
-	s.Cache.Entries, s.Cache.UsedBytes = int(vals[15]), int64(vals[16])
+	s.BadReplies, s.BadQueries, s.ModeSwitches, s.StaleFreshRead = vals[8], vals[9], vals[10], vals[11]
+	s.SpecAnswered, s.SpecConfirmed, s.SpecRetracted, s.SpecMismatches = vals[12], vals[13], vals[14], vals[15]
+	s.Cache.Hits, s.Cache.Misses, s.Cache.Invalidations, s.Cache.Evictions = vals[16], vals[17], vals[18], vals[19]
+	s.Cache.Entries, s.Cache.UsedBytes = int(vals[20]), int64(vals[21])
 	return s, nil
 }
