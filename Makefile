@@ -26,12 +26,15 @@ test:
 check: lint staticcheck govulncheck
 	$(GO) test -race ./...
 
-# lint runs go vet with the repository's own analyzer suite layered on top:
+# lint runs go vet plus the repository's own analyzer suite:
 # boundarycheck, copydiscipline, determinism, senderr (syntactic), plus
-# secretflow, lockcheck, exhaustive, quorumcheck (on the dataflow engine and
-# the interproc call-graph/summary layer) — see cmd/troxy-lint and DESIGN.md
-# "Trust-boundary enforcement". TROXY_LINT_TIMING=1 prints per-analyzer wall
-# time to stderr.
+# secretflow, lockcheck, exhaustive, quorumcheck, certgate, boundedalloc,
+# allocfree (on the dataflow engine and the interproc call-graph/summary
+# layer) — see cmd/troxy-lint and DESIGN.md "Trust-boundary enforcement".
+# The standalone driver caches per-package results under bin/.lintcache keyed
+# by content (driver binary, export data, sources), so an unchanged tree
+# re-lints from the cache; TROXY_LINT_TIMING=1 prints per-analyzer wall time
+# and the cache hit/miss tally to stderr.
 # Any diagnostic fails the build. Suppressions use
 # `//lint:allow <analyzer> <reason>` on or above the offending line; a
 # suppression with an unknown analyzer name or a missing reason is itself
@@ -39,7 +42,7 @@ check: lint staticcheck govulncheck
 lint:
 	$(GO) vet ./...
 	$(GO) build -o bin/troxy-lint ./cmd/troxy-lint
-	$(GO) vet -vettool=$(CURDIR)/bin/troxy-lint ./...
+	./bin/troxy-lint ./...
 
 # staticcheck/govulncheck fetch their pinned module on first use
 # (`go run mod@version` runs module-less and touches neither go.mod nor

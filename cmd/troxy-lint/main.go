@@ -18,11 +18,20 @@
 //	                declared message kind or carry an explicit default
 //	quorumcheck     vote counts compared only against the canonical quorum
 //	                helpers, with the non-skipping orientation
+//	certgate        certificate-carrying messages verified before anything
+//	                read from them reaches protocol state, counter
+//	                advances, broadcasts, or caches (path-sensitive)
+//	boundedalloc    decode allocations sized by wire-derived lengths are
+//	                dominated by a comparison against a named Max* constant
+//	allocfree       //troxy:hotpath functions are transitively
+//	                allocation-free outside cold failure blocks, with a
+//	                call-path trace on violation
 //
-// secretflow and lockcheck share the internal/analysis/interproc call-graph
-// and summary engine; their cross-function findings are reported at the call
-// site (put the //lint:allow there). Set TROXY_LINT_TIMING=1 for
-// per-analyzer wall time on stderr.
+// secretflow, lockcheck, certgate, and allocfree share the
+// internal/analysis/interproc call-graph and summary engine; their
+// cross-function findings are reported at the call site (put the
+// //lint:allow there). Set TROXY_LINT_TIMING=1 for per-analyzer wall time
+// and lint-cache hit/miss counts on stderr.
 //
 // Malformed //lint:allow comments (stale analyzer name, missing reason) are
 // reported by the unsuppressable "allowaudit" pass built into the drivers.
@@ -35,7 +44,10 @@ package main
 
 import (
 	"github.com/troxy-bft/troxy/internal/analysis"
+	"github.com/troxy-bft/troxy/internal/analysis/allocfree"
 	"github.com/troxy-bft/troxy/internal/analysis/boundarycheck"
+	"github.com/troxy-bft/troxy/internal/analysis/boundedalloc"
+	"github.com/troxy-bft/troxy/internal/analysis/certgate"
 	"github.com/troxy-bft/troxy/internal/analysis/copydiscipline"
 	"github.com/troxy-bft/troxy/internal/analysis/determinism"
 	"github.com/troxy-bft/troxy/internal/analysis/exhaustive"
@@ -55,5 +67,8 @@ func main() {
 		lockcheck.Analyzer,
 		exhaustive.Analyzer,
 		quorumcheck.Analyzer,
+		certgate.Analyzer,
+		boundedalloc.Analyzer,
+		allocfree.Analyzer,
 	)
 }

@@ -1,0 +1,15 @@
+package allocfree_test
+
+import (
+	"testing"
+
+	"github.com/troxy-bft/troxy/internal/analysis/allocfree"
+	"github.com/troxy-bft/troxy/internal/analysis/analysistest"
+)
+
+func TestAllocFree(t *testing.T) {
+	analysistest.Run(t, allocfree.Analyzer,
+		"github.com/troxy-bft/troxy/internal/realnet/afpos",
+		"github.com/troxy-bft/troxy/internal/realnet/afneg",
+	)
+}

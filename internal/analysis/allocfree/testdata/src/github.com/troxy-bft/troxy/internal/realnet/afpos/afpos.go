@@ -1,0 +1,59 @@
+// Package afpos holds allocfree positive fixtures: annotated hot paths
+// that allocate, spawn, or escape certification.
+package afpos
+
+import (
+	"fmt"
+
+	"github.com/troxy-bft/troxy/internal/wire"
+)
+
+type Frame struct {
+	Seq     uint64
+	Payload []byte
+}
+
+type Ring struct {
+	slots []Frame
+	w     *wire.Writer
+}
+
+// Push stages one frame.
+//
+//troxy:hotpath
+func (r *Ring) Push(f Frame) {
+	buf := make([]byte, 64) // want "allocation on hot path \\(Push\\)"
+	_ = buf
+	r.stage(f)
+}
+
+// stage is reached from Push; its violation carries the call path.
+func (r *Ring) stage(f Frame) {
+	s := string(f.Payload) // want "allocation on hot path \\(Push → stage\\)"
+	_ = s
+}
+
+// Drain walks the staged frames.
+//
+//troxy:hotpath
+func (r *Ring) Drain(visit func(*Frame)) {
+	visit(&r.slots[0]) // want "unresolvable call on hot path \\(Drain\\)"
+	go r.compact()     // want "goroutine spawn on hot path \\(Drain\\)"
+}
+
+func (r *Ring) compact() {}
+
+// Acquire takes a writer from the pool — the miss path allocates, so the
+// acquisition itself is outside the vocabulary.
+//
+//troxy:hotpath
+func (r *Ring) Acquire() {
+	r.w = wire.GetWriter() // want "call to wire.GetWriter on hot path \\(Acquire\\): outside the allocation-free vocabulary"
+}
+
+// Describe formats on the happy path — fmt is not certifiable.
+//
+//troxy:hotpath
+func (r *Ring) Describe(f *Frame) string {
+	return fmt.Sprintf("frame %d", f.Seq) // want "call to fmt.Sprintf on hot path \\(Describe\\)"
+}

@@ -1,0 +1,30 @@
+// Package wire is a fixture stand-in for the real internal/wire surface:
+// the allocfree vocabulary is keyed by this import path, so the fixtures
+// exercise the clean-method whitelist against a package that resolves to
+// the same path. Only the signatures matter.
+package wire
+
+// Writer mirrors the pooled append-based encoder.
+type Writer struct{ buf []byte }
+
+// GetWriter mirrors the pool acquisition (NOT allocation-free: a pool miss
+// allocates).
+func GetWriter() *Writer { return &Writer{} }
+
+// PutWriter returns a writer to the pool.
+func PutWriter(w *Writer) {}
+
+// U32 appends a fixed-width integer.
+func (w *Writer) U32(v uint32) {}
+
+// U64 appends a fixed-width integer.
+func (w *Writer) U64(v uint64) {}
+
+// Bytes32 appends a length-prefixed byte slice.
+func (w *Writer) Bytes32(b []byte) {}
+
+// Bytes returns the accumulated encoding.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Reset truncates for reuse.
+func (w *Writer) Reset() {}

@@ -63,6 +63,9 @@ var KnownAnalyzerNames = map[string]bool{
 	"lockcheck":      true,
 	"exhaustive":     true,
 	"quorumcheck":    true,
+	"certgate":       true,
+	"boundedalloc":   true,
+	"allocfree":      true,
 }
 
 // An Analyzer describes one static check of the suite.

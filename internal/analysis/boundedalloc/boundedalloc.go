@@ -1,0 +1,234 @@
+// Package boundedalloc enforces attacker-bounded decode allocations
+// (DESIGN.md §9.6): a length read off the wire is a number the peer chose,
+// and `make([]T, n)` with an unchecked n lets one malformed frame allocate
+// gigabytes — a memory-exhaustion denial of service no checksum catches.
+// Every allocation sized by a wire-derived integer must be dominated by a
+// comparison of that integer against a named Max* constant, so the bound
+// is spelled once, greppable, and survives refactors.
+//
+// The analyzer runs over the decode-bearing packages (internal/msg,
+// internal/wire, internal/securechannel, internal/hybster). Taint: the
+// results of raw wire-integer reads — Reader.U16/U32/U64, Uvarint-style
+// readers, binary.LittleEndian.UintXX — and anything arithmetic derives
+// from them. (Reader.SliceLen, Bytes32 and String are internally bounded
+// and deliberately not sources.) Path-sensitive bounds: after
+// `if n > MaxParts { return ... }` — or the mirrored/negated orientations,
+// through integer conversions — the fallthrough path carries a BoundedFact
+// for n (internal/analysis/dataflow), killed by reassignment and at joins
+// with unguarded paths. At every `make` size argument and io.CopyN count,
+// a tainted value with no live BoundedFact is reported; `min(n, MaxParts)`
+// counts as bounded at the allocation itself.
+//
+// Comparisons against variables (`if n > limit`) do not establish a bound:
+// the analyzer cannot tell a constant-derived limit from another wire
+// value, and the named-constant discipline is the point. Use a Max*
+// constant, or a reviewed //lint:allow boundedalloc with the reason the
+// dynamic limit is trusted.
+package boundedalloc
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+
+	"github.com/troxy-bft/troxy/internal/analysis"
+	"github.com/troxy-bft/troxy/internal/analysis/dataflow"
+)
+
+// Analyzer is the boundedalloc analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "boundedalloc",
+	Doc:  "allocations sized by wire-derived lengths must be bounded by a named Max* constant",
+	Run:  run,
+}
+
+// scopeRoots are the subtrees that decode peer-controlled bytes.
+var scopeRoots = []string{"internal/msg", "internal/wire", "internal/securechannel", "internal/hybster"}
+
+// rawReadRE matches raw wire-integer read methods; SliceLen/Bytes32/String
+// are internally bounded and excluded.
+var rawReadRE = regexp.MustCompile(`^(U16|U32|U64|Uint16|Uint32|Uint64|Uvarint|ReadUvarint)$`)
+
+// boundConstRE matches the named bound constants.
+var boundConstRE = regexp.MustCompile(`(?i)^max`)
+
+func run(pass *analysis.Pass) error {
+	rel, ok := analysis.RelPath(pass.Path())
+	if !ok {
+		return nil
+	}
+	inScope := false
+	for _, root := range scopeRoots {
+		if analysis.Under(rel, root) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return nil
+	}
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	h := &dataflow.Hooks{
+		Info: info,
+		TransferCall: func(call *ast.CallExpr, ci dataflow.CallInfo, st *dataflow.State) bool {
+			if isWireLenSource(info, call) {
+				return true
+			}
+			// len/cap of a tainted buffer is host-measured, not
+			// peer-chosen; everything else propagates.
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin && (id.Name == "len" || id.Name == "cap") {
+					return false
+				}
+			}
+			return ci.ArgTainted
+		},
+		Bound: func(e ast.Expr) (string, bool) {
+			return boundName(info, e)
+		},
+		OnNode: func(n ast.Node, st *dataflow.State, deferred bool) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			for _, size := range sizeArgs(info, call) {
+				checkSize(pass, info, st, size)
+			}
+		},
+	}
+	dataflow.Run(h, fd.Body)
+}
+
+// sizeArgs returns the attacker-relevant size expressions of an allocation
+// or bulk-copy call: the length/capacity arguments of make, and the count
+// of io.CopyN.
+func sizeArgs(info *types.Info, call *ast.CallExpr) []ast.Expr {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if _, ok := info.Uses[fun].(*types.Builtin); ok && fun.Name == "make" && len(call.Args) > 1 {
+			return call.Args[1:]
+		}
+	case *ast.SelectorExpr:
+		if pkg, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			if _, isPkg := info.Uses[pkg].(*types.PkgName); isPkg && pkg.Name == "io" && fun.Sel.Name == "CopyN" && len(call.Args) == 3 {
+				return call.Args[2:]
+			}
+		}
+	}
+	return nil
+}
+
+// checkSize reports a size expression that carries a wire-derived value
+// with no live bound.
+func checkSize(pass *analysis.Pass, info *types.Info, st *dataflow.State, e ast.Expr) {
+	e = ast.Unparen(e)
+	// min(n, MaxParts) is bounded at the allocation itself.
+	if call, ok := e.(*ast.CallExpr); ok {
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin && id.Name == "min" {
+				for _, a := range call.Args {
+					if _, bounded := boundName(info, a); bounded {
+						return
+					}
+				}
+			}
+		}
+	}
+	reported := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if reported {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if isWireLenSource(info, x) {
+				pass.Reportf(e.Pos(),
+					"allocation sized directly by a raw wire read; bind the length to a variable and compare it against a named Max* constant first")
+				reported = true
+				return false
+			}
+		case *ast.Ident:
+			obj := info.Uses[x]
+			if obj == nil || !st.Has(obj) {
+				return true
+			}
+			if _, bounded := st.BoundOf(obj); !bounded {
+				pass.Reportf(e.Pos(),
+					"allocation sized by wire-derived length %s without a dominating bound check; compare it against a named Max* constant on every path first", x.Name)
+				reported = true
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// isWireLenSource recognizes a raw wire-integer read: a rawReadRE-named
+// method on a *Reader (any package's decoding reader), or the
+// encoding/binary byte-order and varint readers.
+func isWireLenSource(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if !rawReadRE.MatchString(sel.Sel.Name) {
+		return false
+	}
+	// binary.Uvarint / binary.ReadUvarint / binary.LittleEndian.UintXX:
+	// any selector whose name matches is peer-controlled by construction —
+	// except methods on readers that bound internally, which use other
+	// names. Method calls qualify only on a type named *Reader.
+	if fn, ok := info.Uses[sel.Sel].(*types.Func); ok {
+		sig, _ := fn.Type().(*types.Signature)
+		if sig != nil && sig.Recv() != nil {
+			return recvTypeNamed(sig.Recv().Type(), "Reader") || fn.Pkg() != nil && fn.Pkg().Path() == "encoding/binary"
+		}
+	}
+	// Package-level function (binary.Uvarint) or byte-order value method
+	// resolved without a *types.Func (shouldn't happen) — trust the name.
+	return true
+}
+
+// recvTypeNamed reports whether t (behind pointers) is a named type called
+// name.
+func recvTypeNamed(t types.Type, name string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Name() == name
+}
+
+// boundName recognizes a named Max* bound constant inside e.
+func boundName(info *types.Info, e ast.Expr) (string, bool) {
+	name, found := "", false
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			obj = info.Defs[id]
+		}
+		if c, isConst := obj.(*types.Const); isConst && boundConstRE.MatchString(c.Name()) {
+			name, found = c.Name(), true
+		}
+		return true
+	})
+	return name, found
+}

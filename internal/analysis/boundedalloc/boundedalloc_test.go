@@ -1,0 +1,15 @@
+package boundedalloc_test
+
+import (
+	"testing"
+
+	"github.com/troxy-bft/troxy/internal/analysis/analysistest"
+	"github.com/troxy-bft/troxy/internal/analysis/boundedalloc"
+)
+
+func TestBoundedAlloc(t *testing.T) {
+	analysistest.Run(t, boundedalloc.Analyzer,
+		"github.com/troxy-bft/troxy/internal/msg/bapos",
+		"github.com/troxy-bft/troxy/internal/wire/baneg",
+	)
+}

@@ -1,0 +1,64 @@
+// Package bapos holds boundedalloc positive fixtures: decode allocations
+// sized by unchecked wire lengths.
+package bapos
+
+import (
+	"encoding/binary"
+	"io"
+)
+
+type Reader struct{ buf []byte }
+
+func (r *Reader) U32() uint32   { return 0 }
+func (r *Reader) U64() uint64   { return 0 }
+func (r *Reader) SliceLen() int { return 0 }
+
+const MaxParts = 1 << 10
+
+// No bound at all.
+func decodeParts(r *Reader) [][]byte {
+	n := int(r.U32())
+	return make([][]byte, n) // want "without a dominating bound check"
+}
+
+// Sized directly by the raw read.
+func decodeInline(r *Reader) []byte {
+	return make([]byte, r.U64()) // want "sized directly by a raw wire read"
+}
+
+// A guard against a variable is not a named bound.
+func decodeVarLimit(r *Reader, limit int) []byte {
+	n := int(r.U32())
+	if n > limit {
+		return nil
+	}
+	return make([]byte, n) // want "without a dominating bound check"
+}
+
+// One path reaches the allocation unguarded: the join kills the bound.
+func decodeMerge(r *Reader, strict bool) []byte {
+	n := int(r.U32())
+	if strict {
+		if n > MaxParts {
+			return nil
+		}
+	}
+	return make([]byte, n) // want "without a dominating bound check"
+}
+
+// Reassignment from the wire after the check discards the bound.
+func decodeRecheck(r *Reader) []byte {
+	n := int(r.U32())
+	if n > MaxParts {
+		return nil
+	}
+	n = int(r.U32())
+	return make([]byte, n) // want "without a dominating bound check"
+}
+
+// binary byte-order reads are wire sources too.
+func decodeBinary(b []byte, w io.Writer, src io.Reader) error {
+	n := binary.LittleEndian.Uint32(b)
+	_, err := io.CopyN(w, src, int64(n)) // want "without a dominating bound check"
+	return err
+}

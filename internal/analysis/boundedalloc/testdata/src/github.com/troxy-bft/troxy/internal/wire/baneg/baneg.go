@@ -1,0 +1,55 @@
+// Package baneg holds boundedalloc negative fixtures: properly bounded
+// decode allocations.
+package baneg
+
+type Reader struct{ buf []byte }
+
+func (r *Reader) U32() uint32   { return 0 }
+func (r *Reader) SliceLen() int { return 0 }
+
+const MaxChunks = 1 << 12
+const maxEntries = 64
+
+// The canonical guard.
+func decodeChunks(r *Reader) [][]byte {
+	n := int(r.U32())
+	if n < 0 || n > MaxChunks {
+		return nil
+	}
+	return make([][]byte, n)
+}
+
+// Mirrored orientation, unexported constant, behind a conversion.
+func decodeEntries(r *Reader) []uint64 {
+	n := r.U32()
+	if maxEntries < n {
+		return nil
+	}
+	return make([]uint64, int(n))
+}
+
+// min against the constant bounds at the allocation itself.
+func decodeClamped(r *Reader) []byte {
+	n := int(r.U32())
+	return make([]byte, min(n, MaxChunks))
+}
+
+// SliceLen is internally bounded; its result is not wire taint.
+func decodeSlices(r *Reader) []byte {
+	return make([]byte, r.SliceLen())
+}
+
+// Constant and host-measured sizes are never flagged.
+func scratch(buf []byte) []byte {
+	out := make([]byte, 64)
+	return append(out, make([]byte, len(buf))...)
+}
+
+// A reviewed allow documents a trusted dynamic limit.
+func decodeNegotiated(r *Reader, negotiated int) []byte {
+	n := int(r.U32())
+	if n > negotiated {
+		return nil
+	}
+	return make([]byte, n) //lint:allow boundedalloc negotiated is clamped at handshake time
+}

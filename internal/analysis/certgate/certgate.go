@@ -1,0 +1,321 @@
+// Package certgate enforces verify-before-use on certificate-carrying
+// messages (DESIGN.md §9.6): a Byzantine peer controls every byte of a
+// received Prepare/Commit/SpecReply until its counter certificate or HMAC
+// tag has been checked, so nothing read from such a message may reach
+// protocol state — counter advances, store writes, broadcasts, cache
+// inserts — on a path where verification has not succeeded. The paper's
+// trust argument (Section IV: the trusted counter certifies each value
+// exactly once; Section V: the Troxy voter accepts only tagged replies)
+// rests entirely on this ordering; a handler that files a Prepare before
+// checking its certificate re-opens the equivocation the counter exists to
+// close.
+//
+// The analyzer runs over the protocol packages (internal/hybster,
+// internal/troxy, internal/replica) and inspects every handler entry point
+// — a function or method named On<X> or Handle<X> — that takes a
+// cert-carrying message parameter. A type is cert-carrying when its struct
+// (behind any pointer) declares a field named MAC or suffixed Cert/Tag, or
+// nests another cert-carrying struct (StatePrefix carries PreparedEntry
+// certificates two levels down). Inside a handler, path-sensitive dataflow
+// (internal/analysis/dataflow must-facts) tracks, per path, whether the
+// message has passed a successful verification:
+//
+//   - a call whose callee name contains "verify" (any case) is a base
+//     validator: the guarded path — bool result true, or error result nil,
+//     including through an `if err := c.verifyPrepare(m); err != nil`
+//     binding — establishes the fact for the argument roots;
+//   - in-package helpers that verify their argument on every non-failure
+//     path are recognized through interproc validates-param summaries, so
+//     a handler delegating the check to `func (c *C) admit(m *msg.Prepare)
+//     error` is still credited at the admit call site;
+//   - any reassignment or mutation of the message kills the fact, and the
+//     fact must hold on *every* incoming path (intersection at joins);
+//   - calls nested inside a validator's own arguments (computing the
+//     digest the certificate is compared against) are part of the check,
+//     never a sink;
+//   - every tracked value derives from the seeded message parameters, so
+//     once all live seeds are verified on a path, derived copies — a reply
+//     re-read from the vote table it was filed into — count as verified
+//     material; reassigning a seed re-arms the check. Each protocol layer
+//     polices its own certificates: the envelope handler needs only the
+//     transport MAC check, and the counter certificate inside a Prepare is
+//     the OnPrepare handler's obligation, checked separately.
+//
+// A protected operation with the message (or a value derived from it still
+// typed as cert-carrying) on an unverified path is reported: assignments
+// into receiver fields or package-level state, and calls to methods whose
+// name says they advance/publish protocol state (advance/adopt/apply/
+// broadcast/cache/commit/deliver/execute/install/insert/put/record/send/
+// settle/store/enqueue/push prefixes).
+//
+// Known limits, deliberate: values laundered into non-cert-carrying
+// locals (`d := m.BatchDigest`) escape tracking — the analyzer polices the
+// message object, not every scalar extracted from it; handlers that verify
+// by structural comparison instead of a verify-named call (digest equality
+// against locally recomputed state) need a reviewed //lint:allow certgate.
+package certgate
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"github.com/troxy-bft/troxy/internal/analysis"
+	"github.com/troxy-bft/troxy/internal/analysis/dataflow"
+	"github.com/troxy-bft/troxy/internal/analysis/interproc"
+)
+
+// Analyzer is the certgate analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "certgate",
+	Doc:  "certificate-carrying messages must pass verification before reaching protocol state",
+	Run:  run,
+}
+
+// scopeRoots are the subtrees that consume certified messages.
+var scopeRoots = []string{"internal/hybster", "internal/troxy", "internal/replica"}
+
+// handlerRE matches protocol entry points. Post-verification helpers
+// (acceptPrepare, applyPrefix) are deliberately out: they run downstream of
+// a handler's check and would all be false positives.
+var handlerRE = regexp.MustCompile(`^(On|Handle)[A-Z]`)
+
+// sinkRE matches callee names that advance or publish protocol state.
+var sinkRE = regexp.MustCompile(`(?i)^(advance|adopt|apply|broadcast|cache|commit|deliver|execute|install|insert|put|record|send|settle|store|enqueue|push)`)
+
+func run(pass *analysis.Pass) error {
+	rel, ok := analysis.RelPath(pass.Path())
+	if !ok {
+		return nil
+	}
+	inScope := false
+	for _, root := range scopeRoots {
+		if analysis.Under(rel, root) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return nil
+	}
+
+	g := interproc.Build(pass.Files, pass.TypesInfo, pass.Pkg, nil)
+	spec := &interproc.ValidateSpec{Validator: isVerifier}
+	g.ComputeValidates(spec)
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !handlerRE.MatchString(fd.Name.Name) {
+				continue
+			}
+			checkHandler(pass, g, spec, fd)
+		}
+	}
+	return nil
+}
+
+// isVerifier recognizes the base verification vocabulary by name.
+func isVerifier(fn *types.Func) bool {
+	return strings.Contains(strings.ToLower(fn.Name()), "verify")
+}
+
+// checkHandler runs the path-sensitive pass over one handler body.
+func checkHandler(pass *analysis.Pass, g *interproc.Graph, spec *interproc.ValidateSpec, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+
+	// Seed trackedness for every cert-carrying parameter.
+	init := dataflow.NewState()
+	var seeds []types.Object
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			for _, name := range field.Names {
+				obj := info.Defs[name]
+				if obj != nil && isCertCarrying(obj.Type()) {
+					init.Add(obj)
+					seeds = append(seeds, obj)
+				}
+			}
+		}
+	}
+	if len(seeds) == 0 {
+		return
+	}
+
+	// Every tracked value in the handler derives from the seeded messages,
+	// so once all live seeds are verified on a path, derived copies (a
+	// reply re-read from the vote table it was just filed into) are
+	// verified material too; reassigning a seed re-arms the check.
+	anyUnverifiedSeed := func(st *dataflow.State) bool {
+		for _, s := range seeds {
+			if st.Has(s) && !st.Verified(s) {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Calls nested inside a validator's own arguments (computing the
+	// digest the certificate is checked against) are part of the check,
+	// not a protocol sink.
+	inVerifierArgs := make(map[*ast.CallExpr]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := interproc.CalleeFunc(info, call)
+		if fn == nil || !isVerifier(fn) && len(g.ValidatedArgs(spec, call)) == 0 {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if inner, ok := m.(*ast.CallExpr); ok {
+					inVerifierArgs[inner] = true
+				}
+				return true
+			})
+		}
+		return true
+	})
+
+	var recvObj types.Object
+	if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+		recvObj = info.Defs[fd.Recv.List[0].Names[0]]
+	}
+
+	h := &dataflow.Hooks{
+		Info: info,
+		// Trackedness propagates through any call touching the message
+		// (Open/clone helpers, type switches on the envelope payload).
+		TransferCall: func(call *ast.CallExpr, ci dataflow.CallInfo, st *dataflow.State) bool {
+			return ci.ArgTainted || ci.RecvTainted
+		},
+		Validates: func(call *ast.CallExpr) []types.Object {
+			return g.ValidatedArgs(spec, call)
+		},
+		OnNode: func(n ast.Node, st *dataflow.State, deferred bool) {
+			if !anyUnverifiedSeed(st) {
+				return
+			}
+			switch x := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range x.Lhs {
+					if !protectedTarget(pass, lhs, recvObj) {
+						continue
+					}
+					// The message may leak through the stored value or
+					// through the map/slice key of the target itself;
+					// one diagnostic per statement is enough.
+					for _, e := range append([]ast.Expr{lhs}, x.Rhs...) {
+						if reportUnverified(pass, st, e, "stored into protocol state") {
+							return
+						}
+					}
+				}
+			case *ast.CallExpr:
+				fn := interproc.CalleeFunc(pass.TypesInfo, x)
+				if fn == nil || !sinkRE.MatchString(fn.Name()) {
+					return
+				}
+				if isVerifier(fn) || len(g.ValidatedArgs(spec, x)) > 0 || inVerifierArgs[x] {
+					return // the check itself is allowed to see the message
+				}
+				for _, arg := range x.Args {
+					if reportUnverified(pass, st, arg, "passed to "+fn.Name()) {
+						return
+					}
+				}
+			}
+		},
+	}
+	dataflow.RunFrom(h, fd.Body, init)
+}
+
+// protectedTarget reports whether an assignment target is protocol state: a
+// selector/index chain rooted at the handler's receiver, or anything rooted
+// at a package-level variable. Plain locals never outlive the handler and
+// fail both tests.
+func protectedTarget(pass *analysis.Pass, lhs ast.Expr, recvObj types.Object) bool {
+	if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+		v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		return ok && v.Parent() == pass.Pkg.Scope()
+	}
+	root := interproc.RootObj(pass.TypesInfo, lhs)
+	if root == nil {
+		return false
+	}
+	if recvObj != nil && root == recvObj {
+		return true
+	}
+	v, ok := root.(*types.Var)
+	return ok && v.Parent() == pass.Pkg.Scope()
+}
+
+// reportUnverified reports the first tracked, still-unverified
+// cert-carrying identifier mentioned in e and reports whether it fired.
+func reportUnverified(pass *analysis.Pass, st *dataflow.State, e ast.Expr, what string) bool {
+	reported := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if reported {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil || !st.Has(obj) || !isCertCarrying(obj.Type()) || st.Verified(obj) {
+			return true
+		}
+		pass.Reportf(e.Pos(),
+			"cert-carrying message %s %s before verification succeeds on this path; check its certificate first (every path to this use must pass a verify)",
+			id.Name, what)
+		reported = true
+		return false
+	})
+	return reported
+}
+
+// maxCertDepth bounds the nesting search: a certificate two levels down
+// (StatePrefix → PreparedEntry → PrepareCert) still marks the outer
+// message, deeper nesting does not occur in the protocol vocabulary.
+const maxCertDepth = 2
+
+// isCertCarrying reports whether t is (or points to) a struct carrying
+// authentication material: a field named MAC or suffixed Cert/Tag, or a
+// nested struct/slice that carries one.
+func isCertCarrying(t types.Type) bool {
+	return certCarrying(t, 0)
+}
+
+func certCarrying(t types.Type, depth int) bool {
+	if t == nil || depth > maxCertDepth {
+		return false
+	}
+	for {
+		switch u := t.Underlying().(type) {
+		case *types.Pointer:
+			t = u.Elem()
+			continue
+		case *types.Slice:
+			t = u.Elem()
+			continue
+		case *types.Struct:
+			for i := 0; i < u.NumFields(); i++ {
+				f := u.Field(i)
+				name := f.Name()
+				if name == "MAC" || strings.HasSuffix(name, "Cert") || strings.HasSuffix(name, "Tag") {
+					return true
+				}
+				if certCarrying(f.Type(), depth+1) {
+					return true
+				}
+			}
+			return false
+		default:
+			return false
+		}
+	}
+}

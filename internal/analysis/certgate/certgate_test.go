@@ -1,0 +1,15 @@
+package certgate_test
+
+import (
+	"testing"
+
+	"github.com/troxy-bft/troxy/internal/analysis/analysistest"
+	"github.com/troxy-bft/troxy/internal/analysis/certgate"
+)
+
+func TestCertGate(t *testing.T) {
+	analysistest.Run(t, certgate.Analyzer,
+		"github.com/troxy-bft/troxy/internal/hybster/cgpos",
+		"github.com/troxy-bft/troxy/internal/troxy/cgneg",
+	)
+}

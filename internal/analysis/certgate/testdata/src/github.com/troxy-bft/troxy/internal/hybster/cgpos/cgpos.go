@@ -1,0 +1,79 @@
+// Package cgpos holds certgate positive fixtures: handlers that touch
+// protocol state with a cert-carrying message before verification.
+package cgpos
+
+type CounterCert struct {
+	Value uint64
+	MAC   []byte
+}
+
+type Prepare struct {
+	Seq  uint64
+	Cert CounterCert
+}
+
+type Core struct {
+	pending map[uint64]*Prepare
+	last    *Prepare
+}
+
+var lastSeen *Prepare
+
+func (c *Core) verifyCert(m *Prepare) bool { return m != nil }
+
+func (c *Core) broadcastPrepare(m *Prepare) {}
+
+// Stored before any verification at all.
+func (c *Core) OnPrepareEarly(m *Prepare) {
+	c.pending[m.Seq] = m // want "before verification"
+	if !c.verifyCert(m) {
+		return
+	}
+}
+
+// Stored on the branch where verification failed.
+func (c *Core) OnPrepareWrongBranch(m *Prepare) {
+	if !c.verifyCert(m) {
+		c.last = m // want "before verification"
+		return
+	}
+	c.last = m
+}
+
+// One unverified path into the store: the join kills the fact.
+func (c *Core) OnPrepareMerge(m *Prepare, fast bool) {
+	if fast {
+		if !c.verifyCert(m) {
+			return
+		}
+	}
+	c.last = m // want "before verification"
+}
+
+// A state-advancing call sees the raw message.
+func (c *Core) OnPrepareBroadcast(m *Prepare) {
+	c.broadcastPrepare(m) // want "before verification"
+	if !c.verifyCert(m) {
+		return
+	}
+}
+
+// Package-level state is protected too.
+func (c *Core) OnPrepareGlobal(m *Prepare) {
+	lastSeen = m // want "before verification"
+}
+
+// Reassignment after the check drops the verified fact.
+func (c *Core) OnPrepareReassign(m *Prepare, fresh *Prepare) {
+	if !c.verifyCert(m) {
+		return
+	}
+	m = fresh
+	c.last = m // want "before verification"
+}
+
+// Derived copies of a still-unverified message are tracked too.
+func (c *Core) OnPrepareDerived(m *Prepare) {
+	stash := m
+	c.last = stash // want "before verification"
+}

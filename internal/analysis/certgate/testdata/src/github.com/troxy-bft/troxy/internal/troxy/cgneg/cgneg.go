@@ -1,0 +1,92 @@
+// Package cgneg holds certgate negative fixtures: handlers that verify
+// before touching protocol state, directly or through helpers.
+package cgneg
+
+type Reply struct {
+	Result []byte
+	Tag    []byte
+}
+
+type Ping struct{ Seq uint64 }
+
+type badTag struct{}
+
+func (badTag) Error() string { return "bad tag" }
+
+// ErrBadTag marks a failed tag check.
+var ErrBadTag error = badTag{}
+
+type Voter struct {
+	votes map[uint64]*Reply
+	last  *Reply
+}
+
+func (v *Voter) verifyTag(m *Reply) bool { return m != nil }
+
+// checkReply verifies on every non-error path; interproc credits it with a
+// validates-param summary.
+func (v *Voter) checkReply(m *Reply) error {
+	if !v.verifyTag(m) {
+		return ErrBadTag
+	}
+	return nil
+}
+
+// Direct bool guard.
+func (v *Voter) OnReply(m *Reply) {
+	if !v.verifyTag(m) {
+		return
+	}
+	v.votes[1] = m
+}
+
+// Error-binding guard through a validating helper.
+func (v *Voter) HandleReply(m *Reply) {
+	if err := v.checkReply(m); err != nil {
+		return
+	}
+	v.votes[2] = m
+}
+
+// Non-cert-carrying parameters are not tracked; the verified reply is fine
+// on the fallthrough path.
+func (v *Voter) OnPing(p *Ping, m *Reply) {
+	if !v.verifyTag(m) {
+		return
+	}
+	v.votes[p.Seq] = m
+}
+
+// Locals do not outlive the handler; storing there needs no verification.
+func (v *Voter) OnReplyLocal(m *Reply) {
+	var scratch *Reply
+	scratch = m
+	_ = scratch
+}
+
+// A reviewed allow documents a deliberate deferral.
+func (v *Voter) OnReplyDeferred(m *Reply) {
+	v.last = m //lint:allow certgate verification happens when the vote is tallied
+}
+
+func (v *Voter) applyDigest(m *Reply) []byte { return m.Result }
+
+func (v *Voter) verifyWith(m *Reply, d []byte) bool { return m != nil && d != nil }
+
+// A sink-named helper feeding the verify call itself is part of the check.
+func (v *Voter) OnReplyDigest(m *Reply) {
+	if !v.verifyWith(m, v.applyDigest(m)) {
+		return
+	}
+	v.votes[6] = m
+}
+
+// A copy re-read from state after the seed verified is verified material.
+func (v *Voter) HandleTally(m *Reply) {
+	if !v.verifyTag(m) {
+		return
+	}
+	v.votes[7] = m
+	winner := v.votes[7]
+	v.last = winner
+}

@@ -1,0 +1,295 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/types"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// The refinement harness reuses compile() with a second prelude declaring
+// the validator vocabulary:
+//
+//	verifyOK(m) bool / verifyErr(m) error — validators (Hooks.Validates
+//	  reports the root objects of their arguments)
+//	MaxN — a named bound constant (Hooks.Bound)
+//	use(x)   — records whether x's root carries a VerifiedFact
+//	alloc(n) — records whether n's root carries a BoundedFact
+const refinePrelude = `type M struct{ X int }
+
+func verifyOK(m *M) bool    { return m != nil }
+func verifyErr(m *M) error  { return nil }
+func cond() bool            { return true }
+
+const MaxN = 64
+
+func use(args ...any) {}
+func alloc(n int)     {}
+`
+
+// refineHits runs the engine over every function named f/g/h and returns
+// the sorted lines (1-based within body) where use() saw a verified first
+// argument and where alloc() saw a bounded first argument.
+func refineHits(t *testing.T, body string) (verified, bounded []int) {
+	t.Helper()
+	src := refinePrelude + body
+	file, info, fset := compile(t, src)
+	offset := strings.Count(prelude, "\n") + strings.Count(refinePrelude, "\n")
+
+	rootOf := func(x ast.Expr) types.Object {
+		id := baseIdent(x)
+		if id == nil {
+			return nil
+		}
+		if obj := info.Uses[id]; obj != nil {
+			return obj
+		}
+		return info.Defs[id]
+	}
+	calleeName := func(call *ast.CallExpr) string {
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok {
+			return ""
+		}
+		return id.Name
+	}
+
+	h := &Hooks{
+		Info: info,
+		Validates: func(call *ast.CallExpr) []types.Object {
+			if !strings.HasPrefix(calleeName(call), "verify") {
+				return nil
+			}
+			var objs []types.Object
+			for _, a := range call.Args {
+				if obj := rootOf(a); obj != nil {
+					objs = append(objs, obj)
+				}
+			}
+			return objs
+		},
+		Bound: func(e ast.Expr) (string, bool) {
+			name, found := "", false
+			ast.Inspect(e, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				if c, isConst := info.Uses[id].(*types.Const); isConst && strings.HasPrefix(c.Name(), "Max") {
+					name, found = c.Name(), true
+				}
+				return true
+			})
+			return name, found
+		},
+		OnNode: func(n ast.Node, st *State, deferred bool) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return
+			}
+			line := fset.Position(call.Pos()).Line - offset
+			switch calleeName(call) {
+			case "use":
+				if obj := rootOf(call.Args[0]); obj != nil && st.Verified(obj) {
+					verified = append(verified, line)
+				}
+			case "alloc":
+				if obj := rootOf(call.Args[0]); obj != nil {
+					if _, ok := st.BoundOf(obj); ok {
+						bounded = append(bounded, line)
+					}
+				}
+			}
+		},
+	}
+
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		switch fd.Name.Name {
+		case "f", "g", "h":
+			Run(h, fd.Body)
+		}
+	}
+	sort.Ints(verified)
+	sort.Ints(bounded)
+	return verified, bounded
+}
+
+func TestBranchRefinement(t *testing.T) {
+	cases := []struct {
+		name         string
+		body         string
+		wantVerified []int // lines within body where use() sees a verified value
+		wantBounded  []int // lines within body where alloc() sees a bounded value
+	}{
+		{
+			name: "error guard establishes on fallthrough",
+			body: `func f(m *M) {
+	if err := verifyErr(m); err != nil {
+		use(m)
+		return
+	}
+	use(m)
+}`,
+			wantVerified: []int{6},
+		},
+		{
+			name: "negated bool guard",
+			body: `func f(m *M) {
+	if !verifyOK(m) {
+		use(m)
+		return
+	}
+	use(m)
+}`,
+			wantVerified: []int{6},
+		},
+		{
+			name: "bool binding through ident",
+			body: `func f(m *M) {
+	ok := verifyOK(m)
+	if ok {
+		use(m)
+	}
+	use(m)
+}`,
+			wantVerified: []int{4},
+		},
+		{
+			name: "merge at join kills the fact",
+			body: `func f(m *M, c bool) {
+	if c {
+		if err := verifyErr(m); err != nil {
+			return
+		}
+		use(m)
+	}
+	use(m)
+}`,
+			wantVerified: []int{6},
+		},
+		{
+			name: "reassignment kills",
+			body: `func f(m *M) {
+	if err := verifyErr(m); err != nil {
+		return
+	}
+	use(m)
+	m = nil
+	use(m)
+}`,
+			wantVerified: []int{5},
+		},
+		{
+			name: "field mutation kills",
+			body: `func f(m *M) {
+	if err := verifyErr(m); err != nil {
+		return
+	}
+	m.X = 1
+	use(m)
+}`,
+			wantVerified: nil,
+		},
+		{
+			name: "loop fixpoint kills an in-loop invalidation",
+			body: `func f(m *M) {
+	if err := verifyErr(m); err != nil {
+		return
+	}
+	for i := 0; i < 3; i++ {
+		use(m)
+		m = nil
+	}
+}`,
+			wantVerified: nil,
+		},
+		{
+			name: "loop fixpoint preserves an untouched fact",
+			body: `func f(m *M) {
+	if err := verifyErr(m); err != nil {
+		return
+	}
+	for i := 0; i < 3; i++ {
+		use(m)
+	}
+	use(m)
+}`,
+			wantVerified: []int{6, 8},
+		},
+		{
+			name: "bounds guard establishes on fallthrough",
+			body: `func g(n int) {
+	if n > MaxN {
+		alloc(n)
+		return
+	}
+	alloc(n)
+}`,
+			wantBounded: []int{6},
+		},
+		{
+			name: "mirrored orientation and conversions",
+			body: `func g(n int) {
+	if MaxN >= n {
+		alloc(n)
+	}
+	if uint64(n) <= uint64(MaxN) {
+		alloc(n)
+	}
+	alloc(n)
+}`,
+			wantBounded: []int{3, 6},
+		},
+		{
+			name: "conjunction refines both facts",
+			body: `func f(m *M, n int) {
+	if verifyOK(m) && n <= MaxN {
+		use(m)
+		alloc(n)
+	}
+}`,
+			wantVerified: []int{3},
+			wantBounded:  []int{4},
+		},
+		{
+			name: "disjunction refines the false side",
+			body: `func g(m *M, n int) {
+	if n > MaxN || m == nil {
+		alloc(n)
+		return
+	}
+	alloc(n)
+}`,
+			wantBounded: []int{6},
+		},
+		{
+			name: "increment kills the bound",
+			body: `func g(n int) {
+	if n > MaxN {
+		return
+	}
+	alloc(n)
+	n++
+	alloc(n)
+}`,
+			wantBounded: []int{5},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			verified, bounded := refineHits(t, tc.body)
+			if !reflect.DeepEqual(verified, tc.wantVerified) {
+				t.Errorf("verified lines = %v, want %v\nbody:\n%s", verified, tc.wantVerified, numbered(tc.body))
+			}
+			if !reflect.DeepEqual(bounded, tc.wantBounded) {
+				t.Errorf("bounded lines = %v, want %v\nbody:\n%s", bounded, tc.wantBounded, numbered(tc.body))
+			}
+		})
+	}
+}

@@ -63,7 +63,20 @@ const (
 	EffectIO
 	// EffectECall is a trusted-subsystem transition (enclave.ECall).
 	EffectECall
+	// EffectAlloc is a transitive heap allocation on a non-failure path:
+	// make/new, slice or map literals, &composite escapes, append growth,
+	// string conversions/concatenation, closures, and goroutine spawns.
+	// Allocations inside cold failure blocks (a block ending in a
+	// `return ..., fmt.Errorf(...)`-shaped error exit or a panic) are
+	// exempt — they match the happy-path semantics of the 0 allocs/op
+	// benchmark gate. The allocfree analyzer consumes this bit.
+	EffectAlloc
 )
+
+// EffectBlocking masks the effects that can block the caller indefinitely;
+// lockcheck gates on this mask so the orthogonal EffectAlloc bit does not
+// turn every allocating helper into a held-lock finding.
+const EffectBlocking = EffectSend | EffectIO | EffectECall
 
 func (e Effect) String() string {
 	var parts []string
@@ -75,6 +88,9 @@ func (e Effect) String() string {
 	}
 	if e&EffectECall != 0 {
 		parts = append(parts, "ecall transition")
+	}
+	if e&EffectAlloc != 0 {
+		parts = append(parts, "heap allocation")
 	}
 	if len(parts) == 0 {
 		return "none"
@@ -123,9 +139,29 @@ type Summary struct {
 	// input — the function derives secret material internally.
 	ResultsTainted bool
 
+	// ValidatesRecv / ValidatesParams report that the function verifies its
+	// receiver / i-th declared parameter on every non-failure path: each
+	// success return (bool true, nil error, or a tail call into another
+	// validator) is dominated by a successful verification of that value.
+	// Computed by ComputeValidates; zero until then.
+	ValidatesRecv   bool
+	ValidatesParams []bool
+
 	// RecvLocks are the receiver locks acquired somewhere inside, including
 	// through same-receiver calls.
 	RecvLocks []LockUse
+}
+
+// ValidatesParam reports whether the function validates its i-th declared
+// argument, folding variadic overflow onto the last parameter.
+func (s *Summary) ValidatesParam(i int) bool {
+	if len(s.ValidatesParams) == 0 {
+		return false
+	}
+	if i >= len(s.ValidatesParams) {
+		i = len(s.ValidatesParams) - 1
+	}
+	return s.ValidatesParams[i]
 }
 
 // ArgFlow maps a call-argument index to the matching parameter flow,
@@ -484,7 +520,7 @@ func (g *Graph) computeEffects(nonBlocking map[ast.Node]bool) {
 					if e.Go {
 						continue
 					}
-					for _, bit := range []Effect{EffectSend, EffectIO, EffectECall} {
+					for _, bit := range []Effect{EffectSend, EffectIO, EffectECall, EffectAlloc} {
 						if e.Callee.Sum.Effects&bit == 0 || n.Sum.Effects&bit != 0 {
 							continue
 						}
@@ -501,16 +537,24 @@ func (g *Graph) computeEffects(nonBlocking map[ast.Node]bool) {
 	}
 }
 
-// directEffects records the blocking operations in n's own body (function
-// literals and go-spawned calls excluded).
+// directEffects records the blocking operations and allocation sites in n's
+// own body (function-literal bodies and go-spawned calls excluded; the
+// literal's own creation and the spawn itself are allocations).
 func (g *Graph) directEffects(n *Node, nonBlocking map[ast.Node]bool) {
+	cold := ColdRegions(g.info, n.Decl.Body)
 	goCalls := make(map[*ast.CallExpr]bool)
 	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		if desc, ok := AllocSite(g.info, node); ok && !cold[node] {
+			n.addEffect(EffectAlloc, desc)
+		}
 		switch x := node.(type) {
 		case *ast.FuncLit:
 			return false
 		case *ast.GoStmt:
 			goCalls[x.Call] = true
+			if !cold[node] {
+				n.addEffect(EffectAlloc, "goroutine spawn")
+			}
 		case *ast.SendStmt:
 			if !nonBlocking[x] {
 				n.addEffect(EffectSend, "channel send")
@@ -786,6 +830,406 @@ func collectNonBlockingSends(files []*ast.File) map[ast.Node]bool {
 		})
 	}
 	return out
+}
+
+// ValidateSpec parameterizes the validates-param half of the summaries; the
+// analyzer that owns the verification vocabulary (certgate) provides it.
+type ValidateSpec struct {
+	// Validator reports whether fn is a base verification function: a
+	// successful call (true bool result or nil error result) establishes
+	// that the values rooted at its arguments — and at its receiver chain —
+	// were verified.
+	Validator func(fn *types.Func) bool
+}
+
+// ComputeValidates fills the ValidatesRecv/ValidatesParams halves of the
+// summaries, bottom-up with a per-SCC fixpoint: a function validates a
+// parameter when every non-failure return is dominated by a successful
+// verification of it (established by branch refinement against the base
+// vocabulary plus the callee summaries of the previous iteration) or is a
+// direct tail call into a validator covering it. Monotone — bits only turn
+// on — so the fixpoint terminates.
+func (g *Graph) ComputeValidates(spec *ValidateSpec) {
+	for _, scc := range g.SCCs {
+		for _, n := range scc {
+			if n.Sum.ValidatesParams == nil {
+				n.Sum.ValidatesParams = make([]bool, len(n.paramObjs)-n.paramStart)
+			}
+		}
+		for iter := 0; iter < maxSCCIterations; iter++ {
+			changed := false
+			for _, n := range scc {
+				if g.validatesOnce(n, spec) {
+					changed = true
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+	}
+}
+
+// validateReturn is what one own-return statement looked like to the
+// validates pass.
+type validateReturn struct {
+	failure  bool                  // a recognizably failing exit (false, fmt.Errorf, ErrX)
+	tail     []types.Object        // objects a direct tail validator call covers
+	verified map[types.Object]bool // param objects holding a VerifiedFact here
+}
+
+// validatesOnce recomputes n's validates summary against current callee
+// summaries and reports whether it grew.
+func (g *Graph) validatesOnce(n *Node, spec *ValidateSpec) bool {
+	sig, _ := n.Fn.Type().(*types.Signature)
+	if sig == nil {
+		return false
+	}
+	res := sig.Results()
+	convError := res.Len() >= 1 && isErrorType(res.At(res.Len()-1).Type())
+	convBool := !convError && res.Len() == 1 && isBoolType(res.At(0).Type())
+	if !convError && !convBool {
+		return false // no recognizable success signal to summarize against
+	}
+
+	var rets []validateReturn
+	h := &dataflow.Hooks{
+		Info: g.info,
+		Validates: func(call *ast.CallExpr) []types.Object {
+			return g.ValidatedArgs(spec, call)
+		},
+		OnReturn: func(ret *ast.ReturnStmt, _ []bool, st *dataflow.State) {
+			if !n.ownReturns[ret] {
+				return
+			}
+			vr := validateReturn{verified: make(map[types.Object]bool)}
+			if len(ret.Results) > 0 {
+				last := ast.Unparen(ret.Results[len(ret.Results)-1])
+				switch {
+				case convBool && isIdentNamed(last, "false"),
+					convError && failureErrorExpr(g.info, last):
+					vr.failure = true
+				default:
+					if call, ok := last.(*ast.CallExpr); ok {
+						vr.tail = g.ValidatedArgs(spec, call)
+					} else if convError && !isIdentNamed(last, "nil") {
+						// `return err` with err's provenance unknown:
+						// conservative, counts as an unverified success path.
+					}
+				}
+			}
+			for _, obj := range n.paramObjs {
+				if obj != nil && st.Verified(obj) {
+					vr.verified[obj] = true
+				}
+			}
+			rets = append(rets, vr)
+		},
+	}
+	dataflow.Run(h, n.Decl.Body)
+
+	changed := false
+	for i, obj := range n.paramObjs {
+		if obj == nil {
+			continue
+		}
+		if !validatesObj(rets, obj) {
+			continue
+		}
+		if n.paramStart == 1 && i == 0 {
+			if !n.Sum.ValidatesRecv {
+				n.Sum.ValidatesRecv = true
+				changed = true
+			}
+		} else if !n.Sum.ValidatesParams[i-n.paramStart] {
+			n.Sum.ValidatesParams[i-n.paramStart] = true
+			changed = true
+		}
+	}
+	return changed
+}
+
+// validatesObj reports whether every non-failure return covers obj and at
+// least one such return exists.
+func validatesObj(rets []validateReturn, obj types.Object) bool {
+	success := 0
+	for _, vr := range rets {
+		if vr.failure {
+			continue
+		}
+		success++
+		if vr.verified[obj] {
+			continue
+		}
+		covered := false
+		for _, t := range vr.tail {
+			if t == obj {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			return false
+		}
+	}
+	return success > 0
+}
+
+// ValidatedArgs returns the objects a call verifies when it succeeds: the
+// roots of all arguments (and the receiver chain) for a base validator, and
+// the roots of summarized parameters for an in-package callee with a
+// validates-param summary. Empty when the call is not a validator. This is
+// the closure analyzers hand to dataflow.Hooks.Validates.
+func (g *Graph) ValidatedArgs(spec *ValidateSpec, call *ast.CallExpr) []types.Object {
+	fn := CalleeFunc(g.info, call)
+	if fn == nil {
+		return nil
+	}
+	base := spec != nil && spec.Validator != nil && spec.Validator(fn)
+	var node *Node
+	if !base {
+		node = g.Nodes[fn]
+		if node == nil || (!node.Sum.ValidatesRecv && !anyTrue(node.Sum.ValidatesParams)) {
+			return nil
+		}
+	}
+	var out []types.Object
+	add := func(e ast.Expr) {
+		if obj := RootObj(g.info, e); obj != nil {
+			out = append(out, obj)
+		}
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if base || node.Sum.ValidatesRecv {
+			add(sel.X)
+		}
+	}
+	for i, arg := range call.Args {
+		if base || node.Sum.ValidatesParam(i) {
+			add(arg)
+		}
+	}
+	return out
+}
+
+func anyTrue(bs []bool) bool {
+	for _, b := range bs {
+		if b {
+			return true
+		}
+	}
+	return false
+}
+
+// RootObj returns the object at the base of a selector/index/star/slice
+// chain, looking through parens, unary operators, type assertions, and
+// single-argument conversions (m.Cert.Value → m, (*T)(p).X → p).
+func RootObj(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if obj := info.Uses[x]; obj != nil {
+				return obj
+			}
+			return info.Defs[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.TypeAssertExpr:
+			e = x.X
+		case *ast.CallExpr:
+			if tv, ok := info.Types[x.Fun]; ok && tv.IsType() && len(x.Args) == 1 {
+				e = x.Args[0]
+				continue
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+func isBoolType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsBoolean != 0
+}
+
+func isIdentNamed(e ast.Expr, name string) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == name
+}
+
+// AllocSite classifies one AST node as a direct heap allocation and returns
+// a short description. The vocabulary (shared by the EffectAlloc summary
+// bit and the allocfree analyzer's site-level reporting): make/new, append
+// growth, string↔slice conversions, slice/map literals, &composite escapes,
+// string concatenation, and closures. Goroutine spawns are handled by the
+// walkers (the GoStmt, not a sub-expression, is the site). Plain struct
+// composites by value are not flagged (usually stack-allocated), and
+// interface conversions are a documented under-approximation.
+func AllocSite(info *types.Info, node ast.Node) (string, bool) {
+	switch x := node.(type) {
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+			if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+				switch id.Name {
+				case "make":
+					return "make", true
+				case "new":
+					return "new", true
+				case "append":
+					return "append (may grow its backing array)", true
+				}
+				return "", false
+			}
+		}
+		if tv, ok := info.Types[x.Fun]; ok && tv.IsType() && len(x.Args) == 1 {
+			if isStringSliceConv(tv.Type, typeOf(info, x.Args[0])) {
+				return "string conversion (copies)", true
+			}
+		}
+	case *ast.CompositeLit:
+		switch typeOf(info, x).Underlying().(type) {
+		case *types.Slice:
+			return "slice literal", true
+		case *types.Map:
+			return "map literal", true
+		}
+	case *ast.UnaryExpr:
+		if x.Op.String() == "&" {
+			if _, ok := ast.Unparen(x.X).(*ast.CompositeLit); ok {
+				return "&composite literal (escapes to heap)", true
+			}
+		}
+	case *ast.FuncLit:
+		return "function literal (closure)", true
+	case *ast.BinaryExpr:
+		if x.Op.String() == "+" {
+			if b, ok := typeOf(info, x).Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+				return "string concatenation", true
+			}
+		}
+	}
+	return "", false
+}
+
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if t := info.Types[e].Type; t != nil {
+		return t
+	}
+	return types.Typ[types.Invalid]
+}
+
+func isStringSliceConv(to, from types.Type) bool {
+	return (isStringy(to) && isByteOrRuneSlice(from)) || (isByteOrRuneSlice(to) && isStringy(from))
+}
+
+func isStringy(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// ColdRegions marks every node inside a cold failure block of body: a
+// nested block whose last statement is a panic or a return carrying a
+// recognizable error construction (fmt.Errorf, errors.New/Join, &FooError{},
+// a package-level ErrX). Allocations there serve the failure path only —
+// fmt.Errorf in an oversize-frame branch — and are exempt from EffectAlloc,
+// matching the happy-path semantics of the 0 allocs/op benchmark gates.
+// The function body itself never qualifies (a trailing `return err` is the
+// happy path, not a failure exit).
+func ColdRegions(info *types.Info, body *ast.BlockStmt) map[ast.Node]bool {
+	cold := make(map[ast.Node]bool)
+	ast.Inspect(body, func(nd ast.Node) bool {
+		b, ok := nd.(*ast.BlockStmt)
+		if !ok || b == body || len(b.List) == 0 {
+			return true
+		}
+		if !failureExit(info, b.List[len(b.List)-1]) {
+			return true
+		}
+		ast.Inspect(b, func(m ast.Node) bool {
+			if m != nil {
+				cold[m] = true
+			}
+			return true
+		})
+		return false
+	})
+	return cold
+}
+
+// failureExit reports whether stmt is a recognizable failure-path exit.
+func failureExit(info *types.Info, stmt ast.Stmt) bool {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		call, ok := ast.Unparen(s.X).(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		return isIdentNamed(call.Fun, "panic")
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			if failureErrorExpr(info, r) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// failureErrorExpr recognizes an error-construction expression marking a
+// failure return: fmt.Errorf(...), errors.New/Join(...), &FooError{...},
+// or a package-level ErrX sentinel.
+func failureErrorExpr(info *types.Info, e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		fn := CalleeFunc(info, x)
+		if fn == nil || fn.Pkg() == nil {
+			return false
+		}
+		switch fn.Pkg().Path() {
+		case "fmt":
+			return fn.Name() == "Errorf"
+		case "errors":
+			return fn.Name() == "New" || fn.Name() == "Join"
+		}
+	case *ast.UnaryExpr:
+		if x.Op.String() != "&" {
+			return false
+		}
+		cl, ok := ast.Unparen(x.X).(*ast.CompositeLit)
+		if !ok {
+			return false
+		}
+		if named, ok := typeOf(info, cl).(*types.Named); ok {
+			return strings.HasSuffix(named.Obj().Name(), "Error")
+		}
+	case *ast.Ident:
+		return strings.HasPrefix(x.Name, "Err")
+	}
+	return false
 }
 
 // CalleeFunc resolves a call expression's static callee (nil for func

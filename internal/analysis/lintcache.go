@@ -1,0 +1,173 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// The standalone driver memoizes per-package results under bin/.lintcache,
+// keyed by content: the driver binary itself, the full set of export data
+// the typechecker can see (a dependency change anywhere invalidates
+// everything — coarse, but sound and cheap to compute), the registered
+// analyzer names, and the package's own source bytes. A hit replays the
+// recorded diagnostics without parsing or typechecking the package; a
+// clean tree re-lints in milliseconds. Entries are content-addressed and
+// never mutated, so no locking is needed beyond O_EXCL-free atomic writes
+// (rename) and stale entries are simply never read again; `rm -rf
+// bin/.lintcache` is always safe. TROXY_LINT_TIMING=1 prints the hit/miss
+// tally on stderr.
+
+// lintCacheDir is where the standalone driver keeps its memoized results,
+// next to the built linter binary so `git clean`/`rm -rf bin` clears both.
+const lintCacheDir = "bin/.lintcache"
+
+// lintCache is the per-run handle: a base hash covering everything shared
+// across packages, plus hit/miss counters for the timing report.
+type lintCache struct {
+	dir      string
+	base     []byte
+	hits     int
+	misses   int
+	disabled bool
+}
+
+// cacheEntry is the persisted result for one package.
+type cacheEntry struct {
+	// Diagnostics are the rendered diagnostic lines, in report order.
+	Diagnostics []string `json:"diagnostics"`
+}
+
+// newLintCache computes the run-wide base hash. Any failure (unreadable
+// executable, missing export file) disables caching for the run rather
+// than risking a stale replay.
+func newLintCache(analyzers []*Analyzer, exports map[string]string) *lintCache {
+	c := &lintCache{dir: lintCacheDir}
+	h := sha256.New()
+	exe, err := os.Executable()
+	if err != nil {
+		c.disabled = true
+		return c
+	}
+	if err := hashFile(h, exe); err != nil {
+		c.disabled = true
+		return c
+	}
+	for _, a := range analyzers {
+		fmt.Fprintf(h, "analyzer %s\n", a.Name)
+	}
+	paths := make([]string, 0, len(exports))
+	for p := range exports {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		fmt.Fprintf(h, "export %s\n", p)
+		if err := hashFile(h, exports[p]); err != nil {
+			c.disabled = true
+			return c
+		}
+	}
+	c.base = h.Sum(nil)
+	return c
+}
+
+// key derives the content address of one package's result.
+func (c *lintCache) key(p *listPackage) (string, bool) {
+	h := sha256.New()
+	h.Write(c.base)
+	fmt.Fprintf(h, "package %s\n", p.ImportPath)
+	for _, name := range p.GoFiles {
+		fmt.Fprintf(h, "file %s\n", name)
+		if err := hashFile(h, filepath.Join(p.Dir, name)); err != nil {
+			return "", false
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil)), true
+}
+
+// get replays a memoized result. The second return is false on any miss:
+// cold cache, changed content, or unreadable entry.
+func (c *lintCache) get(p *listPackage) ([]string, bool) {
+	if c.disabled {
+		return nil, false
+	}
+	key, ok := c.key(p)
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	data, err := os.ReadFile(filepath.Join(c.dir, key+".json"))
+	if err != nil {
+		c.misses++
+		return nil, false
+	}
+	var e cacheEntry
+	if err := json.Unmarshal(data, &e); err != nil {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	return e.Diagnostics, true
+}
+
+// put records one package's rendered diagnostics. Best-effort: a read-only
+// checkout just runs uncached.
+func (c *lintCache) put(p *listPackage, diagnostics []string) {
+	if c.disabled {
+		return
+	}
+	key, ok := c.key(p)
+	if !ok {
+		return
+	}
+	data, err := json.Marshal(cacheEntry{Diagnostics: diagnostics})
+	if err != nil {
+		return
+	}
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return
+	}
+	// Write-then-rename so a concurrent reader never sees a torn entry.
+	tmp, err := os.CreateTemp(c.dir, "tmp-*")
+	if err != nil {
+		return
+	}
+	name := tmp.Name()
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(name)
+		return
+	}
+	if err := os.Rename(name, filepath.Join(c.dir, key+".json")); err != nil {
+		os.Remove(name)
+	}
+}
+
+// report prints the hit/miss tally when TROXY_LINT_TIMING is set.
+func (c *lintCache) report() {
+	if os.Getenv("TROXY_LINT_TIMING") == "" {
+		return
+	}
+	state := ""
+	if c.disabled {
+		state = " (caching disabled this run)"
+	}
+	fmt.Fprintf(os.Stderr, "lintcache: %d hits, %d misses%s\n", c.hits, c.misses, state)
+}
+
+func hashFile(w io.Writer, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = io.Copy(w, f)
+	return err
+}

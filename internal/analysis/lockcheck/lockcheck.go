@@ -349,7 +349,7 @@ func isConnLike(pass *analysis.Pass, e ast.Expr) bool {
 // diagnostic applies at this call.
 func reportTransitiveEffect(pass *analysis.Pass, call *ast.CallExpr, st *dataflow.State, graph *interproc.Graph, reporting bool) bool {
 	node := graph.Lookup(interproc.CalleeFunc(pass.TypesInfo, call))
-	if node == nil || node.Sum.Effects == 0 {
+	if node == nil || node.Sum.Effects&interproc.EffectBlocking == 0 {
 		return false
 	}
 	if reporting {

@@ -18,8 +18,10 @@ import (
 
 // The standalone driver loads whole package patterns in one process,
 // resolving every import from the gc export data that `go list -export`
-// leaves in the build cache. It exists so `go run ./cmd/troxy-lint ./...`
-// works without the vet protocol; `make lint` uses the vettool path.
+// leaves in the build cache, and memoizes per-package results under
+// bin/.lintcache (see lintcache.go) so an unchanged tree re-lints from the
+// cache. `make lint` runs this path; the vet vettool protocol (runUnit)
+// remains available for editor integrations.
 
 // listPackage is the subset of `go list -json` output the driver consumes.
 type listPackage struct {
@@ -77,8 +79,20 @@ func Standalone(patterns []string, analyzers []*Analyzer) int {
 	}
 	imp := importer.ForCompiler(fset, "gc", lookup)
 
+	cache := newLintCache(analyzers, exports)
+	defer cache.report()
+
 	status := 0
 	for _, p := range targets {
+		if lines, ok := cache.get(p); ok {
+			for _, line := range lines {
+				fmt.Fprintln(os.Stderr, line)
+			}
+			if len(lines) > 0 {
+				status = 2
+			}
+			continue
+		}
 		var files []*ast.File
 		for _, name := range p.GoFiles {
 			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil,
@@ -100,9 +114,12 @@ func Standalone(patterns []string, analyzers []*Analyzer) int {
 			Fset: fset, Files: files, Types: tpkg, Info: info,
 			Path: NormalizePath(p.ImportPath),
 		}, analyzers)
-		for _, d := range diags {
-			fmt.Fprintln(os.Stderr, d)
+		lines := make([]string, len(diags))
+		for i, d := range diags {
+			lines[i] = d.String()
+			fmt.Fprintln(os.Stderr, lines[i])
 		}
+		cache.put(p, lines)
 		if len(diags) > 0 {
 			status = 2
 		}
